@@ -1,0 +1,275 @@
+// Top-level benchmark harness: one testing.B benchmark per paper figure
+// and per measured claim (experiment index in DESIGN.md §4). Each bench
+// drives the same code path as cmd/sss-bench; figure benches re-validate
+// the golden values on every iteration.
+//
+//	go test -bench=. -benchmem
+package sssearch
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"io"
+	"math/big"
+	"testing"
+	"time"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/experiments"
+	"sssearch/internal/field"
+	"sssearch/internal/mapping"
+	"sssearch/internal/naive"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/shamir"
+	"sssearch/internal/sharing"
+	"sssearch/internal/swp"
+	"sssearch/internal/workload"
+	"sssearch/internal/xmltree"
+	"sssearch/internal/xpath"
+)
+
+// runExperiment executes a registered experiment with output discarded.
+func runExperiment(b *testing.B, id string, quick bool) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := experiments.Config{Quick: quick}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E1-E6: the paper's figures (golden-checked every iteration) -----------
+
+func BenchmarkFig1_EncodeZx(b *testing.B) { runExperiment(b, "fig1", true) }
+func BenchmarkFig2_Reduce(b *testing.B)   { runExperiment(b, "fig2", true) }
+func BenchmarkFig3_ShareFp(b *testing.B)  { runExperiment(b, "fig3", true) }
+func BenchmarkFig4_ShareZ(b *testing.B)   { runExperiment(b, "fig4", true) }
+func BenchmarkFig5_QueryFp(b *testing.B)  { runExperiment(b, "fig5", true) }
+func BenchmarkFig6_QueryZ(b *testing.B)   { runExperiment(b, "fig6", true) }
+
+// --- E7-E16: measured claims ------------------------------------------------
+
+func BenchmarkStorageOverhead(b *testing.B)  { runExperiment(b, "storage", true) }
+func BenchmarkPruningFraction(b *testing.B)  { runExperiment(b, "pruning", true) }
+func BenchmarkSchemeComparison(b *testing.B) { runExperiment(b, "compare", true) }
+func BenchmarkTrustedMode(b *testing.B)      { runExperiment(b, "trusted", true) }
+func BenchmarkSeedOnlyClient(b *testing.B)   { runExperiment(b, "seedonly", true) }
+func BenchmarkMultiServer(b *testing.B)      { runExperiment(b, "multiserver", true) }
+func BenchmarkCoeffGrowth(b *testing.B)      { runExperiment(b, "coeffgrowth", true) }
+func BenchmarkAdvancedQuery(b *testing.B)    { runExperiment(b, "advanced", true) }
+func BenchmarkVerification(b *testing.B)     { runExperiment(b, "verify", true) }
+func BenchmarkVoting(b *testing.B)           { runExperiment(b, "voting", true) }
+
+// --- micro-benchmarks of the protocol's hot paths ---------------------------
+
+type benchStack struct {
+	doc    *xmltree.Node
+	ring   ring.Ring
+	m      *mapping.Map
+	seed   drbg.Seed
+	engine *core.Engine
+}
+
+func buildStack(b *testing.B, r ring.Ring, nodes int) *benchStack {
+	b.Helper()
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: nodes, MaxFanout: 4, Vocab: 20, Seed: 1234})
+	m, err := mapping.New(r.MaxTag(), []byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := polyenc.Encode(r, doc, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-seed")))
+	tree, err := sharing.Split(enc, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.NewLocal(r, tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchStack{
+		doc:    doc,
+		ring:   r,
+		m:      m,
+		seed:   seed,
+		engine: core.NewEngine(r, seed, m, srv, nil),
+	}
+}
+
+func benchmarkLookup(b *testing.B, r ring.Ring, nodes int, tag string) {
+	s := buildStack(b, r, nodes)
+	if _, ok := s.m.Value(tag); !ok {
+		if _, err := s.m.Assign(tag); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.engine.Lookup(tag, core.Opts{Verify: core.VerifyResolve}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupZ1000Hit(b *testing.B) {
+	benchmarkLookup(b, ring.MustIntQuotient(1, 0, 1), 1000, "t3")
+}
+
+func BenchmarkLookupZ1000Miss(b *testing.B) {
+	benchmarkLookup(b, ring.MustIntQuotient(1, 0, 1), 1000, "zz-ghost")
+}
+
+func BenchmarkLookupFp1000Hit(b *testing.B) {
+	benchmarkLookup(b, ring.MustFp(257), 1000, "t3")
+}
+
+func BenchmarkPathQueryAuction(b *testing.B) {
+	doc := workload.Auction(workload.AuctionConfig{Items: 100, People: 80, Auctions: 60, Seed: 7})
+	r := ring.MustIntQuotient(1, 0, 1)
+	m, _ := mapping.New(r.MaxTag(), []byte("bench-path"))
+	enc, err := polyenc.Encode(r, doc, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-path")))
+	tree, _ := sharing.Split(enc, seed)
+	srv, _ := server.NewLocal(r, tree)
+	eng := core.NewEngine(r, seed, m, srv, nil)
+	q := xpath.MustParse("//person/watches/watch")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(q, core.Opts{Verify: core.VerifyResolve}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeAuctionZ(b *testing.B) {
+	doc := workload.Auction(workload.AuctionConfig{Items: 100, People: 80, Auctions: 60, Seed: 7})
+	r := ring.MustIntQuotient(1, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := mapping.New(r.MaxTag(), []byte("enc"))
+		if _, err := polyenc.Encode(r, doc, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitAuctionZ(b *testing.B) {
+	doc := workload.Auction(workload.AuctionConfig{Items: 100, People: 80, Auctions: 60, Seed: 7})
+	r := ring.MustIntQuotient(1, 0, 1)
+	m, _ := mapping.New(r.MaxTag(), []byte("split"))
+	enc, err := polyenc.Encode(r, doc, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("split")))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sharing.Split(enc, seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- baseline micro-benchmarks (same workload as BenchmarkLookupZ1000Hit) ---
+
+func BenchmarkBaselineSWPScan1000(b *testing.B) {
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 1000, MaxFanout: 4, Vocab: 20, Seed: 1234})
+	c := swp.NewClient([]byte("bench"))
+	idx, err := c.BuildIndex(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	td := c.Trapdoor("t3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search(td)
+	}
+}
+
+func BenchmarkBaselineDownloadAll1000(b *testing.B) {
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 1000, MaxFanout: 4, Vocab: 20, Seed: 1234})
+	key := []byte("bench")
+	st, err := naive.Encrypt(key, doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := xpath.MustParse("//t3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := naive.Query(key, st, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselinePlaintext1000(b *testing.B) {
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 1000, MaxFanout: 4, Vocab: 20, Seed: 1234})
+	q := xpath.MustParse("//t3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Evaluate(doc)
+	}
+}
+
+// --- MPC benchmarks -----------------------------------------------------
+
+func BenchmarkMajorityVote9(b *testing.B) {
+	f := field.MustNew(10007)
+	s, err := shamir.NewScheme(f, 4, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	votes := make([]*big.Int, 9)
+	for i := range votes {
+		votes[i] = big.NewInt(int64(i % 2))
+	}
+	openers := []int{0, 2, 4, 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shamir.MajorityVote(s, votes, openers, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartToFirstAnswer measures the full pipeline latency a new
+// user experiences: parse → outsource → connect → first query.
+func BenchmarkColdStartToFirstAnswer(b *testing.B) {
+	xml := workload.Library(workload.LibraryConfig{Books: 40, Articles: 40, Seed: 3}).String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		doc, err := ParseXML(xml)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bundle, err := Outsource(doc, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := bundle.Connect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Search("//book"); err != nil {
+			b.Fatal(err)
+		}
+		sess.Close()
+		_ = start
+	}
+}

@@ -1,0 +1,48 @@
+// Command sss-bench regenerates the paper's figures and the measured
+// tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sss-bench               # run everything at full scale
+//	sss-bench -quick        # reduced workloads (seconds, not minutes)
+//	sss-bench -exp pruning  # a single experiment
+//	sss-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sssearch/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by id (default: all)")
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %-28s %s\n", e.ID, e.Ref, e.Title)
+		}
+		return
+	}
+	cfg := experiments.Config{Quick: *quick}
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			log.Fatalf("sss-bench: unknown experiment %q (try -list)", *exp)
+		}
+		fmt.Printf("=== %s (%s): %s ===\n", e.ID, e.Ref, e.Title)
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			log.Fatalf("sss-bench: %v", err)
+		}
+		return
+	}
+	if err := experiments.RunAll(os.Stdout, cfg); err != nil {
+		log.Fatalf("sss-bench: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+// Command sss-client is an interactive query shell against a remote share
+// server: type XPath expressions, get matching node keys back, with
+// per-query protocol statistics.
+//
+// Usage:
+//
+//	sss-client -key client.key -addr 127.0.0.1:7070
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sssearch"
+)
+
+func main() {
+	keyPath := flag.String("key", "client.key", "client key file")
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	verify := flag.String("verify", "resolve", "verification level: none|resolve|full")
+	flag.Parse()
+
+	key, err := sssearch.LoadClientKey(*keyPath)
+	if err != nil {
+		log.Fatalf("sss-client: %v", err)
+	}
+	sess, err := key.Dial(*addr)
+	if err != nil {
+		log.Fatalf("sss-client: %v", err)
+	}
+	defer sess.Close()
+
+	var lvl sssearch.VerifyLevel
+	switch *verify {
+	case "none":
+		lvl = sssearch.VerifyNone
+	case "full":
+		lvl = sssearch.VerifyFull
+	default:
+		lvl = sssearch.VerifyResolve
+	}
+
+	fmt.Printf("connected to %s (verify=%s). Enter XPath queries, or \\q to quit.\n", *addr, *verify)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("sss> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\q` || line == "quit" || line == "exit" {
+			break
+		}
+		res, err := sess.Search(line, sssearch.WithVerify(lvl))
+		if err != nil {
+			fmt.Printf("  error: %v\n", err)
+			continue
+		}
+		for _, k := range res.Matches {
+			fmt.Printf("  %s\n", k)
+		}
+		if len(res.Unresolved) > 0 {
+			fmt.Printf("  (%d unresolved candidates)\n", len(res.Unresolved))
+		}
+		fmt.Printf("  %d match(es) — %s\n", len(res.Matches), sssearch.FormatStats(res.Stats))
+	}
+}

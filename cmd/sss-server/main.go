@@ -1,0 +1,52 @@
+// Command sss-server hosts a share store over TCP. The process holds only
+// the server share tree and public ring parameters; it cannot decrypt
+// anything it stores.
+//
+// Usage:
+//
+//	sss-server -store server.sss -listen 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sssearch"
+)
+
+func main() {
+	storePath := flag.String("store", "server.sss", "server share store file")
+	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
+	quiet := flag.Bool("quiet", false, "suppress connection logging")
+	flag.Parse()
+
+	st, err := sssearch.LoadServerStore(*storePath)
+	if err != nil {
+		log.Fatalf("sss-server: loading store: %v", err)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("sss-server: listen: %v", err)
+	}
+	fmt.Printf("sss-server: serving %s (%s, %d nodes) on %s\n",
+		*storePath, st.RingName(), st.NodeCount(), l.Addr())
+	if !*quiet {
+		fmt.Println("sss-server: the store contains only additive shares; queries arrive as opaque points")
+	}
+	daemon, err := st.ServeTCP(l)
+	if err != nil {
+		log.Fatalf("sss-server: %v", err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nsss-server: shutting down")
+	if err := daemon.Close(); err != nil {
+		log.Printf("sss-server: close: %v", err)
+	}
+}

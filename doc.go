@@ -1,0 +1,37 @@
+// Package sssearch is a Go implementation of "Using Secret Sharing for
+// Searching in Encrypted Data" (Brinkman, Doumen, Jonker — SDM@VLDB 2004):
+// searchable encryption for XML documents outsourced to an untrusted
+// server, built from polynomial tree encodings and 2-party additive secret
+// sharing.
+//
+// # Model
+//
+// The data owner translates an XML document into a tree of polynomials
+// over a finite quotient ring: each element contributes a linear factor
+// (x − map(tag)) multiplied into every ancestor, where map is a private
+// injective tag mapping. Every node polynomial is split into a random
+// client share (regenerable from a 32-byte seed) and a server share; the
+// server stores only its share and learns nothing about tags or structure
+// beyond the tree shape.
+//
+// To search //tag, the client sends the single point a = map(tag); the
+// server evaluates its share polynomials at a top-down while the client
+// adds its own share values. A non-zero sum kills a whole subtree in one
+// comparison, so selective queries touch a small fraction of the tree;
+// zero sums identify matches, with an algebraic verification equation
+// that also catches a cheating server.
+//
+// # Quick start
+//
+//	doc, _ := sssearch.ParseXML(`<customers><client><name/></client></customers>`)
+//	bundle, _ := sssearch.Outsource(doc, sssearch.Config{})
+//	session, _ := bundle.Connect()          // in-process server
+//	res, _ := session.Search("//client")
+//	fmt.Println(res.Paths(doc))             // [/customers/client]
+//
+// The same ClientKey drives remote sessions over TCP (see ServeTCP/Dial)
+// and k-of-n multi-server deployments (package internal/sharing).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured reproduction of every figure.
+package sssearch

@@ -1,0 +1,208 @@
+package sssearch
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sssearch/internal/workload"
+	"sssearch/internal/xpath"
+)
+
+// TestIntegrationFullLifecycle drives the complete production flow:
+// generate → outsource → persist both artifacts → reload → serve over TCP
+// → query from several concurrent sessions → compare every answer with the
+// plaintext oracle.
+func TestIntegrationFullLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	doc := workload.Auction(workload.AuctionConfig{Items: 40, People: 30, Auctions: 20, Seed: 99})
+
+	// Outsource with a Z ring of degree 3.
+	bundle, err := Outsource(doc, Config{Kind: RingZ, R: []int64{1, 1, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvPath := filepath.Join(dir, "server.sss")
+	keyPath := filepath.Join(dir, "client.key")
+	if err := bundle.Server.Save(srvPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := bundle.Key.Save(keyPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different process would now load both from disk.
+	srv, err := LoadServerStore(srvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := LoadClientKey(keyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := srv.ServeTCP(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Close()
+
+	queries := []string{
+		"//item", "//person", "//watch", "//bidder", "//site",
+		"//people/person", "//person/watches/watch", "/site//initial",
+		"//open_auctions/open_auction/bidder", "//regions//name",
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sess, err := key.Dial(l.Addr().String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer sess.Close()
+			for _, expr := range queries {
+				res, err := sess.Search(expr, WithVerify(VerifyFull))
+				if err != nil {
+					errCh <- fmt.Errorf("client %d %s: %w", id, expr, err)
+					return
+				}
+				want := xpath.MustParse(expr).Evaluate(doc)
+				if len(res.Matches) != len(want) {
+					errCh <- fmt.Errorf("client %d %s: %d matches, oracle %d",
+						id, expr, len(res.Matches), len(want))
+					return
+				}
+				for i, k := range res.Matches {
+					if k.String() != want[i].Key().String() {
+						errCh <- fmt.Errorf("client %d %s: match %d differs", id, expr, i)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestIntegrationSeedIsSufficient: drop every client-side artifact except
+// the persisted key file, rebuild a session, and query — the §4.2 claim
+// that seed+mapping is the client's entire state.
+func TestIntegrationSeedIsSufficient(t *testing.T) {
+	dir := t.TempDir()
+	doc := workload.Library(workload.LibraryConfig{Books: 15, Articles: 15, Seed: 3})
+	srvPath := filepath.Join(dir, "s.sss")
+	keyPath := filepath.Join(dir, "c.key")
+	{
+		bundle, err := Outsource(doc, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bundle.Server.Save(srvPath); err != nil {
+			t.Fatal(err)
+		}
+		if err := bundle.Key.Save(keyPath); err != nil {
+			t.Fatal(err)
+		}
+		// bundle goes out of scope: nothing survives in memory.
+	}
+	srv, err := LoadServerStore(srvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := LoadClientKey(keyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := key.ConnectLocal(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Search("//book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 15 {
+		t.Fatalf("//book = %d matches, want 15", len(res.Matches))
+	}
+}
+
+// TestIntegrationWrongKeyFindsNothing: a session opened with a DIFFERENT
+// key against the same store must not produce correct answers — the store
+// alone is useless without the owner's secrets.
+func TestIntegrationWrongKeyFindsNothing(t *testing.T) {
+	doc, _ := ParseXML(`<a><b/><b/><b/></a>`)
+	right, err := Outsource(doc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := Outsource(doc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong client key, right server store.
+	sess, err := wrong.Key.ConnectLocal(right.Server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Search("//b")
+	if err != nil {
+		// An error (failed verification) is an acceptable outcome.
+		return
+	}
+	// If it "succeeded", the answers must be garbage, not the real ones;
+	// with overwhelming probability the root sum is nonzero and nothing
+	// matches.
+	if len(res.Matches) == 3 {
+		t.Fatal("foreign key produced correct answers — shares are not hiding")
+	}
+}
+
+// TestIntegrationBothRingsAgree: the same document under both ring
+// families answers every query identically.
+func TestIntegrationBothRingsAgree(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 150, MaxFanout: 4, Vocab: 10, Seed: 17})
+	zb, err := Outsource(doc, Config{Kind: RingZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Outsource(doc, Config{Kind: RingFp, P: 257})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, _ := zb.Connect()
+	fs, _ := fb.Connect()
+	defer zs.Close()
+	defer fs.Close()
+	for i := 0; i < 10; i++ {
+		expr := fmt.Sprintf("//t%d", i)
+		zr, err := zs.Search(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := fs.Search(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(zr.Matches) != fmt.Sprint(fr.Matches) {
+			t.Fatalf("%s: Z %v != Fp %v", expr, zr.Matches, fr.Matches)
+		}
+	}
+}

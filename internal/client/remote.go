@@ -1,0 +1,213 @@
+// Package client provides the network-facing side of the query protocol:
+// a core.ServerAPI implementation that speaks the wire protocol to a
+// remote share server, so the query engine works identically in-process
+// and across the network.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/metrics"
+	"sssearch/internal/ring"
+	"sssearch/internal/wire"
+)
+
+// Remote is a connected protocol session. It implements core.ServerAPI.
+// Safe for concurrent use (requests are serialized on the connection).
+type Remote struct {
+	mu       sync.Mutex
+	conn     io.ReadWriteCloser
+	nextID   atomic.Uint64
+	params   ring.Params
+	counters *metrics.Counters
+	closed   bool
+}
+
+// Dial connects to a share server over TCP and performs the handshake.
+// counters may be nil.
+func Dial(addr string, counters *metrics.Counters) (*Remote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	r, err := NewRemote(conn, counters)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewRemote performs the handshake over an existing connection.
+func NewRemote(conn io.ReadWriteCloser, counters *metrics.Counters) (*Remote, error) {
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	r := &Remote{conn: conn, counters: counters}
+	n, err := wire.WriteFrame(conn, wire.Frame{
+		Type:    wire.MsgHello,
+		Payload: wire.EncodeHello(wire.Hello{Version: wire.Version}),
+	})
+	counters.AddBytesSent(n)
+	counters.AddMessageSent()
+	if err != nil {
+		return nil, err
+	}
+	f, rn, err := wire.ReadFrame(conn)
+	counters.AddBytesReceived(rn)
+	counters.AddMessageReceived()
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case wire.MsgHelloAck:
+		ack, err := wire.DecodeHelloAck(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if ack.Version != wire.Version {
+			return nil, fmt.Errorf("client: server version %d unsupported", ack.Version)
+		}
+		r.params = ack.Params
+		return r, nil
+	case wire.MsgError:
+		e, err := wire.DecodeError(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, &wire.RemoteError{ID: e.ID, Message: e.Message}
+	default:
+		return nil, fmt.Errorf("client: unexpected handshake frame %s", f.Type)
+	}
+}
+
+// Params returns the ring parameters announced by the server.
+func (r *Remote) Params() ring.Params { return r.params }
+
+// Ring reconstructs the ring from the announced parameters.
+func (r *Remote) Ring() (ring.Ring, error) { return ring.FromParams(r.params) }
+
+// Close sends Bye and closes the connection.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	_, _ = wire.WriteFrame(r.conn, wire.Frame{Type: wire.MsgBye})
+	return r.conn.Close()
+}
+
+// roundTrip sends a request frame and reads the response, surfacing
+// MsgError as *wire.RemoteError.
+func (r *Remote) roundTrip(req wire.Frame) (wire.Frame, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return wire.Frame{}, errors.New("client: session closed")
+	}
+	n, err := wire.WriteFrame(r.conn, req)
+	r.counters.AddBytesSent(n)
+	r.counters.AddMessageSent()
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	resp, rn, err := wire.ReadFrame(r.conn)
+	r.counters.AddBytesReceived(rn)
+	r.counters.AddMessageReceived()
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if resp.Type == wire.MsgError {
+		e, derr := wire.DecodeError(resp.Payload)
+		if derr != nil {
+			return wire.Frame{}, derr
+		}
+		return wire.Frame{}, &wire.RemoteError{ID: e.ID, Message: e.Message}
+	}
+	return resp, nil
+}
+
+func (r *Remote) id() uint64 {
+	return r.nextID.Add(1)
+}
+
+// EvalNodes implements core.ServerAPI.
+func (r *Remote) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	id := r.id()
+	resp, err := r.roundTrip(wire.Frame{
+		Type:    wire.MsgEval,
+		Payload: wire.EncodeEvalReq(wire.EvalReq{ID: id, Keys: keys, Points: points}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.MsgEvalResp {
+		return nil, fmt.Errorf("client: unexpected reply %s to Eval", resp.Type)
+	}
+	dec, err := wire.DecodeEvalResp(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if dec.ID != id {
+		return nil, fmt.Errorf("client: response id %d for request %d", dec.ID, id)
+	}
+	return dec.Answers, nil
+}
+
+// FetchPolys implements core.ServerAPI.
+func (r *Remote) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	id := r.id()
+	resp, err := r.roundTrip(wire.Frame{
+		Type:    wire.MsgFetch,
+		Payload: wire.EncodeFetchReq(wire.FetchReq{ID: id, Keys: keys}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.MsgFetchResp {
+		return nil, fmt.Errorf("client: unexpected reply %s to Fetch", resp.Type)
+	}
+	dec, err := wire.DecodeFetchResp(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if dec.ID != id {
+		return nil, fmt.Errorf("client: response id %d for request %d", dec.ID, id)
+	}
+	return dec.Answers, nil
+}
+
+// Prune implements core.ServerAPI.
+func (r *Remote) Prune(keys []drbg.NodeKey) error {
+	id := r.id()
+	resp, err := r.roundTrip(wire.Frame{
+		Type:    wire.MsgPrune,
+		Payload: wire.EncodePruneReq(wire.PruneReq{ID: id, Keys: keys}),
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.MsgAck {
+		return fmt.Errorf("client: unexpected reply %s to Prune", resp.Type)
+	}
+	ackID, err := wire.DecodeAck(resp.Payload)
+	if err != nil {
+		return err
+	}
+	if ackID != id {
+		return fmt.Errorf("client: ack id %d for request %d", ackID, id)
+	}
+	return nil
+}
+
+var _ core.ServerAPI = (*Remote)(nil)

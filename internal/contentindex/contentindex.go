@@ -1,0 +1,198 @@
+// Package contentindex implements the extension sketched in the paper's
+// conclusion (§5): searching the *data between the tags*, not just tag
+// names.
+//
+//	"We can use a hash function to map the data to an element of Z_p but
+//	 in that case the mapping function is no longer invertible. In this
+//	 case the data polynomials can be used as an index to the encrypted
+//	 data."
+//
+// Construction: alongside the tag tree, a second polynomial tree is built
+// in the same ring — each node's polynomial is the product of one linear
+// factor (x − h(w)) per word w of its own text, times its children's
+// polynomials, where h is a keyed (HMAC) hash into the ring's tag domain.
+// The tree is split into client/server shares exactly like the tag tree.
+//
+// Because h is not invertible there is no Theorem-1 style verification:
+// the polynomial tree is an INDEX. A query narrows the document to
+// candidate nodes (plus hash-collision false positives); the client then
+// fetches only those nodes' independently encrypted payloads, decrypts,
+// and filters locally — which is exactly how the paper proposes to couple
+// the index with "the encrypted data".
+package contentindex
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+	"unicode"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/xmltree"
+)
+
+// Hasher maps words into the ring's usable point domain with a private key.
+type Hasher struct {
+	key    []byte
+	domain *big.Int // points drawn from [1, domain]
+}
+
+// NewHasher builds a word hasher for ring r. The private key must stay
+// with the client (a server knowing it could dictionary-test words).
+func NewHasher(r ring.Ring, key []byte) *Hasher {
+	domain := r.MaxTag()
+	if domain == nil {
+		domain = new(big.Int).Lsh(big.NewInt(1), 31)
+	}
+	return &Hasher{key: append([]byte(nil), key...), domain: new(big.Int).Set(domain)}
+}
+
+// Point hashes a word to its query point h(w) ∈ [1, domain].
+func (h *Hasher) Point(word string) *big.Int {
+	mac := hmac.New(sha256.New, h.key)
+	mac.Write([]byte(strings.ToLower(word)))
+	v := new(big.Int).SetBytes(mac.Sum(nil))
+	v.Mod(v, h.domain)
+	return v.Add(v, big.NewInt(1))
+}
+
+// Words tokenizes text into search terms: lower-cased maximal runs of
+// letters and digits.
+func Words(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Build constructs the content polynomial tree for doc over r.
+// Nodes without text contribute the constant 1 (no own factors).
+func Build(r ring.Ring, doc *xmltree.Node, h *Hasher) (*polyenc.Tree, error) {
+	if doc == nil {
+		return nil, errors.New("contentindex: nil document")
+	}
+	root := buildNode(r, doc, h)
+	return &polyenc.Tree{Ring: r, Root: root}, nil
+}
+
+func buildNode(r ring.Ring, n *xmltree.Node, h *Hasher) *polyenc.Node {
+	out := &polyenc.Node{}
+	prod := r.One()
+	for _, w := range Words(n.Text) {
+		prod = r.Mul(prod, r.Linear(h.Point(w)))
+	}
+	for _, c := range n.Children {
+		ec := buildNode(r, c, h)
+		out.Children = append(out.Children, ec)
+		prod = r.Mul(prod, ec.Poly)
+	}
+	out.Poly = prod
+	return out
+}
+
+// PayloadStore holds each node's independently encrypted text — the
+// "encrypted data" the index points into. Server-side artifact.
+type PayloadStore struct {
+	blobs map[string][]byte // node key → nonce ‖ AES-CTR ciphertext ‖ HMAC tag
+}
+
+// payloadKeys derives per-store encryption and MAC keys.
+func payloadKeys(master []byte) (encKey, macKey []byte) {
+	e := hmac.New(sha256.New, master)
+	e.Write([]byte("contentindex/enc"))
+	m := hmac.New(sha256.New, master)
+	m.Write([]byte("contentindex/mac"))
+	return e.Sum(nil), m.Sum(nil)
+}
+
+// EncryptPayloads encrypts every node's text under the master key, with a
+// deterministic per-node nonce derived from the node path (each node is
+// encrypted at most once, so nonce reuse cannot occur).
+func EncryptPayloads(master []byte, doc *xmltree.Node) (*PayloadStore, error) {
+	encKey, macKey := payloadKeys(master)
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, err
+	}
+	ps := &PayloadStore{blobs: map[string][]byte{}}
+	var rec func(n *xmltree.Node, key drbg.NodeKey) error
+	rec = func(n *xmltree.Node, key drbg.NodeKey) error {
+		nonceSrc := hmac.New(sha256.New, macKey)
+		nonceSrc.Write([]byte("nonce"))
+		nonceSrc.Write([]byte(key.String()))
+		nonce := nonceSrc.Sum(nil)[:aes.BlockSize]
+		ct := make([]byte, len(n.Text))
+		cipher.NewCTR(block, nonce).XORKeyStream(ct, []byte(n.Text))
+		tag := hmac.New(sha256.New, macKey)
+		tag.Write(nonce)
+		tag.Write(ct)
+		blob := append(append(append([]byte{}, nonce...), ct...), tag.Sum(nil)...)
+		ps.blobs[key.String()] = blob
+		for i, c := range n.Children {
+			if err := rec(c, key.Child(uint32(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(doc, drbg.NodeKey{}); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// Fetch returns a node's encrypted payload.
+func (ps *PayloadStore) Fetch(key drbg.NodeKey) ([]byte, error) {
+	blob, ok := ps.blobs[key.String()]
+	if !ok {
+		return nil, fmt.Errorf("contentindex: no payload for %s", key)
+	}
+	return blob, nil
+}
+
+// Count returns the number of stored payloads.
+func (ps *PayloadStore) Count() int { return len(ps.blobs) }
+
+// DecryptPayload authenticates and decrypts a fetched payload.
+func DecryptPayload(master []byte, blob []byte) (string, error) {
+	if len(blob) < aes.BlockSize+sha256.Size {
+		return "", errors.New("contentindex: payload too short")
+	}
+	encKey, macKey := payloadKeys(master)
+	nonce := blob[:aes.BlockSize]
+	macTag := blob[len(blob)-sha256.Size:]
+	ct := blob[aes.BlockSize : len(blob)-sha256.Size]
+	check := hmac.New(sha256.New, macKey)
+	check.Write(nonce)
+	check.Write(ct)
+	if !hmac.Equal(check.Sum(nil), macTag) {
+		return "", errors.New("contentindex: payload MAC failed")
+	}
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return "", err
+	}
+	plain := make([]byte, len(ct))
+	cipher.NewCTR(block, nonce).XORKeyStream(plain, ct)
+	return string(plain), nil
+}

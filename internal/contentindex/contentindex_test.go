@@ -1,0 +1,221 @@
+package contentindex
+
+import (
+	"crypto/sha256"
+	"strings"
+	"testing"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/ring"
+	"sssearch/internal/sharing"
+	"sssearch/internal/xmltree"
+	"sssearch/internal/xpath"
+)
+
+const libraryDoc = `<library>
+  <book><title>secret sharing schemes</title><author>shamir</author></book>
+  <book><title>searching encrypted data</title><author>brinkman</author></book>
+  <note>remember to return the encrypted data survey</note>
+</library>`
+
+type stack struct {
+	doc      *xmltree.Node
+	ring     ring.Ring
+	hasher   *Hasher
+	seed     drbg.Seed
+	server   *sharing.Tree
+	payloads *PayloadStore
+	searcher *Searcher
+}
+
+func buildStack(t *testing.T, docXML string, r ring.Ring) *stack {
+	t.Helper()
+	doc, err := xmltree.ParseString(docXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHasher(r, []byte("hash-key"))
+	tree, err := Build(r, doc, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("content-seed")))
+	server, err := sharing.Split(tree, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := []byte("payload-master")
+	payloads, err := EncryptPayloads(master, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stack{
+		doc:      doc,
+		ring:     r,
+		hasher:   h,
+		seed:     seed,
+		server:   server,
+		payloads: payloads,
+		searcher: NewSearcher(r, h, seed, master, nil),
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words("Hello, World! 42 times; re-encrypted?")
+	want := []string{"hello", "world", "42", "times", "re", "encrypted"}
+	if len(got) != len(want) {
+		t.Fatalf("Words = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(Words("")) != 0 || len(Words("...")) != 0 {
+		t.Error("empty tokenization wrong")
+	}
+}
+
+func TestHasherProperties(t *testing.T) {
+	r := ring.MustIntQuotient(1, 0, 1)
+	h := NewHasher(r, []byte("k"))
+	a := h.Point("encrypted")
+	b := h.Point("ENCRYPTED") // case-insensitive
+	if a.Cmp(b) != 0 {
+		t.Error("hashing not case-normalized")
+	}
+	if a.Sign() < 1 {
+		t.Error("point out of domain")
+	}
+	other := NewHasher(r, []byte("different"))
+	if other.Point("encrypted").Cmp(a) == 0 {
+		t.Error("different keys should disagree (w.h.p.)")
+	}
+	// Fp ring: domain respects MaxTag.
+	fp := ring.MustFp(11)
+	hf := NewHasher(fp, []byte("k"))
+	for _, w := range []string{"a", "b", "c", "d", "e", "f"} {
+		p := hf.Point(w)
+		if p.Sign() < 1 || p.Cmp(fp.MaxTag()) > 0 {
+			t.Errorf("point %v outside [1, %v]", p, fp.MaxTag())
+		}
+	}
+}
+
+func searchOracle(doc *xmltree.Node, word string) map[string]bool {
+	want := map[string]bool{}
+	doc.Walk(func(n *xmltree.Node) bool {
+		for _, w := range Words(n.Text) {
+			if w == word {
+				want[n.Key().String()] = true
+				break
+			}
+		}
+		return true
+	})
+	return want
+}
+
+func TestSearchFindsWords(t *testing.T) {
+	for _, r := range []ring.Ring{ring.MustIntQuotient(1, 0, 1), ring.MustFp(1009)} {
+		s := buildStack(t, libraryDoc, r)
+		for _, word := range []string{"encrypted", "shamir", "sharing", "data", "survey", "nonexistent"} {
+			res, err := s.searcher.Search(word, s.server, s.payloads)
+			if err != nil {
+				t.Fatalf("%s %q: %v", r.Name(), word, err)
+			}
+			want := searchOracle(s.doc, word)
+			if len(res.Matches) != len(want) {
+				t.Fatalf("%s %q: %d matches, oracle %d", r.Name(), word, len(res.Matches), len(want))
+			}
+			for _, k := range res.Matches {
+				if !want[k.String()] {
+					t.Fatalf("%s %q: false positive %s", r.Name(), word, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchPrunesMisses(t *testing.T) {
+	s := buildStack(t, libraryDoc, ring.MustIntQuotient(1, 0, 1))
+	res, err := s.searcher.Search("zebra", s.server, s.payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Fatal("phantom match")
+	}
+	if res.Stats.NodesVisited != 1 {
+		t.Errorf("miss visited %d nodes, want 1 (root)", res.Stats.NodesVisited)
+	}
+	if res.PayloadBytes != 0 {
+		t.Error("miss fetched payloads")
+	}
+	// A selective hit fetches only candidate payloads, not all of them.
+	res, err = s.searcher.Search("shamir", s.server, s.payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IndexCandidates >= s.payloads.Count() {
+		t.Errorf("index did not narrow: %d candidates of %d nodes",
+			res.IndexCandidates, s.payloads.Count())
+	}
+}
+
+func TestPayloadEncryptionRoundTrip(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a>alpha<b>beta</b></a>`)
+	master := []byte("m")
+	ps, err := EncryptPayloads(master, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ps.Fetch(drbg.NodeKey{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := DecryptPayload(master, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "beta" {
+		t.Errorf("payload = %q", text)
+	}
+	// Ciphertext hides the word.
+	if strings.Contains(string(blob), "beta") {
+		t.Error("payload leaks plaintext")
+	}
+	// Wrong key / tampering rejected.
+	if _, err := DecryptPayload([]byte("wrong"), blob); err == nil {
+		t.Error("wrong key accepted")
+	}
+	blob[20] ^= 1
+	if _, err := DecryptPayload(master, blob); err == nil {
+		t.Error("tampered payload accepted")
+	}
+	if _, err := ps.Fetch(drbg.NodeKey{9}); err == nil {
+		t.Error("phantom payload")
+	}
+}
+
+func TestBuildNilDoc(t *testing.T) {
+	r := ring.MustIntQuotient(1, 0, 1)
+	if _, err := Build(r, nil, NewHasher(r, nil)); err == nil {
+		t.Error("nil doc accepted")
+	}
+}
+
+// TestIndexAgreesWithTagTreeShape: the content tree mirrors the document
+// shape so the same node keys address both trees.
+func TestIndexSharesDocumentShape(t *testing.T) {
+	s := buildStack(t, libraryDoc, ring.MustIntQuotient(1, 0, 1))
+	if s.server.Count() != s.doc.Count() {
+		t.Errorf("index has %d nodes, document %d", s.server.Count(), s.doc.Count())
+	}
+	// Every document node key resolves in the share tree.
+	for _, n := range xpath.MustParse("//*").Evaluate(s.doc) {
+		if _, err := s.server.Lookup(n.Key()); err != nil {
+			t.Errorf("key %v missing from index", n.Key())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package core implements the paper's primary contribution (§4.3): the
+// interactive client/server protocol that evaluates XPath-style queries
+// over a secret-shared polynomial tree without the server learning the
+// data or the query.
+//
+// The client drives a top-down traversal. For each visited node the server
+// evaluates its share polynomial at the query point(s) and returns scalar
+// values; the client adds its own (seed-regenerated) share values and tests
+// the sum for zero. A non-zero sum proves the subtree contains no match and
+// the branch is pruned — the server is told to stop, which is the source of
+// the scheme's sub-linear work. Zero nodes with no zero child are definite
+// answers; other zero nodes are disambiguated by reconstructing polynomials
+// and solving eq. (2) for the node tag (package polyenc).
+package core
+
+import (
+	"math/big"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/poly"
+)
+
+// NodeEval is the server's answer for one node: its share polynomial
+// evaluated at each requested point, plus the node's child count (tree
+// shape is not hidden from the client — it owns the data).
+type NodeEval struct {
+	Key         drbg.NodeKey
+	Values      []*big.Int
+	NumChildren int
+}
+
+// NodePoly is the server's answer to a polynomial fetch (verification).
+type NodePoly struct {
+	Key         drbg.NodeKey
+	Poly        poly.Poly
+	NumChildren int
+}
+
+// ServerAPI is the full server-side capability the protocol needs. It is
+// implemented in-process by server.Local and remotely by client.Remote.
+type ServerAPI interface {
+	// EvalNodes evaluates the server share of each keyed node at each of
+	// the given points, in order. Unknown keys are an error.
+	EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]NodeEval, error)
+	// FetchPolys returns the server share polynomial of each keyed node —
+	// the expensive path used only for verification/disambiguation.
+	FetchPolys(keys []drbg.NodeKey) ([]NodePoly, error)
+	// Prune tells the server the given subtrees are dead for the current
+	// query, so it can release per-query state. Advisory: the in-process
+	// server is stateless per query, the remote server uses it to stop
+	// precomputation.
+	Prune(keys []drbg.NodeKey) error
+}
+
+// VerifyLevel controls how much the client re-checks the server.
+type VerifyLevel int
+
+const (
+	// VerifyNone trusts evaluations and skips all polynomial fetches.
+	// Ambiguous nodes (zero sum with a zero child) are reported as
+	// Unresolved, not resolved — maximum bandwidth savings, the paper's
+	// trusted-server mode.
+	VerifyNone VerifyLevel = iota
+	// VerifyResolve fetches polynomials only for ambiguous nodes, exactly
+	// enough to compute the complete answer set. Matches found without
+	// fetches are trusted. The default.
+	VerifyResolve
+	// VerifyFull additionally re-derives the tag of every reported match
+	// via eq. (2)'s overdetermined system, detecting a lying server
+	// (§4.3: "we now have at least a way to check the answer").
+	VerifyFull
+)
+
+func (v VerifyLevel) String() string {
+	switch v {
+	case VerifyNone:
+		return "none"
+	case VerifyResolve:
+		return "resolve"
+	case VerifyFull:
+		return "full"
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/metrics"
+	"sssearch/internal/ring"
+	"sssearch/internal/sharing"
+	"sssearch/internal/xpath"
+)
+
+// Engine is the client-side query processor. It holds the client's secret
+// material (seed-derived share generator and private tag mapping) and
+// drives a ServerAPI. An Engine is safe for concurrent queries as long as
+// the underlying ServerAPI is.
+type Engine struct {
+	ring     ring.Ring
+	shares   sharing.ShareSource
+	mapping  *mapping.Map
+	api      ServerAPI
+	counters *metrics.Counters
+}
+
+// NewEngine assembles a query engine with a seed-derived client share
+// source (the paper's §4.2 seed-only mode). counters may be nil (a private
+// set is created).
+func NewEngine(r ring.Ring, seed drbg.Seed, m *mapping.Map, api ServerAPI, counters *metrics.Counters) *Engine {
+	return NewEngineWithShares(r, sharing.NewSeedClient(r, seed), m, api, counters)
+}
+
+// NewEngineWithShares assembles a query engine over an arbitrary client
+// share source (materialized trees, external fixtures, …).
+func NewEngineWithShares(r ring.Ring, shares sharing.ShareSource, m *mapping.Map, api ServerAPI, counters *metrics.Counters) *Engine {
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	return &Engine{
+		ring:     r,
+		shares:   shares,
+		mapping:  m,
+		api:      api,
+		counters: counters,
+	}
+}
+
+// Counters exposes the engine's metric counters.
+func (e *Engine) Counters() *metrics.Counters { return e.counters }
+
+// Ring returns the engine's ring.
+func (e *Engine) Ring() ring.Ring { return e.ring }
+
+// Mapping returns the engine's private tag mapping.
+func (e *Engine) Mapping() *mapping.Map { return e.mapping }
+
+// Result is a completed query.
+type Result struct {
+	// Matches are the node keys whose element definitely satisfies the
+	// query, in document order.
+	Matches []drbg.NodeKey
+	// Unresolved are zero-sum nodes the engine could not classify without
+	// polynomial fetches (only under VerifyNone): each may or may not be a
+	// match.
+	Unresolved []drbg.NodeKey
+	// Stats is the per-query metric delta.
+	Stats metrics.Snapshot
+}
+
+// Opts tunes a single query.
+type Opts struct {
+	Verify VerifyLevel
+	// DisableLookahead turns off the §4.3 "evaluate the whole query at
+	// once" optimisation: steps are evaluated left-to-right at their own
+	// point only, without filtering branches by the later step names.
+	// Exists for the E15 ablation; leave false in production.
+	DisableLookahead bool
+}
+
+// ErrUnknownTag is returned when a queried tag has no mapping value: the
+// client can conclude locally (without contacting the server) that nothing
+// matches; callers may treat it as an empty result.
+var ErrUnknownTag = errors.New("core: tag has no mapping value (no occurrences in the document)")
+
+// Lookup runs the paper's element lookup //tag.
+func (e *Engine) Lookup(tag string, opts Opts) (*Result, error) {
+	q, err := xpath.Parse("//" + tag)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad tag %q: %w", tag, err)
+	}
+	return e.Query(q, opts)
+}
+
+// Query evaluates a parsed XPath query against the shared tree.
+//
+// Wildcard steps ('*') are matched structurally (no tag test). Non-wildcard
+// step names with no mapping value yield ErrUnknownTag.
+func (e *Engine) Query(q *xpath.Query, opts Opts) (*Result, error) {
+	before := e.counters.Snapshot()
+	steps := q.Steps()
+	points := make([]*big.Int, len(steps))
+	for i, s := range steps {
+		if s.Wildcard() {
+			continue
+		}
+		v, ok := e.mapping.Value(s.Name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTag, s.Name)
+		}
+		points[i] = v
+	}
+	r := &run{
+		e:          e,
+		steps:      steps,
+		points:     points,
+		opts:       opts,
+		childCount: map[string]int{},
+	}
+	matches, unresolved, err := r.execute()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Matches:    sortKeys(matches),
+		Unresolved: sortKeys(unresolved),
+		Stats:      e.counters.Snapshot().Sub(before),
+	}, nil
+}
+
+func sortKeys(keys []drbg.NodeKey) []drbg.NodeKey {
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
+// keyLess orders node keys in document (preorder) order.
+func keyLess(a, b drbg.NodeKey) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func dedupKeys(keys []drbg.NodeKey) []drbg.NodeKey {
+	seen := make(map[string]bool, len(keys))
+	var out []drbg.NodeKey
+	for _, k := range keys {
+		s := k.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

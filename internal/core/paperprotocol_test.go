@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"testing"
+
+	"sssearch/internal/core"
+	"sssearch/internal/paperdata"
+	"sssearch/internal/poly"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/sharing"
+)
+
+// fixtureTrees assembles client and server share trees from the paper's
+// published figure values.
+func fixtureTrees(pick func(path string) paperdata.SharePair) (client, srv *sharing.Tree) {
+	mk := func(get func(paperdata.SharePair) poly.Poly) *sharing.Tree {
+		node := func(path string, children ...*sharing.Node) *sharing.Node {
+			return &sharing.Node{Poly: get(pick(path)), Children: children}
+		}
+		return &sharing.Tree{Root: node("/",
+			node("/0", node("/0/0")),
+			node("/1", node("/1/0")),
+		)}
+	}
+	client = mk(func(p paperdata.SharePair) poly.Poly { return p.Client })
+	srv = mk(func(p paperdata.SharePair) poly.Poly { return p.Server })
+	return client, srv
+}
+
+// TestProtocolOnPaperFixtureShares runs the full interactive protocol with
+// the EXACT share polynomials printed in figures 3 and 4 of the paper —
+// the strongest form of the reproduction: not just the algebra, but the
+// actual client/server message exchange over the published values.
+func TestProtocolOnPaperFixtureShares(t *testing.T) {
+	cases := []struct {
+		name   string
+		r      ring.Ring
+		shares map[string]paperdata.SharePair
+	}{
+		{"fig3-F5", paperdata.FpRing(), paperdata.Fig3},
+		{"fig4-Zx2+1", paperdata.ZRing(), paperdata.Fig4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			clientTree, serverTree := fixtureTrees(func(p string) paperdata.SharePair {
+				return c.shares[p]
+			})
+			srv, err := server.NewLocal(c.r, serverTree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := sharing.NewStaticSource(c.r, clientTree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := paperdata.MappingFp() // only map(client)=2 is queried
+			eng := core.NewEngineWithShares(c.r, src, m, srv, nil)
+
+			// The paper's running query: //client.
+			res, err := eng.Lookup("client", core.Opts{Verify: core.VerifyResolve})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := keySet(res.Matches)
+			if len(got) != 2 || !got["/0"] || !got["/1"] {
+				t.Fatalf("//client over the paper's shares = %v", res.Matches)
+			}
+			// The name leaves are the dead branches of figures 5/6.
+			if res.Stats.NodesPruned != 2 {
+				t.Errorf("pruned %d, want 2 (the name leaves)", res.Stats.NodesPruned)
+			}
+			// //name finds the two leaves.
+			res, err = eng.Lookup("name", core.Opts{Verify: core.VerifyResolve})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = keySet(res.Matches)
+			if len(got) != 2 || !got["/0/0"] || !got["/1/0"] {
+				t.Fatalf("//name over the paper's shares = %v", res.Matches)
+			}
+			// //customers resolves the root through eq. (2) on the
+			// published polynomials.
+			res, err = eng.Lookup("customers", core.Opts{Verify: core.VerifyFull})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Matches) != 1 || res.Matches[0].String() != "/" {
+				t.Fatalf("//customers over the paper's shares = %v", res.Matches)
+			}
+		})
+	}
+}
+
+// TestStaticSourceMatchesSeedClient: both share sources drive the engine
+// to identical results on the same split.
+func TestStaticSourceMatchesSeedClient(t *testing.T) {
+	r := paperdata.ZRing()
+	doc := paperdata.Document()
+	eng, _ := setup(t, r, doc, paperdata.Mapping(nil), 42, false)
+	resSeed, err := eng.Lookup("client", core.Opts{Verify: core.VerifyResolve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild with a materialized static source for the same seed and the
+	// same (pinned) mapping: the encoded tree is identical.
+	enc, err := polyenc.Encode(r, doc, paperdata.Mapping(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverTree, err := sharing.Split(enc, testSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientTree, err := sharing.Materialize(r, testSeed(42), serverTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := sharing.NewStaticSource(r, clientTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := server.NewLocal(r, serverTree)
+	engStatic := core.NewEngineWithShares(r, src, paperdata.Mapping(nil), srv, nil)
+	resStatic, err := engStatic.Lookup("client", core.Opts{Verify: core.VerifyResolve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resSeed.Matches) != len(resStatic.Matches) {
+		t.Fatalf("seed %v vs static %v", resSeed.Matches, resStatic.Matches)
+	}
+	if _, err := sharing.NewStaticSource(r, nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/poly"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/xpath"
+)
+
+// run is the per-query state: the compiled steps and points, the learned
+// tree shape (child counts) and an evaluation cache that keeps the protocol
+// from re-requesting sums the scan already produced.
+type run struct {
+	e          *Engine
+	steps      []xpath.Step
+	points     []*big.Int // nil for wildcard steps
+	opts       Opts
+	childCount map[string]int
+	sumCache   map[string]*big.Int // "key|point" → reduced sum
+}
+
+// sumState is the client-side record of one evaluated node.
+type sumState struct {
+	key  drbg.NodeKey
+	nch  int
+	sums []*big.Int // aligned with the step's point vector; wildcard slot = 0
+}
+
+// zeroAll reports whether every sum vanished.
+func (s *sumState) zeroAll() bool {
+	for _, v := range s.sums {
+		if v.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// execute runs all steps and returns final matches and unresolved keys.
+func (r *run) execute() (matches, unresolved []drbg.NodeKey, err error) {
+	if r.sumCache == nil {
+		r.sumCache = map[string]*big.Int{}
+	}
+	var contexts []drbg.NodeKey
+	for i, step := range r.steps {
+		pts := r.activePoints(i)
+		var scanRoots []drbg.NodeKey
+		if i == 0 {
+			scanRoots = []drbg.NodeKey{{}}
+		} else {
+			scanRoots = r.childrenOf(contexts)
+		}
+		scanRoots = dedupKeys(scanRoots)
+		var cands []sumState
+		if step.Axis == xpath.AxisChild {
+			states, err := r.evalKeys(scanRoots, pts)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, st := range states {
+				if st.zeroAll() {
+					cands = append(cands, st)
+				}
+			}
+		} else {
+			cands, err = r.scanDescendants(scanRoots, pts)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		stepMatches, stepUnresolved, err := r.classify(cands, i)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == len(r.steps)-1 {
+			if r.opts.Verify == VerifyFull {
+				if err := r.verifyMatches(stepMatches, r.points[i], step.Wildcard()); err != nil {
+					return nil, nil, err
+				}
+			}
+			return stepMatches, stepUnresolved, nil
+		}
+		// Non-final steps: matched nodes (plus, under VerifyNone,
+		// optimistically-kept unresolved nodes) become the next contexts.
+		next := append(append([]drbg.NodeKey{}, stepMatches...), stepUnresolved...)
+		contexts = dedupKeys(next)
+		if len(contexts) == 0 {
+			return nil, nil, nil
+		}
+	}
+	return nil, nil, nil
+}
+
+// activePoints builds the point vector for step i: the step's own point
+// (nil for wildcards — evalKeys fabricates a zero sum) followed by every
+// later non-wildcard point. Evaluating candidates at future points is the
+// §4.3 "evaluate the whole query at once" optimisation (disabled by the
+// DisableLookahead ablation).
+func (r *run) activePoints(i int) []*big.Int {
+	out := []*big.Int{r.points[i]}
+	if r.opts.DisableLookahead {
+		return out
+	}
+	for _, p := range r.points[i+1:] {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// childrenOf expands contexts into their child keys using learned counts.
+func (r *run) childrenOf(contexts []drbg.NodeKey) []drbg.NodeKey {
+	var out []drbg.NodeKey
+	for _, ctx := range contexts {
+		n := r.childCount[ctx.String()]
+		for i := 0; i < n; i++ {
+			out = append(out, ctx.Child(uint32(i)))
+		}
+	}
+	return out
+}
+
+// evalKeys returns the client+server sum of each key at each point,
+// consulting the per-run cache and asking the server only for keys with
+// missing values.
+func (r *run) evalKeys(keys []drbg.NodeKey, points []*big.Int) ([]sumState, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	eff := make([]*big.Int, 0, len(points))
+	for _, p := range points {
+		if p != nil {
+			eff = append(eff, p)
+		}
+	}
+	// Partition into cached and missing.
+	var missing []drbg.NodeKey
+	for _, k := range keys {
+		if !r.cachedAll(k, eff) {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		answers, err := r.e.api.EvalNodes(missing, eff)
+		if err != nil {
+			return nil, err
+		}
+		if len(answers) != len(missing) {
+			return nil, fmt.Errorf("core: server returned %d answers for %d keys", len(answers), len(missing))
+		}
+		r.e.counters.AddRound()
+		r.e.counters.AddNodesVisited(len(missing))
+		r.e.counters.AddNodesEvaluated(len(missing) * len(eff))
+		r.e.counters.AddValuesMoved(len(missing) * len(eff))
+		for _, ans := range answers {
+			if len(ans.Values) != len(eff) {
+				return nil, fmt.Errorf("core: server returned %d values for %d points", len(ans.Values), len(eff))
+			}
+			r.childCount[ans.Key.String()] = ans.NumChildren
+			for i, p := range eff {
+				sum, err := r.combine(ans.Key, p, ans.Values[i])
+				if err != nil {
+					return nil, err
+				}
+				r.sumCache[cacheKey(ans.Key, p)] = sum
+			}
+		}
+	}
+	// Assemble states from cache.
+	out := make([]sumState, len(keys))
+	for i, k := range keys {
+		st := sumState{key: k, nch: r.childCount[k.String()], sums: make([]*big.Int, 0, len(points))}
+		for _, p := range points {
+			if p == nil {
+				st.sums = append(st.sums, big.NewInt(0))
+				continue
+			}
+			v, ok := r.sumCache[cacheKey(k, p)]
+			if !ok {
+				return nil, fmt.Errorf("core: internal: missing cached sum for %s", k)
+			}
+			st.sums = append(st.sums, v)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// combine adds the client share evaluation to a server value, reduced
+// modulo the ring's evaluation modulus at p.
+func (r *run) combine(key drbg.NodeKey, p *big.Int, serverVal *big.Int) (*big.Int, error) {
+	mod, err := r.e.ring.EvalModulus(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: point %s: %w", p, err)
+	}
+	cv, err := r.e.shares.EvalShare(key, p)
+	if err != nil {
+		return nil, err
+	}
+	sum := new(big.Int).Add(cv, serverVal)
+	return sum.Mod(sum, mod), nil
+}
+
+func (r *run) cachedAll(k drbg.NodeKey, points []*big.Int) bool {
+	if _, ok := r.childCount[k.String()]; !ok {
+		return false
+	}
+	for _, p := range points {
+		if _, ok := r.sumCache[cacheKey(k, p)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func cacheKey(k drbg.NodeKey, p *big.Int) string {
+	return k.String() + "|" + p.String()
+}
+
+// scanDescendants BFSes the subtrees rooted at roots, descending only
+// through nodes whose sums are all zero (a non-zero sum at any active
+// point proves no candidate can exist below — the paper's dead-branch
+// pruning), and returns all all-zero nodes as candidates.
+func (r *run) scanDescendants(roots []drbg.NodeKey, pts []*big.Int) ([]sumState, error) {
+	var cands []sumState
+	seen := map[string]bool{}
+	var pruned []drbg.NodeKey
+	frontier := roots
+	for len(frontier) > 0 {
+		states, err := r.evalKeys(frontier, pts)
+		if err != nil {
+			return nil, err
+		}
+		var next []drbg.NodeKey
+		for _, st := range states {
+			ks := st.key.String()
+			if seen[ks] {
+				continue
+			}
+			seen[ks] = true
+			if st.zeroAll() {
+				cands = append(cands, st)
+				for c := 0; c < st.nch; c++ {
+					next = append(next, st.key.Child(uint32(c)))
+				}
+			} else {
+				pruned = append(pruned, st.key)
+			}
+		}
+		frontier = dedupKeys(next)
+	}
+	if len(pruned) > 0 {
+		r.e.counters.AddPruned(len(pruned))
+		if err := r.e.api.Prune(pruned); err != nil {
+			return nil, err
+		}
+	}
+	return cands, nil
+}
+
+// classify applies the paper's answer rule to candidates of step i:
+// a zero node with no zero child (at the step's own point) is a definite
+// match; a zero node with a zero child is ambiguous and is resolved by tag
+// recovery (or reported unresolved under VerifyNone). Wildcard steps match
+// structurally.
+func (r *run) classify(cands []sumState, i int) (matches, unresolved []drbg.NodeKey, err error) {
+	if len(cands) == 0 {
+		return nil, nil, nil
+	}
+	step := r.steps[i]
+	if step.Wildcard() {
+		for _, c := range cands {
+			matches = append(matches, c.key)
+		}
+		return matches, nil, nil
+	}
+	cur := r.points[i]
+	// Evaluate all candidates' children at the step point (cache hits for
+	// descendant scans, one batched round otherwise).
+	var childKeys []drbg.NodeKey
+	for _, c := range cands {
+		for j := 0; j < c.nch; j++ {
+			childKeys = append(childKeys, c.key.Child(uint32(j)))
+		}
+	}
+	childStates, err := r.evalKeys(dedupKeys(childKeys), []*big.Int{cur})
+	if err != nil {
+		return nil, nil, err
+	}
+	childZero := make(map[string]bool, len(childStates))
+	for _, st := range childStates {
+		childZero[st.key.String()] = st.sums[0].Sign() == 0
+	}
+	for _, c := range cands {
+		anyZeroChild := false
+		for j := 0; j < c.nch; j++ {
+			if childZero[c.key.Child(uint32(j)).String()] {
+				anyZeroChild = true
+				break
+			}
+		}
+		if !anyZeroChild {
+			// Definite: the (x - point) factor must be the node's own.
+			matches = append(matches, c.key)
+			continue
+		}
+		// Ambiguous: node and some descendant chain both contain the tag.
+		if r.opts.Verify == VerifyNone {
+			unresolved = append(unresolved, c.key)
+			continue
+		}
+		tag, err := r.recoverNodeTag(c.key, c.nch)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: resolving %s: %w", c.key, err)
+		}
+		if tag.Cmp(cur) == 0 {
+			matches = append(matches, c.key)
+		}
+	}
+	return matches, unresolved, nil
+}
+
+// fetchPolys wraps the API call with metrics.
+func (r *run) fetchPolys(keys []drbg.NodeKey) (map[string]NodePoly, error) {
+	if len(keys) == 0 {
+		return map[string]NodePoly{}, nil
+	}
+	answers, err := r.e.api.FetchPolys(keys)
+	if err != nil {
+		return nil, err
+	}
+	r.e.counters.AddRound()
+	r.e.counters.AddPolysFetched(len(answers))
+	out := make(map[string]NodePoly, len(answers))
+	for _, a := range answers {
+		if b, err := a.Poly.MarshalBinary(); err == nil {
+			r.e.counters.AddPolyBytes(len(b))
+		}
+		r.childCount[a.Key.String()] = a.NumChildren
+		out[a.Key.String()] = a
+	}
+	return out, nil
+}
+
+// reconstructPoly adds the client share to a fetched server share.
+func (r *run) reconstructPoly(answers map[string]NodePoly, key drbg.NodeKey) (poly.Poly, error) {
+	ans, ok := answers[key.String()]
+	if !ok {
+		return poly.Poly{}, fmt.Errorf("core: server omitted polynomial for %s", key)
+	}
+	cs, err := r.e.shares.Share(key)
+	if err != nil {
+		return poly.Poly{}, err
+	}
+	return r.e.ring.Add(cs, ans.Poly), nil
+}
+
+// recoverNodeTag reconstructs the full polynomials of a node and its
+// children and solves eq. (2) for the node's tag value.
+func (r *run) recoverNodeTag(key drbg.NodeKey, nch int) (*big.Int, error) {
+	keys := make([]drbg.NodeKey, 0, nch+1)
+	keys = append(keys, key)
+	for i := 0; i < nch; i++ {
+		keys = append(keys, key.Child(uint32(i)))
+	}
+	answers, err := r.fetchPolys(keys)
+	if err != nil {
+		return nil, err
+	}
+	f, err := r.reconstructPoly(answers, key)
+	if err != nil {
+		return nil, err
+	}
+	children := make([]poly.Poly, nch)
+	for i := 0; i < nch; i++ {
+		cp, err := r.reconstructPoly(answers, key.Child(uint32(i)))
+		if err != nil {
+			return nil, err
+		}
+		children[i] = cp
+	}
+	r.e.counters.AddTagRecovered()
+	tag, err := polyenc.RecoverTag(r.e.ring, f, children)
+	if err != nil {
+		r.e.counters.AddVerifyFailure()
+		return nil, err
+	}
+	return tag, nil
+}
+
+// verifyMatches re-derives each reported match's tag and compares it with
+// the query point (VerifyFull).
+func (r *run) verifyMatches(keys []drbg.NodeKey, point *big.Int, wildcard bool) error {
+	for _, k := range keys {
+		tag, err := r.recoverNodeTag(k, r.childCount[k.String()])
+		if err != nil {
+			return fmt.Errorf("core: verification of %s failed: %w", k, err)
+		}
+		if !wildcard && tag.Cmp(point) != 0 {
+			r.e.counters.AddVerifyFailure()
+			return fmt.Errorf("core: server cheated: node %s has tag %s, query point %s", k, tag, point)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package drbg provides a deterministic random bit generator (HMAC-SHA256,
+// after NIST SP 800-90A's HMAC_DRBG construction) with hierarchical,
+// path-keyed derivation.
+//
+// The scheme's client keeps only a 32-byte seed (§4.2 of the paper: "store
+// only the random seed with which the random polynomials were generated").
+// Derivation by node path lets the client regenerate the share of any single
+// tree node in O(path length) work, without materialising the whole tree and
+// without any per-node state.
+package drbg
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SeedSize is the seed length in bytes.
+const SeedSize = 32
+
+// Seed is the client's sole secret for share regeneration.
+type Seed [SeedSize]byte
+
+// NewSeed draws a fresh random seed from crypto/rand.
+func NewSeed() (Seed, error) {
+	var s Seed
+	if _, err := io.ReadFull(rand.Reader, s[:]); err != nil {
+		return Seed{}, fmt.Errorf("drbg: generating seed: %w", err)
+	}
+	return s, nil
+}
+
+// SeedFromBytes builds a Seed from exactly SeedSize bytes.
+func SeedFromBytes(b []byte) (Seed, error) {
+	var s Seed
+	if len(b) != SeedSize {
+		return s, fmt.Errorf("drbg: seed must be %d bytes, got %d", SeedSize, len(b))
+	}
+	copy(s[:], b)
+	return s, nil
+}
+
+// SeedFromString parses a hex-encoded seed.
+func SeedFromString(h string) (Seed, error) {
+	b, err := hex.DecodeString(h)
+	if err != nil {
+		return Seed{}, fmt.Errorf("drbg: bad seed hex: %w", err)
+	}
+	return SeedFromBytes(b)
+}
+
+// String returns the hex encoding of the seed.
+func (s Seed) String() string { return hex.EncodeToString(s[:]) }
+
+// Generator is a deterministic stream of pseudo-random bytes. It implements
+// io.Reader. A Generator is NOT safe for concurrent use; derive independent
+// generators per goroutine instead.
+type Generator struct {
+	k [sha256.Size]byte
+	v [sha256.Size]byte
+}
+
+// New instantiates a generator from seed and an optional personalization
+// string (domain separation between independent uses of the same seed).
+func New(seed Seed, personalization []byte) *Generator {
+	g := &Generator{}
+	for i := range g.v {
+		g.v[i] = 0x01
+	}
+	// k starts all zero.
+	g.update(append(seed[:], personalization...))
+	return g
+}
+
+func (g *Generator) hmacK(parts ...[]byte) [sha256.Size]byte {
+	m := hmac.New(sha256.New, g.k[:])
+	for _, p := range parts {
+		m.Write(p)
+	}
+	var out [sha256.Size]byte
+	m.Sum(out[:0])
+	return out
+}
+
+// update is the HMAC_DRBG state-update function.
+func (g *Generator) update(data []byte) {
+	g.k = g.hmacK(g.v[:], []byte{0x00}, data)
+	g.v = g.hmacK(g.v[:])
+	if len(data) == 0 {
+		return
+	}
+	g.k = g.hmacK(g.v[:], []byte{0x01}, data)
+	g.v = g.hmacK(g.v[:])
+}
+
+// Read fills p with deterministic pseudo-random bytes. It never fails.
+func (g *Generator) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		g.v = g.hmacK(g.v[:])
+		c := copy(p, g.v[:])
+		p = p[c:]
+	}
+	g.update(nil)
+	return n, nil
+}
+
+var _ io.Reader = (*Generator)(nil)
+
+// NodeKey identifies a tree node by its path of child indices from the
+// root (the root itself is the empty path).
+type NodeKey []uint32
+
+// String renders a NodeKey like "/0/2/1" ("/" for the root).
+func (k NodeKey) String() string {
+	if len(k) == 0 {
+		return "/"
+	}
+	var sb strings.Builder
+	for _, c := range k {
+		sb.WriteByte('/')
+		sb.WriteString(strconv.FormatUint(uint64(c), 10))
+	}
+	return sb.String()
+}
+
+// Deriver produces independent per-node generators from one seed. It is
+// safe for concurrent use (each call builds fresh state).
+type Deriver struct {
+	seed  Seed
+	label []byte
+}
+
+// NewDeriver builds a Deriver with a domain-separation label (e.g.
+// "sss/client-share/v1").
+func NewDeriver(seed Seed, label string) *Deriver {
+	return &Deriver{seed: seed, label: []byte(label)}
+}
+
+// ForNode returns a fresh deterministic generator for a node path. Distinct
+// paths yield computationally independent streams; the same path always
+// yields the identical stream.
+func (d *Deriver) ForNode(key NodeKey) *Generator {
+	// Unambiguous path encoding: varint length, then varint components.
+	enc := make([]byte, 0, 8+len(key)*5+len(d.label))
+	enc = append(enc, d.label...)
+	enc = append(enc, 0x00)
+	enc = binary.AppendUvarint(enc, uint64(len(key)))
+	for _, c := range key {
+		enc = binary.AppendUvarint(enc, uint64(c))
+	}
+	return New(d.seed, enc)
+}
+
+// Child extends a node key by one step. The receiver is not modified.
+func (k NodeKey) Child(i uint32) NodeKey {
+	out := make(NodeKey, len(k)+1)
+	copy(out, k)
+	out[len(k)] = i
+	return out
+}
+
+// ErrShortSeed reports malformed seed material.
+var ErrShortSeed = errors.New("drbg: short seed")

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"sssearch/internal/contentindex"
+	"sssearch/internal/drbg"
+	"sssearch/internal/ring"
+	"sssearch/internal/sharing"
+	"sssearch/internal/workload"
+	"sssearch/internal/xmltree"
+)
+
+func init() {
+	register(Experiment{
+		ID: "content", Ref: "§5 future work",
+		Title: "hashed text-content search: data polynomials as an index to encrypted payloads",
+		Run:   runContent,
+	})
+}
+
+// runContent demonstrates the §5 extension: a non-invertible hashed
+// content index prunes the tree; encrypted payloads are fetched only for
+// candidates and filtered client-side.
+func runContent(w io.Writer, cfg Config) error {
+	entries := 120
+	if cfg.Quick {
+		entries = 30
+	}
+	doc := workload.Library(workload.LibraryConfig{Books: entries / 2, Articles: entries / 2, Seed: 11})
+	// Give the text nodes realistic content.
+	vocab := []string{"crypto", "shamir", "polynomial", "xml", "database",
+		"secret", "sharing", "query", "server", "client"}
+	i := 0
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n.Tag == "title" {
+			n.Text = fmt.Sprintf("%s %s study", vocab[i%len(vocab)], vocab[(i+3)%len(vocab)])
+			i++
+		}
+		if n.Tag == "author" {
+			n.Text = vocab[(i*7+1)%len(vocab)]
+			i++
+		}
+		return true
+	})
+	r := ring.MustIntQuotient(1, 0, 1)
+	hasher := contentindex.NewHasher(r, []byte("content-exp"))
+	tree, err := contentindex.Build(r, doc, hasher)
+	if err != nil {
+		return err
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("content-exp-seed")))
+	server, err := sharing.Split(tree, seed)
+	if err != nil {
+		return err
+	}
+	master := []byte("content-exp-payloads")
+	payloads, err := contentindex.EncryptPayloads(master, doc)
+	if err != nil {
+		return err
+	}
+	searcher := contentindex.NewSearcher(r, hasher, seed, master, nil)
+
+	n := doc.Count()
+	t := &Table{Headers: []string{"word", "matches", "index candidates", "nodes visited", "visited/n", "payload B fetched"}}
+	for _, word := range []string{"shamir", "database", "zzz-missing"} {
+		res, err := searcher.Search(word, server, payloads)
+		if err != nil {
+			return err
+		}
+		// Oracle check.
+		want := 0
+		doc.Walk(func(node *xmltree.Node) bool {
+			for _, tw := range contentindex.Words(node.Text) {
+				if tw == word {
+					want++
+					break
+				}
+			}
+			return true
+		})
+		if len(res.Matches) != want {
+			return fmt.Errorf("word %q: %d matches, oracle %d", word, len(res.Matches), want)
+		}
+		t.Add(word, len(res.Matches), res.IndexCandidates, res.Stats.NodesVisited,
+			float64(res.Stats.NodesVisited)/float64(n), res.PayloadBytes)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "(the hash is not invertible, so there is no Theorem-1 verification: the index only")
+	fmt.Fprintln(w, " narrows candidates; decrypted payloads give exact answers — precisely §5's proposal)")
+	return nil
+}

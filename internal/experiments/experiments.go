@@ -1,0 +1,140 @@
+// Package experiments regenerates every figure of the paper and turns its
+// analytic claims into measured tables — the reproduction harness behind
+// EXPERIMENTS.md, cmd/sss-bench and the top-level benchmarks.
+//
+// Each experiment validates its own invariants (golden figure values,
+// oracle agreement, detection rates) and returns an error on any mismatch,
+// so the whole harness doubles as an integration test.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Quick shrinks workloads for use inside `go test`.
+	Quick bool
+}
+
+// Experiment is one reproducible unit: a paper figure or claim.
+type Experiment struct {
+	// ID is the harness handle, e.g. "fig3", "pruning".
+	ID string
+	// Ref points at the paper artifact, e.g. "Figure 3" or "§5 storage".
+	Ref string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment, writing its table(s) to w.
+	Run func(w io.Writer, cfg Config) error
+}
+
+// registry holds all experiments in presentation order.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in order.
+func All() []Experiment { return append([]Experiment(nil), registry...) }
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists the registered experiment handles.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunAll executes every experiment, writing a banner per experiment.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, e := range registry {
+		fmt.Fprintf(w, "\n=== %s (%s): %s ===\n", e.ID, e.Ref, e.Title)
+		if err := e.Run(w, cfg); err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row (values are Sprint-ed).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// sortedPaths orders the paper's five node paths for stable output.
+func sortedPaths(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

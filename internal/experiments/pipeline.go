@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"crypto/sha256"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/sharing"
+	"sssearch/internal/xmltree"
+)
+
+// pipeline wires a document through encode → split → serve → engine, the
+// full scheme stack used by the measurement experiments.
+type pipeline struct {
+	doc        *xmltree.Node
+	ring       ring.Ring
+	mapping    *mapping.Map
+	seed       drbg.Seed
+	encoded    *polyenc.Tree
+	serverTree *sharing.Tree
+	server     *server.Local
+	engine     *core.Engine
+}
+
+// buildPipeline constructs the stack deterministically from a secret label.
+func buildPipeline(r ring.Ring, doc *xmltree.Node, secret string) (*pipeline, error) {
+	seed := drbg.Seed(sha256.Sum256([]byte(secret)))
+	m, err := mapping.New(r.MaxTag(), []byte(secret))
+	if err != nil {
+		return nil, err
+	}
+	enc, err := polyenc.Encode(r, doc, m)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := sharing.Split(enc, seed)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.NewLocal(r, tree)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(r, seed, m, srv, nil)
+	return &pipeline{
+		doc:        doc,
+		ring:       r,
+		mapping:    m,
+		seed:       seed,
+		encoded:    enc,
+		serverTree: tree,
+		server:     srv,
+		engine:     eng,
+	}, nil
+}

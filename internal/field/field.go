@@ -1,0 +1,193 @@
+// Package field implements arithmetic in the prime field F_p used by both
+// the F_p[x]/(x^{p-1}-1) quotient ring of the scheme and the Shamir secret
+// sharing layer.
+//
+// Elements are canonical *big.Int values in [0, p). All methods return fresh
+// big.Int values and never mutate their arguments, so elements can be shared
+// freely across goroutines once created.
+package field
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sssearch/internal/mathutil"
+)
+
+// Field is the prime field F_p. The zero value is not usable; construct with
+// New or NewUint64.
+type Field struct {
+	p *big.Int
+	// pMinus1 caches p-1, used for exponent reduction and range checks.
+	pMinus1 *big.Int
+}
+
+var (
+	// ErrNotPrime is returned by New when the modulus fails a primality test.
+	ErrNotPrime = errors.New("field: modulus is not prime")
+	// ErrWrongField is returned when elements from different fields are mixed.
+	ErrWrongField = errors.New("field: element out of range for this field")
+)
+
+// New constructs F_p for a prime p. Primality is verified
+// (ProbablyPrime(32), exact for all uint64-sized inputs in practice).
+func New(p *big.Int) (*Field, error) {
+	if p == nil || p.Sign() <= 0 {
+		return nil, errors.New("field: modulus must be positive")
+	}
+	if !p.ProbablyPrime(32) {
+		return nil, ErrNotPrime
+	}
+	pc := new(big.Int).Set(p)
+	return &Field{p: pc, pMinus1: new(big.Int).Sub(pc, big.NewInt(1))}, nil
+}
+
+// NewUint64 constructs F_p for a prime p given as uint64.
+func NewUint64(p uint64) (*Field, error) {
+	if !mathutil.IsPrime(p) {
+		return nil, ErrNotPrime
+	}
+	bp := new(big.Int).SetUint64(p)
+	return &Field{p: bp, pMinus1: new(big.Int).Sub(bp, big.NewInt(1))}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and constants.
+func MustNew(p uint64) *Field {
+	f, err := NewUint64(p)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// P returns (a copy of) the field characteristic.
+func (f *Field) P() *big.Int { return new(big.Int).Set(f.p) }
+
+// Order returns the number of elements of the field (same as P for F_p).
+func (f *Field) Order() *big.Int { return f.P() }
+
+// BitLen returns the bit length of the modulus.
+func (f *Field) BitLen() int { return f.p.BitLen() }
+
+// Reduce maps an arbitrary integer into its canonical representative in [0,p).
+func (f *Field) Reduce(a *big.Int) *big.Int {
+	r := new(big.Int).Mod(a, f.p)
+	return r
+}
+
+// FromInt64 returns the canonical element congruent to v.
+func (f *Field) FromInt64(v int64) *big.Int {
+	return f.Reduce(big.NewInt(v))
+}
+
+// FromUint64 returns the canonical element congruent to v.
+func (f *Field) FromUint64(v uint64) *big.Int {
+	return f.Reduce(new(big.Int).SetUint64(v))
+}
+
+// Zero returns the additive identity.
+func (f *Field) Zero() *big.Int { return big.NewInt(0) }
+
+// One returns the multiplicative identity.
+func (f *Field) One() *big.Int { return f.Reduce(big.NewInt(1)) }
+
+// Contains reports whether a is a canonical representative (0 <= a < p).
+func (f *Field) Contains(a *big.Int) bool {
+	return a != nil && a.Sign() >= 0 && a.Cmp(f.p) < 0
+}
+
+// Add returns a + b mod p.
+func (f *Field) Add(a, b *big.Int) *big.Int {
+	return f.Reduce(new(big.Int).Add(a, b))
+}
+
+// Sub returns a - b mod p.
+func (f *Field) Sub(a, b *big.Int) *big.Int {
+	return f.Reduce(new(big.Int).Sub(a, b))
+}
+
+// Neg returns -a mod p.
+func (f *Field) Neg(a *big.Int) *big.Int {
+	return f.Reduce(new(big.Int).Neg(a))
+}
+
+// Mul returns a * b mod p.
+func (f *Field) Mul(a, b *big.Int) *big.Int {
+	return f.Reduce(new(big.Int).Mul(a, b))
+}
+
+// Inv returns a^{-1} mod p, or an error if a ≡ 0.
+func (f *Field) Inv(a *big.Int) (*big.Int, error) {
+	r := f.Reduce(a)
+	if r.Sign() == 0 {
+		return nil, mathutil.ErrNoInverse
+	}
+	return new(big.Int).ModInverse(r, f.p), nil
+}
+
+// Div returns a / b mod p, or an error if b ≡ 0.
+func (f *Field) Div(a, b *big.Int) (*big.Int, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return nil, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Exp returns a^e mod p. Negative exponents are supported when a is
+// invertible.
+func (f *Field) Exp(a, e *big.Int) (*big.Int, error) {
+	base := f.Reduce(a)
+	if e.Sign() < 0 {
+		inv, err := f.Inv(base)
+		if err != nil {
+			return nil, err
+		}
+		return new(big.Int).Exp(inv, new(big.Int).Neg(e), f.p), nil
+	}
+	return new(big.Int).Exp(base, e, f.p), nil
+}
+
+// Equal reports whether a ≡ b (mod p).
+func (f *Field) Equal(a, b *big.Int) bool {
+	return f.Reduce(a).Cmp(f.Reduce(b)) == 0
+}
+
+// Rand returns a uniformly random canonical element, reading entropy (or
+// deterministic DRBG output) from r.
+func (f *Field) Rand(r io.Reader) (*big.Int, error) {
+	// Rejection sampling over ceil(bits/8) bytes keeps the distribution
+	// uniform without modular bias.
+	bits := f.p.BitLen()
+	nbytes := (bits + 7) / 8
+	buf := make([]byte, nbytes)
+	excess := uint(nbytes*8 - bits)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("field: rand: %w", err)
+		}
+		buf[0] &= byte(0xff >> excess)
+		v := new(big.Int).SetBytes(buf)
+		if v.Cmp(f.p) < 0 {
+			return v, nil
+		}
+	}
+}
+
+// RandNonZero returns a uniformly random non-zero element.
+func (f *Field) RandNonZero(r io.Reader) (*big.Int, error) {
+	for {
+		v, err := f.Rand(r)
+		if err != nil {
+			return nil, err
+		}
+		if v.Sign() != 0 {
+			return v, nil
+		}
+	}
+}
+
+// String implements fmt.Stringer.
+func (f *Field) String() string { return fmt.Sprintf("F_%s", f.p) }

@@ -1,0 +1,253 @@
+// Package gf implements the finite extension fields GF(p^e) = F_{p^e}
+// that §4.1 of the paper alludes to: "a finite ring … F_q[x]/(x^{q-1}-1)
+// (where q is a prime power q = p^e. For the reader's convenience, all
+// proofs will be given for q prime)".
+//
+// The main scheme (and the paper's worked example) uses q prime; this
+// package supplies the prime-power coefficient fields that generalize it,
+// so a deployment can pick q = 2^8 or 3^5 instead of a prime — useful when
+// tags should pack into whole bytes.
+//
+// Elements are polynomials over F_p of degree < e, reduced modulo a monic
+// irreducible h(y) of degree e, represented as poly.Poly with canonical
+// coefficients in [0, p).
+package gf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sssearch/internal/field"
+	"sssearch/internal/poly"
+	"sssearch/internal/ring"
+)
+
+// Field is GF(p^e). Safe for concurrent use.
+type Field struct {
+	base *field.Field
+	p    *big.Int
+	e    int
+	h    poly.Poly // monic irreducible modulus of degree e
+	q    *big.Int  // p^e
+}
+
+// New constructs GF(p^e) for prime p and e >= 1, searching for a monic
+// irreducible modulus deterministically (smallest by lexicographic
+// coefficient order).
+func New(p uint64, e int) (*Field, error) {
+	base, err := field.NewUint64(p)
+	if err != nil {
+		return nil, err
+	}
+	if e < 1 {
+		return nil, errors.New("gf: extension degree must be >= 1")
+	}
+	if e > 16 {
+		return nil, errors.New("gf: extension degree too large")
+	}
+	bp := base.P()
+	h, err := findIrreducible(bp, e)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithModulus(base, h)
+}
+
+// NewWithModulus constructs GF(p^e) with an explicit monic modulus
+// (verified irreducible mod p).
+func NewWithModulus(base *field.Field, h poly.Poly) (*Field, error) {
+	e := h.Degree()
+	if e < 1 {
+		return nil, errors.New("gf: modulus degree must be >= 1")
+	}
+	bp := base.P()
+	hc := h.ReduceCoeffs(bp)
+	if hc.Degree() != e || !hc.IsMonic() {
+		return nil, errors.New("gf: modulus must be monic mod p")
+	}
+	if e > 1 && !ring.IrreducibleModP(hc, bp) {
+		return nil, fmt.Errorf("gf: %v is reducible mod %v", hc, bp)
+	}
+	q := new(big.Int).Exp(bp, big.NewInt(int64(e)), nil)
+	return &Field{base: base, p: bp, e: e, h: hc, q: q}, nil
+}
+
+// findIrreducible enumerates monic degree-e polynomials in lexicographic
+// coefficient order (lower coefficients as base-p digits of a counter)
+// until one passes Rabin's test. Irreducibles have density ~1/e among
+// monic polynomials, so the scan terminates almost immediately; degree 8
+// over F_2, which famously has no irreducible trinomial, lands on the
+// pentanomial y^8+y^4+y^3+y^2+1 family region within a few dozen steps.
+func findIrreducible(p *big.Int, e int) (poly.Poly, error) {
+	if e == 1 {
+		return poly.FromInt64(0, 1), nil // y
+	}
+	pv := p.Int64()
+	const maxScan = 1 << 20
+	digits := make([]int64, e) // coefficients of y^0..y^{e-1}
+	for iter := 0; iter < maxScan; iter++ {
+		coeffs := make([]*big.Int, e+1)
+		for i := 0; i < e; i++ {
+			coeffs[i] = big.NewInt(digits[i])
+		}
+		coeffs[e] = big.NewInt(1)
+		h := poly.New(coeffs...)
+		if ring.IrreducibleModP(h, p) {
+			return h, nil
+		}
+		// Increment the base-p counter.
+		for i := 0; i < e; i++ {
+			digits[i]++
+			if digits[i] < pv {
+				break
+			}
+			digits[i] = 0
+			if i == e-1 {
+				return poly.Poly{}, fmt.Errorf("gf: exhausted search for p=%v e=%d", p, e)
+			}
+		}
+	}
+	return poly.Poly{}, fmt.Errorf("gf: no irreducible modulus found for p=%v e=%d within %d candidates", p, e, maxScan)
+}
+
+// P returns the characteristic.
+func (f *Field) P() *big.Int { return new(big.Int).Set(f.p) }
+
+// Degree returns the extension degree e.
+func (f *Field) Degree() int { return f.e }
+
+// Order returns q = p^e.
+func (f *Field) Order() *big.Int { return new(big.Int).Set(f.q) }
+
+// Modulus returns the defining polynomial h(y).
+func (f *Field) Modulus() poly.Poly { return f.h }
+
+// String implements fmt.Stringer.
+func (f *Field) String() string { return fmt.Sprintf("GF(%v^%d)", f.p, f.e) }
+
+// Reduce maps an arbitrary polynomial to its canonical representative.
+func (f *Field) Reduce(a poly.Poly) poly.Poly {
+	rem, err := a.ReduceCoeffs(f.p).Mod(f.h)
+	if err != nil {
+		panic(fmt.Sprintf("gf: reduce: %v", err))
+	}
+	return rem.ReduceCoeffs(f.p)
+}
+
+// Zero returns the additive identity.
+func (f *Field) Zero() poly.Poly { return poly.Zero() }
+
+// One returns the multiplicative identity.
+func (f *Field) One() poly.Poly { return poly.One() }
+
+// FromInt embeds an integer into the prime subfield.
+func (f *Field) FromInt(v int64) poly.Poly {
+	return poly.FromInt64(v).ReduceCoeffs(f.p)
+}
+
+// Y returns the generator element y.
+func (f *Field) Y() poly.Poly { return f.Reduce(poly.X()) }
+
+// Add returns a + b.
+func (f *Field) Add(a, b poly.Poly) poly.Poly { return f.Reduce(a.Add(b)) }
+
+// Sub returns a - b.
+func (f *Field) Sub(a, b poly.Poly) poly.Poly { return f.Reduce(a.Sub(b)) }
+
+// Neg returns -a.
+func (f *Field) Neg(a poly.Poly) poly.Poly { return f.Reduce(a.Neg()) }
+
+// Mul returns a · b.
+func (f *Field) Mul(a, b poly.Poly) poly.Poly { return f.Reduce(a.Mul(b)) }
+
+// Equal reports whether a and b represent the same field element.
+func (f *Field) Equal(a, b poly.Poly) bool { return f.Reduce(a).Equal(f.Reduce(b)) }
+
+// IsZero reports whether a ≡ 0.
+func (f *Field) IsZero(a poly.Poly) bool { return f.Reduce(a).IsZero() }
+
+// Inv returns a^{-1} by the extended Euclidean algorithm over F_p[y],
+// or an error for a ≡ 0.
+func (f *Field) Inv(a poly.Poly) (poly.Poly, error) {
+	r0 := f.h
+	r1 := f.Reduce(a)
+	if r1.IsZero() {
+		return poly.Poly{}, errors.New("gf: inverse of zero")
+	}
+	s0, s1 := poly.Zero(), poly.One()
+	for !r1.IsZero() {
+		q, rem, err := fpDivMod(r0, r1, f.p)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		r0, r1 = r1, rem
+		s0, s1 = s1, s0.Sub(q.Mul(s1)).ReduceCoeffs(f.p)
+	}
+	// r0 is now gcd(h, a): a nonzero constant since h is irreducible.
+	if r0.Degree() != 0 {
+		return poly.Poly{}, fmt.Errorf("gf: gcd has degree %d (modulus not irreducible?)", r0.Degree())
+	}
+	cInv := new(big.Int).ModInverse(r0.Coeff(0), f.p)
+	if cInv == nil {
+		return poly.Poly{}, errors.New("gf: constant gcd not invertible")
+	}
+	return f.Reduce(s0.MulScalar(cInv)), nil
+}
+
+// Div returns a / b.
+func (f *Field) Div(a, b poly.Poly) (poly.Poly, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return poly.Poly{}, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Exp returns a^k for k >= 0.
+func (f *Field) Exp(a poly.Poly, k *big.Int) poly.Poly {
+	result := f.One()
+	base := f.Reduce(a)
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		result = f.Mul(result, result)
+		if k.Bit(i) == 1 {
+			result = f.Mul(result, base)
+		}
+	}
+	return result
+}
+
+// Rand draws a uniformly random element from rng.
+func (f *Field) Rand(rng io.Reader) (poly.Poly, error) {
+	coeffs := make([]*big.Int, f.e)
+	for i := range coeffs {
+		v, err := f.base.Rand(rng)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		coeffs[i] = v
+	}
+	return poly.New(coeffs...), nil
+}
+
+// fpDivMod divides a by b over F_p[y] (b nonzero mod p), returning
+// quotient and remainder with canonical coefficients.
+func fpDivMod(a, b poly.Poly, p *big.Int) (quo, rem poly.Poly, err error) {
+	b = b.ReduceCoeffs(p)
+	if b.IsZero() {
+		return poly.Poly{}, poly.Poly{}, errors.New("gf: division by zero polynomial")
+	}
+	// Scale b monic, divide, unscale the quotient.
+	lead := b.LeadingCoeff()
+	leadInv := new(big.Int).ModInverse(lead, p)
+	if leadInv == nil {
+		return poly.Poly{}, poly.Poly{}, errors.New("gf: non-invertible leading coefficient")
+	}
+	bm := b.MulScalar(leadInv).ReduceCoeffs(p)
+	q, r, err := a.ReduceCoeffs(p).DivMod(bm)
+	if err != nil {
+		return poly.Poly{}, poly.Poly{}, err
+	}
+	return q.MulScalar(leadInv).ReduceCoeffs(p), r.ReduceCoeffs(p), nil
+}

@@ -1,0 +1,284 @@
+package gf
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sssearch/internal/field"
+	"sssearch/internal/poly"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(4, 2); err == nil {
+		t.Error("composite characteristic accepted")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := New(2, 99); err == nil {
+		t.Error("huge degree accepted")
+	}
+	f, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Order().Int64() != 2 {
+		t.Errorf("GF(2^1) order = %v", f.Order())
+	}
+}
+
+func TestKnownFieldOrders(t *testing.T) {
+	cases := []struct {
+		p uint64
+		e int
+		q int64
+	}{
+		{2, 2, 4}, {2, 3, 8}, {2, 8, 256}, {3, 2, 9}, {3, 3, 27}, {5, 2, 25}, {7, 2, 49},
+	}
+	for _, c := range cases {
+		f, err := New(c.p, c.e)
+		if err != nil {
+			t.Fatalf("GF(%d^%d): %v", c.p, c.e, err)
+		}
+		if f.Order().Int64() != c.q {
+			t.Errorf("GF(%d^%d) order = %v, want %d", c.p, c.e, f.Order(), c.q)
+		}
+		if f.Modulus().Degree() != c.e || !f.Modulus().IsMonic() {
+			t.Errorf("GF(%d^%d) modulus %v malformed", c.p, c.e, f.Modulus())
+		}
+		if f.Degree() != c.e || f.P().Int64() != int64(c.p) {
+			t.Error("accessors wrong")
+		}
+	}
+}
+
+func TestGF4MultiplicationTable(t *testing.T) {
+	// GF(4) = F_2[y]/(y^2+y+1): elements {0, 1, y, y+1}.
+	f, err := NewWithModulus(mustBase(t, 2), poly.FromInt64(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := f.Y()
+	y1 := f.Add(y, f.One())
+	// y * y = y+1 (since y^2 = y+1 mod y^2+y+1 over F_2).
+	if !f.Equal(f.Mul(y, y), y1) {
+		t.Errorf("y*y = %v, want y+1", f.Mul(y, y))
+	}
+	// y * (y+1) = y^2+y = 1.
+	if !f.Equal(f.Mul(y, y1), f.One()) {
+		t.Errorf("y*(y+1) = %v, want 1", f.Mul(y, y1))
+	}
+	// (y+1)^2 = y.
+	if !f.Equal(f.Mul(y1, y1), y) {
+		t.Errorf("(y+1)^2 = %v, want y", f.Mul(y1, y1))
+	}
+}
+
+func mustBase(t *testing.T, p uint64) *field.Field {
+	t.Helper()
+	b, err := field.NewUint64(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// elements enumerates all q elements of a small field.
+func elements(f *Field) []poly.Poly {
+	p := f.P().Int64()
+	e := f.Degree()
+	var out []poly.Poly
+	var rec func(coeffs []int64, i int)
+	rec = func(coeffs []int64, i int) {
+		if i == e {
+			cs := make([]*big.Int, e)
+			for j, c := range coeffs {
+				cs[j] = big.NewInt(c)
+			}
+			out = append(out, poly.New(cs...))
+			return
+		}
+		for v := int64(0); v < p; v++ {
+			coeffs[i] = v
+			rec(coeffs, i+1)
+		}
+	}
+	rec(make([]int64, e), 0)
+	return out
+}
+
+// TestFermatLittleTheorem: a^(q-1) = 1 for all nonzero a — verified
+// exhaustively on GF(8), GF(9) and GF(25).
+func TestFermatLittleTheorem(t *testing.T) {
+	for _, c := range []struct {
+		p uint64
+		e int
+	}{{2, 3}, {3, 2}, {5, 2}} {
+		f, err := New(c.p, c.e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qm1 := new(big.Int).Sub(f.Order(), big.NewInt(1))
+		for _, a := range elements(f) {
+			if f.IsZero(a) {
+				continue
+			}
+			got := f.Exp(a, qm1)
+			if !f.Equal(got, f.One()) {
+				t.Fatalf("%s: %v^(q-1) = %v", f, a, got)
+			}
+		}
+	}
+}
+
+// TestInverseExhaustive: every nonzero element has a working inverse.
+func TestInverseExhaustive(t *testing.T) {
+	for _, c := range []struct {
+		p uint64
+		e int
+	}{{2, 4}, {3, 3}, {7, 2}} {
+		f, err := New(c.p, c.e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range elements(f) {
+			if f.IsZero(a) {
+				if _, err := f.Inv(a); err == nil {
+					t.Fatal("Inv(0) accepted")
+				}
+				continue
+			}
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("%s: Inv(%v): %v", f, a, err)
+			}
+			if !f.Equal(f.Mul(a, inv), f.One()) {
+				t.Fatalf("%s: %v * %v != 1", f, a, inv)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsProperty(t *testing.T) {
+	f, err := New(5, 3) // GF(125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(vals []reflect.Value, r *mrand.Rand) {
+		for i := range vals {
+			cs := make([]*big.Int, 3)
+			for j := range cs {
+				cs[j] = big.NewInt(r.Int63n(5))
+			}
+			vals[i] = reflect.ValueOf(poly.New(cs...))
+		}
+	}
+	err = quick.Check(func(a, b, c poly.Poly) bool {
+		if !f.Equal(f.Add(a, b), f.Add(b, a)) {
+			return false
+		}
+		if !f.Equal(f.Mul(a, b), f.Mul(b, a)) {
+			return false
+		}
+		if !f.Equal(f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c))) {
+			return false
+		}
+		if !f.Equal(f.Mul(a, f.Add(b, c)), f.Add(f.Mul(a, b), f.Mul(a, c))) {
+			return false
+		}
+		if !f.Equal(f.Add(a, f.Neg(a)), f.Zero()) {
+			return false
+		}
+		if !f.Equal(f.Sub(a, b), f.Add(a, f.Neg(b))) {
+			return false
+		}
+		if f.IsZero(a) {
+			return true
+		}
+		inv, err := f.Inv(a)
+		if err != nil {
+			return false
+		}
+		d, err := f.Div(f.Mul(a, b), a)
+		if err != nil {
+			return false
+		}
+		return f.Equal(f.Mul(a, inv), f.One()) && f.Equal(d, f.Reduce(b))
+	}, &quick.Config{MaxCount: 200, Values: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandInField(t *testing.T) {
+	f, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		a, err := f.Rand(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Degree() >= f.Degree() {
+			t.Fatal("element degree out of range")
+		}
+		if !f.Equal(f.Reduce(a), a) {
+			t.Fatal("Rand not canonical")
+		}
+	}
+}
+
+func TestNewWithModulusValidation(t *testing.T) {
+	base := mustBase(t, 2)
+	// y^2 (reducible).
+	if _, err := NewWithModulus(base, poly.FromInt64(0, 0, 1)); err == nil {
+		t.Error("reducible modulus accepted")
+	}
+	// Constant.
+	if _, err := NewWithModulus(base, poly.FromInt64(1)); err == nil {
+		t.Error("constant modulus accepted")
+	}
+	// Valid: y^2+y+1 over F_2.
+	if _, err := NewWithModulus(base, poly.FromInt64(1, 1, 1)); err != nil {
+		t.Errorf("y^2+y+1: %v", err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	f, _ := New(2, 8)
+	if f.String() != "GF(2^8)" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func BenchmarkMulGF256(b *testing.B) {
+	f, err := New(2, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, _ := f.Rand(rand.Reader)
+	y, _ := f.Rand(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Mul(x, y)
+	}
+}
+
+func BenchmarkInvGF256(b *testing.B) {
+	f, err := New(2, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := f.Y()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Inv(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

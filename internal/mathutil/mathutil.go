@@ -1,0 +1,227 @@
+// Package mathutil provides the modular-arithmetic primitives underlying the
+// secret-shared search scheme: safe uint64 modular operations, extended
+// Euclid, modular inverses, Miller–Rabin primality testing and prime
+// generation, and a small CRT helper.
+//
+// Everything here is deterministic and allocation-light; the big.Int based
+// packages (field, poly, ring) build on top of it.
+package mathutil
+
+import (
+	"errors"
+	"math/big"
+	"math/bits"
+)
+
+// ErrNoInverse is returned when a modular inverse does not exist.
+var ErrNoInverse = errors.New("mathutil: element has no modular inverse")
+
+// AddMod returns (a + b) mod m, correct even when a+b overflows uint64.
+// Requires a < m and b < m.
+func AddMod(a, b, m uint64) uint64 {
+	s, carry := bits.Add64(a, b, 0)
+	if carry != 0 || s >= m {
+		s -= m
+	}
+	return s
+}
+
+// SubMod returns (a - b) mod m. Requires a < m and b < m.
+func SubMod(a, b, m uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return m - (b - a)
+}
+
+// MulMod returns (a * b) mod m using 128-bit intermediate arithmetic.
+func MulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// PowMod returns a^e mod m by square-and-multiply. PowMod(0, 0, m) == 1 mod m
+// by the usual convention.
+func PowMod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	base := a % m
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulMod(result, base, m)
+		}
+		base = MulMod(base, base, m)
+		e >>= 1
+	}
+	return result
+}
+
+// GCD returns the greatest common divisor of a and b.
+func GCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ExtGCD returns (g, x, y) such that a*x + b*y = g = gcd(a, b).
+// It operates on int64 values; callers must ensure inputs fit.
+func ExtGCD(a, b int64) (g, x, y int64) {
+	x0, x1 := int64(1), int64(0)
+	y0, y1 := int64(0), int64(1)
+	for b != 0 {
+		q := a / b
+		a, b = b, a-q*b
+		x0, x1 = x1, x0-q*x1
+		y0, y1 = y1, y0-q*y1
+	}
+	return a, x0, y0
+}
+
+// InvMod returns the multiplicative inverse of a modulo m, or ErrNoInverse
+// if gcd(a, m) != 1. m must be > 1.
+func InvMod(a, m uint64) (uint64, error) {
+	if m == 0 {
+		return 0, errors.New("mathutil: zero modulus")
+	}
+	a %= m
+	if a == 0 {
+		return 0, ErrNoInverse
+	}
+	// Extended Euclid over signed arithmetic on values < 2^63 is fine for all
+	// moduli used by the scheme; fall back to big.Int above that.
+	if m < 1<<63 {
+		g, x, _ := ExtGCD(int64(a), int64(m))
+		if g != 1 {
+			return 0, ErrNoInverse
+		}
+		if x < 0 {
+			x += int64(m)
+		}
+		return uint64(x), nil
+	}
+	var bi, bm, out big.Int
+	bi.SetUint64(a)
+	bm.SetUint64(m)
+	if out.ModInverse(&bi, &bm) == nil {
+		return 0, ErrNoInverse
+	}
+	return out.Uint64(), nil
+}
+
+// millerRabinBases is a deterministic witness set: testing against these
+// bases is a correct primality test for all n < 3,317,044,064,679,887,385,961,981
+// (Sorenson & Webster), which covers the full uint64 range.
+var millerRabinBases = [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether n is prime, using deterministic Miller–Rabin
+// witnesses valid for the entire uint64 range.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// n-1 = d * 2^s with d odd.
+	d := n - 1
+	s := 0
+	for d&1 == 0 {
+		d >>= 1
+		s++
+	}
+witness:
+	for _, a := range millerRabinBases {
+		x := PowMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		for i := 0; i < s-1; i++ {
+			x = MulMod(x, x, n)
+			if x == n-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n. It panics if no uint64 prime
+// >= n exists (n beyond 18446744073709551557).
+func NextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n&1 == 0 {
+		n++
+	}
+	for {
+		if IsPrime(n) {
+			return n
+		}
+		if n > n+2 { // overflow guard
+			panic("mathutil: no next prime in uint64 range")
+		}
+		n += 2
+	}
+}
+
+// PrevPrime returns the largest prime <= n, or 0 if none exists (n < 2).
+func PrevPrime(n uint64) uint64 {
+	if n < 2 {
+		return 0
+	}
+	if n == 2 {
+		return 2
+	}
+	if n&1 == 0 {
+		n--
+	}
+	for n >= 3 {
+		if IsPrime(n) {
+			return n
+		}
+		n -= 2
+	}
+	return 2
+}
+
+// CRTPair combines x ≡ a (mod m) and x ≡ b (mod n) for coprime m, n into
+// the unique solution modulo m*n. Returns an error if m and n are not
+// coprime. m*n must fit in uint64.
+func CRTPair(a, m, b, n uint64) (uint64, error) {
+	if GCD(m, n) != 1 {
+		return 0, errors.New("mathutil: CRT moduli not coprime")
+	}
+	mn := m * n
+	// x = a + m * ((b - a) * m^{-1} mod n)
+	inv, err := InvMod(m%n, n)
+	if err != nil {
+		return 0, err
+	}
+	diff := SubMod(b%n, a%n, n)
+	t := MulMod(diff, inv, n)
+	return AddMod(a%mn, MulMod(m%mn, t, mn), mn), nil
+}
+
+// ILog2 returns floor(log2(n)) for n > 0, and 0 for n == 0.
+func ILog2(n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	return 63 - bits.LeadingZeros64(n)
+}
+
+// BitLen returns the number of bits needed to represent n (0 for n == 0).
+func BitLen(n uint64) int {
+	return bits.Len64(n)
+}

@@ -1,0 +1,246 @@
+package mathutil
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddModBasic(t *testing.T) {
+	cases := []struct{ a, b, m, want uint64 }{
+		{0, 0, 5, 0},
+		{2, 3, 5, 0},
+		{4, 4, 5, 3},
+		{1<<63 + 5, 1<<63 + 7, 1<<63 + 11, 1<<63 + 1},
+		{18446744073709551556, 18446744073709551556, 18446744073709551557, 18446744073709551555},
+	}
+	for _, c := range cases {
+		if got := AddMod(c.a%c.m, c.b%c.m, c.m); got != c.want {
+			t.Errorf("AddMod(%d,%d,%d) = %d, want %d", c.a, c.b, c.m, got, c.want)
+		}
+	}
+}
+
+func TestSubModBasic(t *testing.T) {
+	if got := SubMod(2, 4, 5); got != 3 {
+		t.Errorf("SubMod(2,4,5) = %d, want 3", got)
+	}
+	if got := SubMod(4, 2, 5); got != 2 {
+		t.Errorf("SubMod(4,2,5) = %d, want 2", got)
+	}
+	if got := SubMod(0, 0, 7); got != 0 {
+		t.Errorf("SubMod(0,0,7) = %d, want 0", got)
+	}
+}
+
+func TestMulModAgainstBig(t *testing.T) {
+	f := func(a, b, m uint64) bool {
+		if m == 0 {
+			m = 1
+		}
+		a %= m
+		b %= m
+		got := MulMod(a, b, m)
+		var ba, bb, bm, res big.Int
+		ba.SetUint64(a)
+		bb.SetUint64(b)
+		bm.SetUint64(m)
+		res.Mul(&ba, &bb).Mod(&res, &bm)
+		return got == res.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowModAgainstBig(t *testing.T) {
+	f := func(a, e uint64, m uint64) bool {
+		if m == 0 {
+			m = 1
+		}
+		e %= 10000 // keep big.Exp cheap
+		got := PowMod(a, e, m)
+		var ba, be, bm, res big.Int
+		ba.SetUint64(a)
+		be.SetUint64(e)
+		bm.SetUint64(m)
+		res.Exp(&ba, &be, &bm)
+		return got == res.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowModEdge(t *testing.T) {
+	if got := PowMod(0, 0, 7); got != 1 {
+		t.Errorf("PowMod(0,0,7) = %d, want 1", got)
+	}
+	if got := PowMod(5, 0, 1); got != 0 {
+		t.Errorf("PowMod mod 1 = %d, want 0", got)
+	}
+	if got := PowMod(2, 10, 1000); got != 24 {
+		t.Errorf("PowMod(2,10,1000) = %d, want 24", got)
+	}
+}
+
+func TestExtGCD(t *testing.T) {
+	cases := [][2]int64{{240, 46}, {17, 5}, {1, 1}, {100, 0}, {0, 7}, {12, 18}}
+	for _, c := range cases {
+		g, x, y := ExtGCD(c[0], c[1])
+		if c[0]*x+c[1]*y != g {
+			t.Errorf("ExtGCD(%d,%d): %d*%d + %d*%d != %d", c[0], c[1], c[0], x, c[1], y, g)
+		}
+	}
+}
+
+func TestInvMod(t *testing.T) {
+	for _, m := range []uint64{5, 7, 97, 65537, 4294967311} {
+		for a := uint64(1); a < 50; a++ {
+			if a%m == 0 {
+				continue
+			}
+			inv, err := InvMod(a, m)
+			if err != nil {
+				t.Fatalf("InvMod(%d,%d): %v", a, m, err)
+			}
+			if MulMod(a%m, inv, m) != 1 {
+				t.Errorf("InvMod(%d,%d) = %d: a*inv != 1", a, m, inv)
+			}
+		}
+	}
+	if _, err := InvMod(6, 9); err != ErrNoInverse {
+		t.Errorf("InvMod(6,9) should fail, got err=%v", err)
+	}
+	if _, err := InvMod(0, 9); err != ErrNoInverse {
+		t.Errorf("InvMod(0,9) should fail, got err=%v", err)
+	}
+}
+
+func TestInvModLargeModulus(t *testing.T) {
+	m := uint64(18446744073709551557) // largest uint64 prime
+	for a := uint64(2); a < 20; a++ {
+		inv, err := InvMod(a, m)
+		if err != nil {
+			t.Fatalf("InvMod(%d, %d): %v", a, m, err)
+		}
+		if MulMod(a, inv, m) != 1 {
+			t.Errorf("large-mod inverse wrong for a=%d", a)
+		}
+	}
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true,
+		97: true, 65537: true, 4294967311: true, 18446744073709551557: true,
+	}
+	composites := []uint64{0, 1, 4, 6, 9, 15, 21, 25, 91, 561, 41041, 825265,
+		3215031751, 3825123056546413051, 18446744073709551555}
+	for p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestIsPrimeAgainstBig(t *testing.T) {
+	f := func(n uint64) bool {
+		n %= 1 << 40
+		var b big.Int
+		b.SetUint64(n)
+		return IsPrime(n) == b.ProbablyPrime(20)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPrevPrime(t *testing.T) {
+	cases := []struct{ n, next uint64 }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {14, 17}, {90, 97}, {65536, 65537},
+	}
+	for _, c := range cases {
+		if got := NextPrime(c.n); got != c.next {
+			t.Errorf("NextPrime(%d) = %d, want %d", c.n, got, c.next)
+		}
+	}
+	if got := PrevPrime(100); got != 97 {
+		t.Errorf("PrevPrime(100) = %d, want 97", got)
+	}
+	if got := PrevPrime(1); got != 0 {
+		t.Errorf("PrevPrime(1) = %d, want 0", got)
+	}
+	if got := PrevPrime(2); got != 2 {
+		t.Errorf("PrevPrime(2) = %d, want 2", got)
+	}
+}
+
+func TestNextPrimeIsPrimeProperty(t *testing.T) {
+	f := func(n uint64) bool {
+		n %= 1 << 32
+		p := NextPrime(n)
+		return p >= n && IsPrime(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRTPair(t *testing.T) {
+	x, err := CRTPair(2, 3, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 8 {
+		t.Errorf("CRT(2 mod 3, 3 mod 5) = %d, want 8", x)
+	}
+	if _, err := CRTPair(1, 4, 1, 6); err == nil {
+		t.Error("CRT with non-coprime moduli should fail")
+	}
+}
+
+func TestCRTPairProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		m, n := uint64(97), uint64(101)
+		a %= m
+		b %= n
+		x, err := CRTPair(a, m, b, n)
+		if err != nil {
+			return false
+		}
+		return x%m == a && x%n == b && x < m*n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestILog2BitLen(t *testing.T) {
+	if ILog2(0) != 0 || ILog2(1) != 0 || ILog2(2) != 1 || ILog2(1024) != 10 || ILog2(1025) != 10 {
+		t.Error("ILog2 wrong")
+	}
+	if BitLen(0) != 0 || BitLen(1) != 1 || BitLen(255) != 8 || BitLen(256) != 9 {
+		t.Error("BitLen wrong")
+	}
+}
+
+func BenchmarkMulMod(b *testing.B) {
+	m := uint64(18446744073709551557)
+	x := uint64(123456789123456789)
+	for i := 0; i < b.N; i++ {
+		x = MulMod(x, x, m)
+	}
+	_ = x
+}
+
+func BenchmarkIsPrime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		IsPrime(18446744073709551557)
+	}
+}

@@ -1,0 +1,123 @@
+// Package metrics provides the instrumentation counters the experiment
+// harness reports: protocol work (node evaluations, rounds), transfer
+// volume (scalar values, polynomials, raw bytes) and verification effort.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters accumulates protocol statistics. All methods are safe for
+// concurrent use. The zero value is ready to use.
+type Counters struct {
+	nodesEvaluated atomic.Int64 // node×point evaluations performed
+	valuesMoved    atomic.Int64 // scalar values sent server→client
+	polysFetched   atomic.Int64 // full polynomials sent server→client
+	polyBytesMoved atomic.Int64 // bytes of polynomial payloads
+	rounds         atomic.Int64 // protocol round trips
+	nodesVisited   atomic.Int64 // distinct nodes touched by the protocol
+	nodesPruned    atomic.Int64 // subtree prunes issued
+	tagsRecovered  atomic.Int64 // RecoverTag invocations
+	verifyFailures atomic.Int64 // detected inconsistencies
+	bytesSent      atomic.Int64 // wire bytes client→server
+	bytesReceived  atomic.Int64 // wire bytes server→client
+	messagesSent   atomic.Int64
+	messagesRcvd   atomic.Int64
+}
+
+// Add* methods increment the corresponding counter.
+
+func (c *Counters) AddNodesEvaluated(n int) { c.nodesEvaluated.Add(int64(n)) }
+func (c *Counters) AddValuesMoved(n int)    { c.valuesMoved.Add(int64(n)) }
+func (c *Counters) AddPolysFetched(n int)   { c.polysFetched.Add(int64(n)) }
+func (c *Counters) AddPolyBytes(n int)      { c.polyBytesMoved.Add(int64(n)) }
+func (c *Counters) AddRound()               { c.rounds.Add(1) }
+func (c *Counters) AddNodesVisited(n int)   { c.nodesVisited.Add(int64(n)) }
+func (c *Counters) AddPruned(n int)         { c.nodesPruned.Add(int64(n)) }
+func (c *Counters) AddTagRecovered()        { c.tagsRecovered.Add(1) }
+func (c *Counters) AddVerifyFailure()       { c.verifyFailures.Add(1) }
+func (c *Counters) AddBytesSent(n int)      { c.bytesSent.Add(int64(n)) }
+func (c *Counters) AddBytesReceived(n int)  { c.bytesReceived.Add(int64(n)) }
+func (c *Counters) AddMessageSent()         { c.messagesSent.Add(1) }
+func (c *Counters) AddMessageReceived()     { c.messagesRcvd.Add(1) }
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	NodesEvaluated int64
+	ValuesMoved    int64
+	PolysFetched   int64
+	PolyBytesMoved int64
+	Rounds         int64
+	NodesVisited   int64
+	NodesPruned    int64
+	TagsRecovered  int64
+	VerifyFailures int64
+	BytesSent      int64
+	BytesReceived  int64
+	MessagesSent   int64
+	MessagesRcvd   int64
+}
+
+// Snapshot captures the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		NodesEvaluated: c.nodesEvaluated.Load(),
+		ValuesMoved:    c.valuesMoved.Load(),
+		PolysFetched:   c.polysFetched.Load(),
+		PolyBytesMoved: c.polyBytesMoved.Load(),
+		Rounds:         c.rounds.Load(),
+		NodesVisited:   c.nodesVisited.Load(),
+		NodesPruned:    c.nodesPruned.Load(),
+		TagsRecovered:  c.tagsRecovered.Load(),
+		VerifyFailures: c.verifyFailures.Load(),
+		BytesSent:      c.bytesSent.Load(),
+		BytesReceived:  c.bytesReceived.Load(),
+		MessagesSent:   c.messagesSent.Load(),
+		MessagesRcvd:   c.messagesRcvd.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.nodesEvaluated.Store(0)
+	c.valuesMoved.Store(0)
+	c.polysFetched.Store(0)
+	c.polyBytesMoved.Store(0)
+	c.rounds.Store(0)
+	c.nodesVisited.Store(0)
+	c.nodesPruned.Store(0)
+	c.tagsRecovered.Store(0)
+	c.verifyFailures.Store(0)
+	c.bytesSent.Store(0)
+	c.bytesReceived.Store(0)
+	c.messagesSent.Store(0)
+	c.messagesRcvd.Store(0)
+}
+
+// Sub returns the delta s - prev, for per-query deltas over a shared
+// counter set.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		NodesEvaluated: s.NodesEvaluated - prev.NodesEvaluated,
+		ValuesMoved:    s.ValuesMoved - prev.ValuesMoved,
+		PolysFetched:   s.PolysFetched - prev.PolysFetched,
+		PolyBytesMoved: s.PolyBytesMoved - prev.PolyBytesMoved,
+		Rounds:         s.Rounds - prev.Rounds,
+		NodesVisited:   s.NodesVisited - prev.NodesVisited,
+		NodesPruned:    s.NodesPruned - prev.NodesPruned,
+		TagsRecovered:  s.TagsRecovered - prev.TagsRecovered,
+		VerifyFailures: s.VerifyFailures - prev.VerifyFailures,
+		BytesSent:      s.BytesSent - prev.BytesSent,
+		BytesReceived:  s.BytesReceived - prev.BytesReceived,
+		MessagesSent:   s.MessagesSent - prev.MessagesSent,
+		MessagesRcvd:   s.MessagesRcvd - prev.MessagesRcvd,
+	}
+}
+
+// String renders a compact one-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d",
+		s.NodesEvaluated, s.ValuesMoved, s.PolysFetched, s.PolyBytesMoved,
+		s.Rounds, s.NodesVisited, s.NodesPruned, s.TagsRecovered, s.VerifyFailures)
+}

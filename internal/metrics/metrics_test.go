@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	c := &Counters{}
+	c.AddNodesEvaluated(3)
+	c.AddValuesMoved(4)
+	c.AddPolysFetched(2)
+	c.AddPolyBytes(100)
+	c.AddRound()
+	c.AddRound()
+	c.AddNodesVisited(5)
+	c.AddPruned(1)
+	c.AddTagRecovered()
+	c.AddVerifyFailure()
+	c.AddBytesSent(10)
+	c.AddBytesReceived(20)
+	c.AddMessageSent()
+	c.AddMessageReceived()
+	s := c.Snapshot()
+	if s.NodesEvaluated != 3 || s.ValuesMoved != 4 || s.PolysFetched != 2 ||
+		s.PolyBytesMoved != 100 || s.Rounds != 2 || s.NodesVisited != 5 ||
+		s.NodesPruned != 1 || s.TagsRecovered != 1 || s.VerifyFailures != 1 ||
+		s.BytesSent != 10 || s.BytesReceived != 20 ||
+		s.MessagesSent != 1 || s.MessagesRcvd != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestSubDelta(t *testing.T) {
+	c := &Counters{}
+	c.AddRound()
+	before := c.Snapshot()
+	c.AddRound()
+	c.AddValuesMoved(7)
+	delta := c.Snapshot().Sub(before)
+	if delta.Rounds != 1 || delta.ValuesMoved != 7 {
+		t.Errorf("delta = %+v", delta)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := &Counters{}
+	c.AddRound()
+	c.AddBytesSent(99)
+	c.Reset()
+	s := c.Snapshot()
+	if s != (Snapshot{}) {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := &Counters{}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.AddNodesEvaluated(1)
+				c.AddRound()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.NodesEvaluated != 5000 || s.Rounds != 5000 {
+		t.Errorf("lost updates: %+v", s)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := &Counters{}
+	c.AddRound()
+	out := c.Snapshot().String()
+	if !strings.Contains(out, "rounds=1") {
+		t.Errorf("String() = %q", out)
+	}
+}

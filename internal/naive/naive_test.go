@@ -1,0 +1,113 @@
+package naive
+
+import (
+	"testing"
+
+	"sssearch/internal/xmltree"
+	"sssearch/internal/xpath"
+)
+
+const paperDoc = `<customers><client><name/></client><client><name/></client></customers>`
+
+func doc(t *testing.T, s string) *xmltree.Node {
+	t.Helper()
+	n, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEncryptQueryRoundTrip(t *testing.T) {
+	key := []byte("master-key")
+	st, err := Encrypt(key, doc(t, paperDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Query(key, st, xpath.MustParse("//client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %v", res.Matches)
+	}
+	// Every query moves the whole store.
+	if res.BytesMoved != st.ByteSize() {
+		t.Errorf("moved %d, store %d", res.BytesMoved, st.ByteSize())
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	key := []byte("k")
+	st, _ := Encrypt(key, doc(t, paperDoc))
+	blob, _ := st.Download()
+	for _, word := range []string{"customers", "client", "name"} {
+		if containsSub(blob, []byte(word)) {
+			t.Errorf("ciphertext leaks %q", word)
+		}
+	}
+}
+
+func containsSub(hay, needle []byte) bool {
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWrongKeyAndTamperDetected(t *testing.T) {
+	st, _ := Encrypt([]byte("right"), doc(t, paperDoc))
+	blob, _ := st.Download()
+	if _, err := Decrypt([]byte("wrong"), blob); err == nil {
+		t.Error("wrong key accepted")
+	}
+	blob[20] ^= 0xFF
+	if _, err := Decrypt([]byte("right"), blob); err == nil {
+		t.Error("tampered blob accepted")
+	}
+	if _, err := Decrypt([]byte("right"), blob[:10]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+}
+
+func TestFreshNoncePerEncryption(t *testing.T) {
+	key := []byte("k2")
+	a, _ := Encrypt(key, doc(t, paperDoc))
+	b, _ := Encrypt(key, doc(t, paperDoc))
+	ab, _ := a.Download()
+	bb, _ := b.Download()
+	if containsSub(ab, bb[:16]) {
+		t.Error("nonce reuse across encryptions")
+	}
+}
+
+func TestEncryptNil(t *testing.T) {
+	if _, err := Encrypt([]byte("k"), nil); err == nil {
+		t.Error("nil doc accepted")
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	key := []byte("bench")
+	root := xmltree.NewNode("root")
+	for i := 0; i < 500; i++ {
+		root.AddChild("leaf")
+	}
+	st, _ := Encrypt(key, root)
+	q := xpath.MustParse("//leaf")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Query(key, st, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

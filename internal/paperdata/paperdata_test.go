@@ -1,0 +1,113 @@
+package paperdata
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestFixtureSelfConsistency re-derives every published figure value from
+// first principles — the paper's example must be internally consistent
+// with its own construction rules.
+func TestFixtureSelfConsistency(t *testing.T) {
+	doc := Document()
+	if doc.Count() != 5 {
+		t.Fatalf("document has %d nodes", doc.Count())
+	}
+	// Figure 2(a) from figure 1(b) mapping via the F_5 ring.
+	fp := FpRing()
+	name := fp.Linear(big.NewInt(TagValues["name"]))
+	client := fp.Mul(fp.Linear(big.NewInt(TagValues["client"])), name)
+	root := fp.Mul(fp.Linear(big.NewInt(TagValues["customers"])), fp.Mul(client, client))
+	if !root.Equal(Fig2a["/"]) || !client.Equal(Fig2a["/0"]) || !name.Equal(Fig2a["/0/0"]) {
+		t.Error("Fig2a fixtures inconsistent with construction")
+	}
+	// Figure 2(b) via the Z ring.
+	z := ZRing()
+	nameZ := z.Linear(big.NewInt(TagValues["name"]))
+	clientZ := z.Mul(z.Linear(big.NewInt(TagValues["client"])), nameZ)
+	rootZ := z.Mul(z.Linear(big.NewInt(TagValues["customers"])), z.Mul(clientZ, clientZ))
+	if !rootZ.Equal(Fig2b["/"]) {
+		t.Errorf("Fig2b root: %v vs %v", rootZ, Fig2b["/"])
+	}
+	// Figures 3/4: shares sum to the encodings.
+	for path, pair := range Fig3 {
+		if !fp.Equal(fp.Add(pair.Client, pair.Server), Fig2a[path]) {
+			t.Errorf("Fig3 %s inconsistent", path)
+		}
+	}
+	for path, pair := range Fig4 {
+		if !z.Equal(z.Add(pair.Client, pair.Server), Fig2b[path]) {
+			t.Errorf("Fig4 %s inconsistent", path)
+		}
+	}
+	// Figures 5/6: evaluations of the shares at x=2.
+	a := big.NewInt(QueryPoint)
+	for path, want := range Fig5 {
+		cv, err := fp.Eval(Fig3[path].Client, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := fp.Eval(Fig3[path].Server, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cv.Int64() != want.Client || sv.Int64() != want.Server {
+			t.Errorf("Fig5 %s: (%v,%v) vs (%d,%d)", path, cv, sv, want.Client, want.Server)
+		}
+		sum := new(big.Int).Add(cv, sv)
+		sum.Mod(sum, big.NewInt(5))
+		if sum.Int64() != want.Sum {
+			t.Errorf("Fig5 %s sum: %v vs %d", path, sum, want.Sum)
+		}
+	}
+	for path, want := range Fig6 {
+		cv, err := z.Eval(Fig4[path].Client, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := z.Eval(Fig4[path].Server, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cv.Int64() != want.Client || sv.Int64() != want.Server {
+			t.Errorf("Fig6 %s: (%v,%v) vs (%d,%d)", path, cv, sv, want.Client, want.Server)
+		}
+	}
+	// The mapping fixture pins exactly figure 1(b).
+	m := Mapping(nil)
+	for tag, v := range TagValues {
+		got, ok := m.Value(tag)
+		if !ok || got.Int64() != v {
+			t.Errorf("mapping %s = %v, want %d", tag, got, v)
+		}
+	}
+	// NodeOrder covers every fixture path exactly once.
+	if len(NodeOrder) != 5 || len(NodeTags) != 5 {
+		t.Error("node path fixtures incomplete")
+	}
+	for _, p := range NodeOrder {
+		if _, ok := Fig2a[p]; !ok {
+			t.Errorf("path %s missing from Fig2a", p)
+		}
+		if _, ok := NodeTags[p]; !ok {
+			t.Errorf("path %s missing from NodeTags", p)
+		}
+	}
+}
+
+// TestLemma3ViolationDocumented: the paper's own example maps name→4 = p-1
+// for p=5. Verify that the example still happens to work (the root
+// polynomial is nonzero) — the reason the figures reproduce despite the
+// violated precondition.
+func TestLemma3ViolationDocumented(t *testing.T) {
+	if TagValues["name"] != 4 {
+		t.Skip("fixture changed")
+	}
+	if Fig2a["/"].IsZero() {
+		t.Error("the paper's example should survive its own Lemma 3 violation")
+	}
+	// MaxTag of F_5 is 3 < 4: the strict API refuses this mapping.
+	if FpRing().MaxTag().Int64() != 3 {
+		t.Error("F_5 safe tag bound should be 3")
+	}
+}

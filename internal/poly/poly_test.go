@@ -1,0 +1,465 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func fromI64(vs ...int64) Poly { return FromInt64(vs...) }
+
+func TestConstructorsAndCanonicalForm(t *testing.T) {
+	z := Zero()
+	if !z.IsZero() || z.Degree() != -1 || z.Len() != 0 {
+		t.Error("Zero() not canonical")
+	}
+	p := FromInt64(1, 2, 0, 0)
+	if p.Degree() != 1 {
+		t.Errorf("trailing zeros not trimmed: deg=%d", p.Degree())
+	}
+	if One().Degree() != 0 || One().Coeff(0).Int64() != 1 {
+		t.Error("One() wrong")
+	}
+	if X().Degree() != 1 || X().Coeff(1).Int64() != 1 || X().Coeff(0).Sign() != 0 {
+		t.Error("X() wrong")
+	}
+	l := Linear(big.NewInt(4))
+	if !l.Equal(fromI64(-4, 1)) {
+		t.Errorf("Linear(4) = %v", l)
+	}
+	m := Monomial(big.NewInt(3), 4)
+	if !m.Equal(fromI64(0, 0, 0, 0, 3)) {
+		t.Errorf("Monomial = %v", m)
+	}
+	if !Monomial(big.NewInt(0), 5).IsZero() {
+		t.Error("zero monomial not canonical")
+	}
+	if New(nil, big.NewInt(1)).Coeff(0).Sign() != 0 {
+		t.Error("nil coefficient should read as zero")
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	a := big.NewInt(7)
+	p := New(a)
+	a.SetInt64(99)
+	if p.Coeff(0).Int64() != 7 {
+		t.Error("New did not copy coefficients")
+	}
+	c := p.Coeff(0)
+	c.SetInt64(55)
+	if p.Coeff(0).Int64() != 7 {
+		t.Error("Coeff leaked internal state")
+	}
+	cs := p.Coeffs()
+	cs[0].SetInt64(42)
+	if p.Coeff(0).Int64() != 7 {
+		t.Error("Coeffs leaked internal state")
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	p := fromI64(1, 2, 3)
+	q := fromI64(4, 5)
+	if !p.Add(q).Equal(fromI64(5, 7, 3)) {
+		t.Error("Add wrong")
+	}
+	if !p.Sub(q).Equal(fromI64(-3, -3, 3)) {
+		t.Error("Sub wrong")
+	}
+	if !p.Sub(p).IsZero() {
+		t.Error("p-p != 0")
+	}
+	if !p.Neg().Add(p).IsZero() {
+		t.Error("p + (-p) != 0")
+	}
+	// Cancellation of leading terms must re-canonicalise.
+	a := fromI64(1, 1, 5)
+	b := fromI64(0, 0, 5)
+	if a.Sub(b).Degree() != 1 {
+		t.Error("cancellation did not trim")
+	}
+}
+
+func TestMulBasic(t *testing.T) {
+	// (x-2)(x-4) = x^2 - 6x + 8 — the paper's "client" node.
+	got := Linear(big.NewInt(2)).Mul(Linear(big.NewInt(4)))
+	if !got.Equal(fromI64(8, -6, 1)) {
+		t.Errorf("(x-2)(x-4) = %v", got)
+	}
+	if !Zero().Mul(fromI64(1, 2)).IsZero() {
+		t.Error("0*p != 0")
+	}
+	if !One().Mul(fromI64(1, 2)).Equal(fromI64(1, 2)) {
+		t.Error("1*p != p")
+	}
+	if !fromI64(2).Mul(fromI64(0, 0, 3)).Equal(fromI64(0, 0, 6)) {
+		t.Error("scalar*monomial wrong")
+	}
+}
+
+func TestMulScalarShiftPow(t *testing.T) {
+	p := fromI64(1, 2)
+	if !p.MulScalar(big.NewInt(3)).Equal(fromI64(3, 6)) {
+		t.Error("MulScalar wrong")
+	}
+	if !p.MulScalar(big.NewInt(0)).IsZero() {
+		t.Error("MulScalar 0 wrong")
+	}
+	if !p.ShiftDeg(2).Equal(fromI64(0, 0, 1, 2)) {
+		t.Error("ShiftDeg wrong")
+	}
+	if !Zero().ShiftDeg(3).IsZero() {
+		t.Error("shift of zero wrong")
+	}
+	// (x+1)^3 = x^3+3x^2+3x+1
+	if !fromI64(1, 1).Pow(3).Equal(fromI64(1, 3, 3, 1)) {
+		t.Error("Pow wrong")
+	}
+	if !fromI64(5, 7).Pow(0).Equal(One()) {
+		t.Error("p^0 != 1")
+	}
+}
+
+func randPoly(r *rand.Rand, deg int) Poly {
+	c := make([]*big.Int, deg+1)
+	for i := range c {
+		c[i] = big.NewInt(r.Int63n(2001) - 1000)
+	}
+	return New(c...)
+}
+
+func TestKaratsubaMatchesSchoolbook(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		p := randPoly(r, 20+r.Intn(100))
+		q := randPoly(r, 20+r.Intn(100))
+		fast := p.Mul(q)
+		slow := p.mulSchoolbook(q)
+		if !fast.Equal(slow) {
+			t.Fatalf("trial %d: Karatsuba != schoolbook", trial)
+		}
+	}
+}
+
+func TestMulRingAxiomsProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randPoly(r, r.Intn(12)))
+			}
+		},
+	}
+	err := quick.Check(func(p, q, s Poly) bool {
+		if !p.Mul(q).Equal(q.Mul(p)) {
+			return false
+		}
+		if !p.Mul(q.Mul(s)).Equal(p.Mul(q).Mul(s)) {
+			return false
+		}
+		return p.Mul(q.Add(s)).Equal(p.Mul(q).Add(p.Mul(s)))
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProductBalanced(t *testing.T) {
+	// Product of (x-1)(x-2)(x-3)(x-4) = x^4 -10x^3 +35x^2 -50x + 24.
+	ps := []Poly{
+		Linear(big.NewInt(1)), Linear(big.NewInt(2)),
+		Linear(big.NewInt(3)), Linear(big.NewInt(4)),
+	}
+	got := Product(ps)
+	if !got.Equal(fromI64(24, -50, 35, -10, 1)) {
+		t.Errorf("Product = %v", got)
+	}
+	if !Product(nil).Equal(One()) {
+		t.Error("empty product != 1")
+	}
+	if !Product([]Poly{fromI64(3, 1)}).Equal(fromI64(3, 1)) {
+		t.Error("singleton product wrong")
+	}
+}
+
+func TestEval(t *testing.T) {
+	p := fromI64(8, -6, 1) // x^2-6x+8, roots 2 and 4
+	for _, c := range []struct{ x, want int64 }{{2, 0}, {4, 0}, {0, 8}, {3, -1}, {-1, 15}} {
+		if got := p.Eval(big.NewInt(c.x)); got.Int64() != c.want {
+			t.Errorf("p(%d) = %v, want %d", c.x, got, c.want)
+		}
+	}
+	if Zero().Eval(big.NewInt(5)).Sign() != 0 {
+		t.Error("zero poly eval wrong")
+	}
+}
+
+func TestEvalModMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := big.NewInt(65537)
+	for trial := 0; trial < 50; trial++ {
+		p := randPoly(r, r.Intn(30))
+		x := big.NewInt(r.Int63n(200000) - 100000)
+		want := new(big.Int).Mod(p.Eval(x), m)
+		got := p.EvalMod(x, m)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("EvalMod mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	// d/dx (x^3 + 2x^2 + 5) = 3x^2 + 4x
+	if !fromI64(5, 0, 2, 1).Derivative().Equal(fromI64(0, 4, 3)) {
+		t.Error("Derivative wrong")
+	}
+	if !fromI64(7).Derivative().IsZero() {
+		t.Error("constant derivative wrong")
+	}
+	if !Zero().Derivative().IsZero() {
+		t.Error("zero derivative wrong")
+	}
+}
+
+func TestDivMod(t *testing.T) {
+	// x^2+1 divides x^4-1 with quotient x^2-1.
+	p := fromI64(-1, 0, 0, 0, 1)
+	d := fromI64(1, 0, 1)
+	q, r, err := p.DivMod(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(fromI64(-1, 0, 1)) || !r.IsZero() {
+		t.Errorf("DivMod: q=%v r=%v", q, r)
+	}
+	// Remainder case: x^3 mod (x^2+1) = -x.
+	rem, err := fromI64(0, 0, 0, 1).Mod(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rem.Equal(fromI64(0, -1)) {
+		t.Errorf("x^3 mod x^2+1 = %v", rem)
+	}
+	// Degree smaller than divisor: identity remainder.
+	small := fromI64(3, 4)
+	q2, r2, err := small.DivMod(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.IsZero() || !r2.Equal(small) {
+		t.Error("small DivMod wrong")
+	}
+	if _, _, err := p.DivMod(Zero()); err != ErrDivByZero {
+		t.Errorf("div by zero: %v", err)
+	}
+	if _, _, err := p.DivMod(fromI64(1, 2)); err != ErrDivisorNotMonic {
+		t.Errorf("non-monic: %v", err)
+	}
+}
+
+func TestDivModProperty(t *testing.T) {
+	// For random p and monic d: p == q*d + r with deg r < deg d.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		p := randPoly(r, r.Intn(40))
+		dDeg := 1 + r.Intn(6)
+		dc := make([]*big.Int, dDeg+1)
+		for i := range dc {
+			dc[i] = big.NewInt(r.Int63n(41) - 20)
+		}
+		dc[dDeg] = big.NewInt(1) // monic
+		d := New(dc...)
+		q, rem, err := p.DivMod(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rem.Degree() >= d.Degree() {
+			t.Fatalf("remainder degree %d >= divisor degree %d", rem.Degree(), d.Degree())
+		}
+		if !q.Mul(d).Add(rem).Equal(p) {
+			t.Fatalf("q*d + r != p")
+		}
+	}
+}
+
+func TestReduceCoeffs(t *testing.T) {
+	p := fromI64(8, -6, 1)
+	got := p.ReduceCoeffs(big.NewInt(5))
+	if !got.Equal(fromI64(3, 4, 1)) {
+		t.Errorf("ReduceCoeffs = %v", got)
+	}
+	// Reduction can lower the degree.
+	if fromI64(1, 5).ReduceCoeffs(big.NewInt(5)).Degree() != 0 {
+		t.Error("reduction did not trim")
+	}
+}
+
+func TestMaxCoeffBitLen(t *testing.T) {
+	if Zero().MaxCoeffBitLen() != 0 {
+		t.Error("zero bitlen wrong")
+	}
+	if fromI64(-255, 3).MaxCoeffBitLen() != 8 {
+		t.Error("bitlen wrong")
+	}
+}
+
+func TestStringPaperNotation(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{Zero(), "0"},
+		{fromI64(3, 3, 3, 3), "3x^3 + 3x^2 + 3x + 3"},
+		{fromI64(7, -6), "-6x + 7"},
+		{fromI64(45, 265), "265x + 45"},
+		{fromI64(1, 1), "x + 1"},
+		{fromI64(-4, 1), "x - 4"},
+		{fromI64(0, 0, 1), "x^2"},
+		{fromI64(0, -1), "-x"},
+		{fromI64(5), "5"},
+		{fromI64(2, 0, 4, 3), "3x^3 + 4x^2 + 2"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLeadingCoeffMonic(t *testing.T) {
+	if fromI64(1, 2, 3).LeadingCoeff().Int64() != 3 {
+		t.Error("LeadingCoeff wrong")
+	}
+	if Zero().LeadingCoeff().Sign() != 0 {
+		t.Error("zero LeadingCoeff wrong")
+	}
+	if !fromI64(9, 1).IsMonic() || fromI64(9, 2).IsMonic() || Zero().IsMonic() {
+		t.Error("IsMonic wrong")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	polys := []Poly{Zero(), One(), fromI64(-4, 1), fromI64(45, 265)}
+	for i := 0; i < 50; i++ {
+		polys = append(polys, randPoly(r, r.Intn(20)))
+	}
+	// Include a huge coefficient.
+	big1 := new(big.Int).Lsh(big.NewInt(1), 1000)
+	polys = append(polys, New(big1, new(big.Int).Neg(big1)))
+	for _, p := range polys {
+		data, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q Poly
+		if err := q.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal %v: %v", p, err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("round trip: %v != %v", q, p)
+		}
+	}
+}
+
+func TestDecodePolyStream(t *testing.T) {
+	a, b := fromI64(1, 2, 3), fromI64(-7)
+	buf, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = b.AppendBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, rest, err := DecodePoly(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, rest, err := DecodePoly(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !p1.Equal(a) || !p2.Equal(b) {
+		t.Error("stream decode wrong")
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	bad := [][]byte{
+		{},                 // empty
+		{0x01},             // count 1 but no coeff
+		{0x01, 0x05},       // invalid sign byte
+		{0x01, 0x01},       // positive sign but no length
+		{0x01, 0x01, 0x05}, // length 5 but no bytes
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // absurd count
+	}
+	for i, b := range bad {
+		var p Poly
+		if err := p.UnmarshalBinary(b); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Trailing garbage must be rejected by UnmarshalBinary.
+	data, _ := fromI64(1).MarshalBinary()
+	data = append(data, 0xAA)
+	var p Poly
+	if err := p.UnmarshalBinary(data); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestMarshalPropertyRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randPoly(r, r.Intn(16)))
+		},
+	}
+	err := quick.Check(func(p Poly) bool {
+		data, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var q Poly
+		if err := q.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return q.Equal(p)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMulSchoolbookDeg64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	p, q := randPoly(r, 64), randPoly(r, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.mulSchoolbook(q)
+	}
+}
+
+func BenchmarkMulKaratsubaDeg64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	p, q := randPoly(r, 64), randPoly(r, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.mulKaratsuba(q)
+	}
+}
+
+func BenchmarkEvalModDeg100(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	p := randPoly(r, 100)
+	m := big.NewInt(1000003)
+	x := big.NewInt(31337)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EvalMod(x, m)
+	}
+}

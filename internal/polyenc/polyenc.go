@@ -1,0 +1,261 @@
+// Package polyenc implements the paper's §4.1 data representation: the
+// translation of an XML element tree into a tree of polynomials over a
+// quotient ring, and the inverse — unique recovery of a node's tag value
+// from its polynomial and its children's polynomials (Theorems 1 and 2).
+//
+// Construction (bottom-up): a leaf named n becomes (x − map(n)); an interior
+// node is (x − map(node)) · ∏ children. Every node polynomial therefore has
+// the tag values of its entire subtree among its roots, which is what lets
+// the query protocol prune dead branches from a single evaluation.
+package polyenc
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/poly"
+	"sssearch/internal/ring"
+	"sssearch/internal/xmltree"
+)
+
+// Node is one element of an encoded tree.
+type Node struct {
+	// Poly is the node's polynomial, a canonical ring representative.
+	Poly poly.Poly
+	// Children mirror the XML element order.
+	Children []*Node
+}
+
+// Tree is the polynomial image of an XML document.
+type Tree struct {
+	Ring ring.Ring
+	Root *Node
+}
+
+var (
+	// ErrInconsistent is returned by RecoverTag when the node/children
+	// polynomials do not satisfy f ≡ (x−t)·∏qᵢ for any t — the signature of
+	// a corrupted or dishonest server (§4.3: "we now have at least a way to
+	// check the answer").
+	ErrInconsistent = errors.New("polyenc: polynomials inconsistent — no tag value satisfies eq. (2)")
+	// ErrNoEquation is returned when every coefficient equation is
+	// indeterminate (∏qᵢ ≡ 0, ruled out by Lemma 3 for honest trees).
+	ErrNoEquation = errors.New("polyenc: all coefficient equations degenerate")
+)
+
+// Opts tunes encoding behaviour.
+type Opts struct {
+	// AllowTagOverflow disables the Lemma 3 tag-domain check (values must
+	// lie in [1, MaxTag] of the ring). The paper's own figure 1(b) example
+	// maps name→4 = p−1 with p = 5 — violating the paper's Lemma 3
+	// precondition — and still happens to work; this flag exists precisely
+	// to reproduce that example. Production encodings must keep it false:
+	// a tag equal to p−1 makes node polynomials able to vanish identically,
+	// silently destroying Theorem 1's uniqueness.
+	AllowTagOverflow bool
+}
+
+// Encode translates doc into a polynomial tree over r, assigning mapping
+// values for unseen tags as it goes. Tag values outside the ring's safe
+// domain are rejected (Lemma 3).
+func Encode(r ring.Ring, doc *xmltree.Node, m *mapping.Map) (*Tree, error) {
+	return EncodeWithOpts(r, doc, m, Opts{})
+}
+
+// EncodeWithOpts is Encode with explicit options.
+func EncodeWithOpts(r ring.Ring, doc *xmltree.Node, m *mapping.Map, o Opts) (*Tree, error) {
+	if doc == nil {
+		return nil, errors.New("polyenc: nil document")
+	}
+	root, err := encodeNode(r, doc, m, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Ring: r, Root: root}, nil
+}
+
+func encodeNode(r ring.Ring, n *xmltree.Node, m *mapping.Map, o Opts) (*Node, error) {
+	out := &Node{}
+	prod := r.One()
+	for _, c := range n.Children {
+		ec, err := encodeNode(r, c, m, o)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, ec)
+		prod = r.Mul(prod, ec.Poly)
+	}
+	tag, err := m.Assign(n.Tag)
+	if err != nil {
+		return nil, fmt.Errorf("polyenc: encoding %q: %w", n.PathString(), err)
+	}
+	if maxTag := r.MaxTag(); !o.AllowTagOverflow && maxTag != nil && tag.Cmp(maxTag) > 0 {
+		return nil, fmt.Errorf("polyenc: tag %q maps to %s, outside the ring's safe domain [1,%s] (Lemma 3)",
+			n.Tag, tag, maxTag)
+	}
+	out.Poly = r.Mul(r.Linear(tag), prod)
+	return out, nil
+}
+
+// EncodeUnreduced builds the non-reduced Z[x] representation of figure 1(c):
+// plain integer polynomials with no quotient reduction. Degrees equal
+// subtree sizes; used by experiment E1 and the figure printer.
+func EncodeUnreduced(doc *xmltree.Node, m *mapping.Map) (*Node, error) {
+	if doc == nil {
+		return nil, errors.New("polyenc: nil document")
+	}
+	out := &Node{}
+	prod := poly.One()
+	for _, c := range doc.Children {
+		ec, err := EncodeUnreduced(c, m)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, ec)
+		prod = prod.Mul(ec.Poly)
+	}
+	tag, err := m.Assign(doc.Tag)
+	if err != nil {
+		return nil, err
+	}
+	out.Poly = poly.Linear(tag).Mul(prod)
+	return out, nil
+}
+
+// Walk visits the encoded tree in preorder with each node's key.
+func (t *Tree) Walk(fn func(key drbg.NodeKey, n *Node) bool) {
+	walkNode(t.Root, drbg.NodeKey{}, fn)
+}
+
+func walkNode(n *Node, key drbg.NodeKey, fn func(drbg.NodeKey, *Node) bool) {
+	if !fn(key, n) {
+		return
+	}
+	for i, c := range n.Children {
+		walkNode(c, key.Child(uint32(i)), fn)
+	}
+}
+
+// Count returns the number of nodes in the encoded tree.
+func (t *Tree) Count() int {
+	total := 0
+	t.Walk(func(drbg.NodeKey, *Node) bool { total++; return true })
+	return total
+}
+
+// Lookup resolves a node key.
+func (t *Tree) Lookup(key drbg.NodeKey) (*Node, error) {
+	cur := t.Root
+	for depth, idx := range key {
+		if int(idx) >= len(cur.Children) {
+			return nil, fmt.Errorf("polyenc: key %v invalid at depth %d", key, depth)
+		}
+		cur = cur.Children[int(idx)]
+	}
+	return cur, nil
+}
+
+// MaxCoeffBits returns the largest coefficient bit length over the whole
+// tree — the §5 coefficient-growth metric (experiment E13).
+func (t *Tree) MaxCoeffBits() int {
+	maxBits := 0
+	t.Walk(func(_ drbg.NodeKey, n *Node) bool {
+		if b := n.Poly.MaxCoeffBitLen(); b > maxBits {
+			maxBits = b
+		}
+		return true
+	})
+	return maxBits
+}
+
+// RecoverTag solves f ≡ (x − t)·∏qᵢ (mod ring) for the unique t
+// (Theorem 1 for F_p[x]/(x^{p-1}−1), Theorem 2 for Z[x]/(r(x))).
+//
+// Method (eqs. (2)–(3) of the paper): let Q = ∏qᵢ. Then
+// t·Q ≡ Q·x − f coefficient-wise; the first coordinate with an invertible
+// (resp. exactly dividing) Q coefficient determines t, and the remaining
+// coordinates — checked via a full ring identity — verify it, which is what
+// catches a lying server.
+func RecoverTag(r ring.Ring, f poly.Poly, children []poly.Poly) (*big.Int, error) {
+	q := r.One()
+	for _, c := range children {
+		q = r.Mul(q, c)
+	}
+	qx := r.Mul(q, poly.X())
+	d := r.Sub(qx, f) // d should equal t·Q in the ring
+
+	bound := r.DegreeBound()
+	var t *big.Int
+	for i := 0; i < bound; i++ {
+		qi := q.Coeff(i)
+		if r.CoeffZero(qi) {
+			// Indeterminate coordinate: needs d_i ≡ 0 too, verified by the
+			// final identity check below.
+			continue
+		}
+		cand, ok := r.SolveScalar(d.Coeff(i), qi)
+		if !ok {
+			return nil, fmt.Errorf("%w: coefficient %d not divisible", ErrInconsistent, i)
+		}
+		t = cand
+		break
+	}
+	if t == nil {
+		return nil, ErrNoEquation
+	}
+	// Full verification: all p-1 (resp. deg r) coefficient equations at once.
+	if !r.Equal(r.Mul(r.Linear(t), q), f) {
+		return nil, ErrInconsistent
+	}
+	return t, nil
+}
+
+// RecoverTagUnchecked solves only the single lowest usable coefficient
+// equation without the cross-check — the paper's trusted-server shortcut
+// ("if we trust the server …, only the last equation is enough").
+func RecoverTagUnchecked(r ring.Ring, f poly.Poly, children []poly.Poly) (*big.Int, error) {
+	q := r.One()
+	for _, c := range children {
+		q = r.Mul(q, c)
+	}
+	qx := r.Mul(q, poly.X())
+	d := r.Sub(qx, f)
+	for i := 0; i < r.DegreeBound(); i++ {
+		qi := q.Coeff(i)
+		if r.CoeffZero(qi) {
+			continue
+		}
+		if t, ok := r.SolveScalar(d.Coeff(i), qi); ok {
+			return t, nil
+		}
+		return nil, ErrInconsistent
+	}
+	return nil, ErrNoEquation
+}
+
+// RecoverAllTags recovers the tag value of every node of the tree and
+// returns them keyed by node path — the tree-wide exercise of Theorems 1–2.
+func (t *Tree) RecoverAllTags() (map[string]*big.Int, error) {
+	out := map[string]*big.Int{}
+	var firstErr error
+	t.Walk(func(key drbg.NodeKey, n *Node) bool {
+		children := make([]poly.Poly, len(n.Children))
+		for i, c := range n.Children {
+			children[i] = c.Poly
+		}
+		v, err := RecoverTag(t.Ring, n.Poly, children)
+		if err != nil {
+			firstErr = fmt.Errorf("polyenc: node %s: %w", key, err)
+			return false
+		}
+		out[key.String()] = v
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,307 @@
+package polyenc
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/paperdata"
+	"sssearch/internal/poly"
+	"sssearch/internal/ring"
+	"sssearch/internal/xmltree"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+// TestEncodeFig1Unreduced reproduces figure 1(c): the non-reduced Z[x]
+// representation. customers = (x−3)((x−2)(x−4))².
+func TestEncodeFig1Unreduced(t *testing.T) {
+	doc := paperdata.Document()
+	m := paperdata.Mapping(nil)
+	root, err := EncodeUnreduced(doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := poly.Linear(bi(4))
+	client := poly.Linear(bi(2)).Mul(name)
+	want := poly.Linear(bi(3)).Mul(client).Mul(client)
+	if !root.Poly.Equal(want) {
+		t.Errorf("root = %v\nwant  %v", root.Poly, want)
+	}
+	if len(root.Children) != 2 {
+		t.Fatal("children lost")
+	}
+	for _, c := range root.Children {
+		if !c.Poly.Equal(client) {
+			t.Errorf("client = %v, want %v", c.Poly, client)
+		}
+		if !c.Children[0].Poly.Equal(name) {
+			t.Errorf("name = %v, want %v", c.Children[0].Poly, name)
+		}
+	}
+	// Degree equals subtree size: 5 nodes → degree 5.
+	if root.Poly.Degree() != 5 {
+		t.Errorf("root degree = %d, want 5", root.Poly.Degree())
+	}
+}
+
+// TestEncodeFig2a reproduces figure 2(a) through the full encoder
+// (needs AllowTagOverflow — the paper's example maps name→4 = p−1).
+func TestEncodeFig2a(t *testing.T) {
+	tree, err := EncodeWithOpts(paperdata.FpRing(), paperdata.Document(),
+		paperdata.MappingFp(), Opts{AllowTagOverflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Walk(func(key drbg.NodeKey, n *Node) bool {
+		want := paperdata.Fig2a[key.String()]
+		if !n.Poly.Equal(want) {
+			t.Errorf("node %s = %v, want %v", key, n.Poly, want)
+		}
+		return true
+	})
+}
+
+// TestEncodeFig2b reproduces figure 2(b) in Z[x]/(x^2+1).
+func TestEncodeFig2b(t *testing.T) {
+	tree, err := Encode(paperdata.ZRing(), paperdata.Document(), paperdata.Mapping(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Walk(func(key drbg.NodeKey, n *Node) bool {
+		want := paperdata.Fig2b[key.String()]
+		if !n.Poly.Equal(want) {
+			t.Errorf("node %s = %v, want %v", key, n.Poly, want)
+		}
+		return true
+	})
+	if tree.Count() != 5 {
+		t.Errorf("Count = %d", tree.Count())
+	}
+}
+
+func TestEncodeRejectsLemma3Violation(t *testing.T) {
+	// Strict mode must refuse the paper's name→4 with p=5.
+	_, err := Encode(paperdata.FpRing(), paperdata.Document(), paperdata.MappingFp())
+	if err == nil {
+		t.Fatal("tag p-1 accepted in strict mode")
+	}
+}
+
+func TestEncodeNilDoc(t *testing.T) {
+	if _, err := Encode(paperdata.ZRing(), nil, paperdata.Mapping(nil)); err == nil {
+		t.Error("nil doc accepted")
+	}
+	if _, err := EncodeUnreduced(nil, paperdata.Mapping(nil)); err == nil {
+		t.Error("nil doc accepted (unreduced)")
+	}
+}
+
+// TestRecoverTagPaperExample solves eq. (2) on the paper's tree: the root's
+// tag (customers → 3) from the root polynomial and its children.
+func TestRecoverTagPaperExample(t *testing.T) {
+	// Z ring (Theorem 2).
+	z := paperdata.ZRing()
+	rootP := paperdata.Fig2b["/"]
+	children := []poly.Poly{paperdata.Fig2b["/0"], paperdata.Fig2b["/1"]}
+	tag, err := RecoverTag(z, rootP, children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag.Int64() != 3 {
+		t.Errorf("recovered %v, want 3 (customers)", tag)
+	}
+	// Leaf recovery: no children.
+	tag, err = RecoverTag(z, paperdata.Fig2b["/0/0"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag.Int64() != 4 {
+		t.Errorf("leaf recovered %v, want 4 (name)", tag)
+	}
+	// F_p ring (Theorem 1).
+	fp := paperdata.FpRing()
+	tag, err = RecoverTag(fp, paperdata.Fig2a["/"], []poly.Poly{paperdata.Fig2a["/0"], paperdata.Fig2a["/1"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag.Int64() != 3 {
+		t.Errorf("Fp recovered %v, want 3", tag)
+	}
+	// Unchecked variant agrees on honest data.
+	tag, err = RecoverTagUnchecked(z, rootP, children)
+	if err != nil || tag.Int64() != 3 {
+		t.Errorf("unchecked: %v, %v", tag, err)
+	}
+}
+
+// TestRecoverTagDetectsTampering: a modified polynomial must trip the
+// consistency check (the paper's lying-server detection).
+func TestRecoverTagDetectsTampering(t *testing.T) {
+	z := paperdata.ZRing()
+	children := []poly.Poly{paperdata.Fig2b["/0"], paperdata.Fig2b["/1"]}
+	// Tamper with the root: add 1.
+	bad := paperdata.Fig2b["/"].Add(poly.One())
+	if _, err := RecoverTag(z, bad, children); err == nil {
+		t.Error("tampered root accepted (Z)")
+	}
+	// Tamper with a child.
+	badChildren := []poly.Poly{paperdata.Fig2b["/0"].Add(poly.X()), paperdata.Fig2b["/1"]}
+	if _, err := RecoverTag(z, paperdata.Fig2b["/"], badChildren); err == nil {
+		t.Error("tampered child accepted (Z)")
+	}
+	fp := paperdata.FpRing()
+	badFp := fp.Add(paperdata.Fig2a["/"], poly.One())
+	if _, err := RecoverTag(fp, badFp, []poly.Poly{paperdata.Fig2a["/0"], paperdata.Fig2a["/1"]}); err == nil {
+		t.Error("tampered root accepted (Fp)")
+	}
+}
+
+// TestRecoverAllTagsRandomTrees is the tree-wide Theorem 1/2 property test:
+// encode a random tree, then recover every node's tag exactly.
+func TestRecoverAllTagsRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rings := []ring.Ring{
+		ring.MustFp(101),
+		ring.MustIntQuotient(1, 0, 1),
+		ring.MustIntQuotient(1, 1, 0, 1), // x^3+x+1
+	}
+	for _, r := range rings {
+		for trial := 0; trial < 8; trial++ {
+			doc := randomDoc(rng, 3, 3)
+			m, err := mapping.New(r.MaxTag(), []byte(fmt.Sprintf("s%d", trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := Encode(r, doc, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tree.RecoverAllTags()
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", r.Name(), trial, err)
+			}
+			// Compare with the ground truth tag of each node.
+			var check func(n *xmltree.Node, key drbg.NodeKey)
+			check = func(n *xmltree.Node, key drbg.NodeKey) {
+				want, _ := m.Value(n.Tag)
+				if got[key.String()].Cmp(want) != 0 {
+					t.Fatalf("%s node %s: recovered %v, want %v (%s)",
+						r.Name(), key, got[key.String()], want, n.Tag)
+				}
+				for i, c := range n.Children {
+					check(c, key.Child(uint32(i)))
+				}
+			}
+			check(doc, drbg.NodeKey{})
+		}
+	}
+}
+
+func randomDoc(rng *rand.Rand, depth, fan int) *xmltree.Node {
+	tags := []string{"a", "b", "c", "d", "e", "f", "g"}
+	n := xmltree.NewNode(tags[rng.Intn(len(tags))])
+	if depth > 0 {
+		for i := 0; i < rng.Intn(fan+1); i++ {
+			n.AppendChild(randomDoc(rng, depth-1, fan))
+		}
+	}
+	return n
+}
+
+func TestTreeLookupAndWalkPrune(t *testing.T) {
+	tree, _ := Encode(paperdata.ZRing(), paperdata.Document(), paperdata.Mapping(nil))
+	n, err := tree.Lookup(drbg.NodeKey{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Poly.Equal(paperdata.Fig2b["/1/0"]) {
+		t.Error("Lookup returned wrong node")
+	}
+	if _, err := tree.Lookup(drbg.NodeKey{5}); err == nil {
+		t.Error("bad key accepted")
+	}
+	visited := 0
+	tree.Walk(func(key drbg.NodeKey, n *Node) bool {
+		visited++
+		return len(key) == 0 // only descend from root... root's children visited, grandchildren not
+	})
+	if visited != 3 {
+		t.Errorf("walk prune visited %d, want 3", visited)
+	}
+}
+
+// TestCoeffGrowthZVsFp: the §5 observation — Z-ring coefficients grow with
+// tree size, F_p stays bounded.
+func TestCoeffGrowthZVsFp(t *testing.T) {
+	// Chain document of depth n: tag1/tag2/.../tagn.
+	build := func(n int) *xmltree.Node {
+		root := xmltree.NewNode("t0")
+		cur := root
+		for i := 1; i < n; i++ {
+			cur = cur.AddChild(fmt.Sprintf("t%d", i))
+		}
+		return root
+	}
+	z := paperdata.ZRing()
+	fp := ring.MustFp(101)
+	mz, _ := mapping.New(bi(1000), []byte("z"))
+	mf, _ := mapping.New(fp.MaxTag(), []byte("f"))
+	var zBitsPrev int
+	for _, n := range []int{4, 8, 16} {
+		doc := build(n)
+		zt, err := Encode(z, doc, mz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, err := Encode(fp, doc, mf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zBits := zt.MaxCoeffBits()
+		fBits := ft.MaxCoeffBits()
+		if zBits <= zBitsPrev {
+			t.Errorf("Z coefficients did not grow: %d then %d", zBitsPrev, zBits)
+		}
+		zBitsPrev = zBits
+		if fBits > 7 { // coefficients < 101
+			t.Errorf("Fp coefficients exceed field size: %d bits", fBits)
+		}
+	}
+}
+
+func TestRecoverTagErrorCases(t *testing.T) {
+	z := paperdata.ZRing()
+	// f = 0 with no children: Q = 1, d = x - 0... f=0 means (x-t) ≡ 0,
+	// impossible in Z[x]/(x^2+1) → t solved from x-coeff then cross-check
+	// fails... actually x - t = 0 needs t with 1 ≡ 0: inconsistent.
+	if _, err := RecoverTag(z, poly.Zero(), nil); err == nil {
+		t.Error("zero polynomial accepted")
+	}
+}
+
+func BenchmarkEncodePaperDocZ(b *testing.B) {
+	doc := paperdata.Document()
+	z := paperdata.ZRing()
+	for i := 0; i < b.N; i++ {
+		m := paperdata.Mapping(nil)
+		if _, err := Encode(z, doc, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoverTag(b *testing.B) {
+	z := paperdata.ZRing()
+	children := []poly.Poly{paperdata.Fig2b["/0"], paperdata.Fig2b["/1"]}
+	root := paperdata.Fig2b["/"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverTag(z, root, children); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

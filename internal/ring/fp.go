@@ -1,0 +1,173 @@
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sssearch/internal/field"
+	"sssearch/internal/poly"
+)
+
+// FpCyclotomic is the quotient ring F_p[x]/(x^{p-1}-1).
+//
+// Canonical representatives have degree < p-1 and coefficients in [0, p).
+// By Lemma 1 of the paper, x^{p-1}-1 ≡ ∏_{i=1}^{p-1}(x-i) (mod p), so
+// reduction never destroys root information for tags in [1, p-2]
+// (Theorem 1).
+type FpCyclotomic struct {
+	f *field.Field
+	p *big.Int
+	// n = p-1 is the folding period (number of coefficients).
+	n int
+}
+
+// NewFpCyclotomic constructs F_p[x]/(x^{p-1}-1) for prime p >= 5.
+// Primes below 5 leave no usable tag values in [1, p-2].
+func NewFpCyclotomic(p *big.Int) (*FpCyclotomic, error) {
+	f, err := field.New(p)
+	if err != nil {
+		return nil, err
+	}
+	if p.Cmp(big.NewInt(5)) < 0 {
+		return nil, errors.New("ring: p must be >= 5 to leave usable tag values")
+	}
+	if !p.IsInt64() || p.Int64() > 1<<22 {
+		// p-1 coefficients per node; beyond ~4M coefficients per polynomial
+		// the representation is unusable in practice.
+		return nil, errors.New("ring: p too large for the F_p[x]/(x^(p-1)-1) representation")
+	}
+	return &FpCyclotomic{f: f, p: new(big.Int).Set(p), n: int(p.Int64() - 1)}, nil
+}
+
+// MustFp is NewFpCyclotomic for a uint64 prime; panics on error (tests).
+func MustFp(p uint64) *FpCyclotomic {
+	r, err := NewFpCyclotomic(new(big.Int).SetUint64(p))
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Kind implements Ring.
+func (r *FpCyclotomic) Kind() Kind { return KindFpCyclotomic }
+
+// Name implements Ring.
+func (r *FpCyclotomic) Name() string {
+	return fmt.Sprintf("F_%s[x]/(x^%d-1)", r.p, r.n)
+}
+
+// P returns (a copy of) the field characteristic.
+func (r *FpCyclotomic) P() *big.Int { return new(big.Int).Set(r.p) }
+
+// Field returns the coefficient field.
+func (r *FpCyclotomic) Field() *field.Field { return r.f }
+
+// Reduce folds degrees with x^{p-1} ≡ 1 and reduces coefficients mod p.
+func (r *FpCyclotomic) Reduce(p poly.Poly) poly.Poly {
+	if p.Degree() < r.n {
+		return p.ReduceCoeffs(r.p)
+	}
+	folded := make([]*big.Int, r.n)
+	for i := range folded {
+		folded[i] = new(big.Int)
+	}
+	for i, d := 0, p.Degree(); i <= d; i++ {
+		folded[i%r.n].Add(folded[i%r.n], p.Coeff(i))
+	}
+	return poly.New(folded...).ReduceCoeffs(r.p)
+}
+
+// Add implements Ring.
+func (r *FpCyclotomic) Add(a, b poly.Poly) poly.Poly { return r.Reduce(a.Add(b)) }
+
+// Sub implements Ring.
+func (r *FpCyclotomic) Sub(a, b poly.Poly) poly.Poly { return r.Reduce(a.Sub(b)) }
+
+// Neg implements Ring.
+func (r *FpCyclotomic) Neg(a poly.Poly) poly.Poly { return r.Reduce(a.Neg()) }
+
+// Mul implements Ring.
+func (r *FpCyclotomic) Mul(a, b poly.Poly) poly.Poly { return r.Reduce(a.Mul(b)) }
+
+// Zero implements Ring.
+func (r *FpCyclotomic) Zero() poly.Poly { return poly.Zero() }
+
+// One implements Ring.
+func (r *FpCyclotomic) One() poly.Poly { return poly.One() }
+
+// Linear implements Ring.
+func (r *FpCyclotomic) Linear(root *big.Int) poly.Poly {
+	return r.Reduce(poly.Linear(root))
+}
+
+// Equal implements Ring.
+func (r *FpCyclotomic) Equal(a, b poly.Poly) bool {
+	return r.Reduce(a).Equal(r.Reduce(b))
+}
+
+// Eval implements Ring. Evaluation at a is well defined iff a ≢ 0 (mod p):
+// the homomorphism F_p[x]/(x^{p-1}-1) → F_p, x ↦ a, requires a^{p-1} = 1.
+func (r *FpCyclotomic) Eval(f poly.Poly, a *big.Int) (*big.Int, error) {
+	am := new(big.Int).Mod(a, r.p)
+	if am.Sign() == 0 {
+		return nil, fmt.Errorf("%w: a ≡ 0 (mod %s)", ErrEvalUndefined, r.p)
+	}
+	return f.EvalMod(am, r.p), nil
+}
+
+// EvalModulus implements Ring: the codomain of Eval is always F_p.
+func (r *FpCyclotomic) EvalModulus(a *big.Int) (*big.Int, error) {
+	am := new(big.Int).Mod(a, r.p)
+	if am.Sign() == 0 {
+		return nil, ErrEvalUndefined
+	}
+	return new(big.Int).Set(r.p), nil
+}
+
+// SolveScalar implements Ring: t = num/den in F_p when den ≢ 0.
+func (r *FpCyclotomic) SolveScalar(num, den *big.Int) (*big.Int, bool) {
+	d := new(big.Int).Mod(den, r.p)
+	if d.Sign() == 0 {
+		return nil, false
+	}
+	inv := new(big.Int).ModInverse(d, r.p)
+	t := new(big.Int).Mul(new(big.Int).Mod(num, r.p), inv)
+	return t.Mod(t, r.p), true
+}
+
+// CoeffZero implements Ring.
+func (r *FpCyclotomic) CoeffZero(v *big.Int) bool {
+	return new(big.Int).Mod(v, r.p).Sign() == 0
+}
+
+// Rand implements Ring: a uniformly random canonical representative (p-1
+// independent uniform coefficients). This gives information-theoretic
+// hiding for additive shares.
+func (r *FpCyclotomic) Rand(rng io.Reader) (poly.Poly, error) {
+	coeffs := make([]*big.Int, r.n)
+	for i := range coeffs {
+		v, err := r.f.Rand(rng)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		coeffs[i] = v
+	}
+	return poly.New(coeffs...), nil
+}
+
+// MaxTag implements Ring: usable tags are [1, p-2].
+func (r *FpCyclotomic) MaxTag() *big.Int {
+	return new(big.Int).Sub(r.p, big.NewInt(2))
+}
+
+// DegreeBound implements Ring.
+func (r *FpCyclotomic) DegreeBound() int { return r.n }
+
+// Params implements Ring.
+func (r *FpCyclotomic) Params() Params {
+	return Params{Kind: KindFpCyclotomic, P: new(big.Int).Set(r.p)}
+}
+
+var _ Ring = (*FpCyclotomic)(nil)

@@ -1,0 +1,110 @@
+package ring
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sssearch/internal/poly"
+)
+
+// Binary layout of Params:
+//
+//	byte    kind
+//	kind == KindFpCyclotomic:
+//	    varint  len(P bytes); bytes  P (big-endian)
+//	kind == KindIntQuotient:
+//	    poly    R            (poly wire format)
+//	    varint  len(B bytes); bytes  RandBound (big-endian)
+
+// maxParamBytes bounds a single big.Int field in a serialized Params.
+const maxParamBytes = 1 << 16
+
+// MarshalBinary implements encoding.BinaryMarshaler for Params.
+func (pr Params) MarshalBinary() ([]byte, error) {
+	buf := []byte{byte(pr.Kind)}
+	switch pr.Kind {
+	case KindFpCyclotomic:
+		if pr.P == nil || pr.P.Sign() <= 0 {
+			return nil, errors.New("ring: params missing P")
+		}
+		b := pr.P.Bytes()
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		buf = append(buf, b...)
+	case KindIntQuotient:
+		var err error
+		buf, err = pr.R.AppendBinary(buf)
+		if err != nil {
+			return nil, err
+		}
+		bound := pr.RandBound
+		if bound == nil {
+			bound = DefaultRandBound
+		}
+		b := bound.Bytes()
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		buf = append(buf, b...)
+	default:
+		return nil, fmt.Errorf("ring: marshal unknown kind %d", pr.Kind)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for Params.
+func (pr *Params) UnmarshalBinary(data []byte) error {
+	p, rest, err := DecodeParams(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errors.New("ring: trailing bytes after params")
+	}
+	*pr = p
+	return nil
+}
+
+// DecodeParams decodes one Params from the front of data, returning the
+// remaining bytes.
+func DecodeParams(data []byte) (Params, []byte, error) {
+	if len(data) == 0 {
+		return Params{}, nil, errors.New("ring: empty params")
+	}
+	kind := Kind(data[0])
+	data = data[1:]
+	switch kind {
+	case KindFpCyclotomic:
+		v, rest, err := decodeBig(data)
+		if err != nil {
+			return Params{}, nil, err
+		}
+		return Params{Kind: kind, P: v}, rest, nil
+	case KindIntQuotient:
+		r, rest, err := poly.DecodePoly(data)
+		if err != nil {
+			return Params{}, nil, err
+		}
+		bound, rest, err := decodeBig(rest)
+		if err != nil {
+			return Params{}, nil, err
+		}
+		return Params{Kind: kind, R: r, RandBound: bound}, rest, nil
+	default:
+		return Params{}, nil, fmt.Errorf("ring: unknown kind byte %d", kind)
+	}
+}
+
+func decodeBig(data []byte) (*big.Int, []byte, error) {
+	l, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, errors.New("ring: bad big.Int length")
+	}
+	if l > maxParamBytes {
+		return nil, nil, fmt.Errorf("ring: big.Int length %d exceeds limit", l)
+	}
+	data = data[k:]
+	if uint64(len(data)) < l {
+		return nil, nil, errors.New("ring: truncated big.Int")
+	}
+	return new(big.Int).SetBytes(data[:l]), data[l:], nil
+}

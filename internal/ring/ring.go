@@ -1,0 +1,141 @@
+// Package ring implements the two finite quotient rings the paper encodes
+// polynomial trees in:
+//
+//   - FpCyclotomic: F_p[x]/(x^{p-1}-1) — coefficients reduced mod a prime p,
+//     degrees folded using x^{p-1} ≡ 1 (Lemma 1 of the paper: the modulus is
+//     exactly ∏_{i=1}^{p-1}(x-i) mod p).
+//   - IntQuotient: Z[x]/(r(x)) — reduced modulo a monic irreducible integer
+//     polynomial r; coefficients stay in Z and grow with tree size (§5).
+//
+// Both expose the evaluation homomorphism used by the query protocol. For
+// FpCyclotomic, evaluation at a point a ∈ F_p^* lands in F_p. For
+// IntQuotient, evaluating at an integer a induces the homomorphism
+// Z[x]/(r(x)) → Z/(r(a)) — this is why figure 6 of the paper computes
+// "everything modulo r(2) = 5".
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sssearch/internal/poly"
+)
+
+// Kind discriminates ring families for serialization.
+type Kind uint8
+
+const (
+	// KindFpCyclotomic identifies F_p[x]/(x^{p-1}-1).
+	KindFpCyclotomic Kind = 1
+	// KindIntQuotient identifies Z[x]/(r(x)).
+	KindIntQuotient Kind = 2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFpCyclotomic:
+		return "Fp[x]/(x^(p-1)-1)"
+	case KindIntQuotient:
+		return "Z[x]/(r(x))"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Ring is a finite quotient ring of a polynomial ring, closed under the
+// operations the scheme needs. Implementations are safe for concurrent use.
+type Ring interface {
+	// Kind identifies the ring family.
+	Kind() Kind
+	// Name is a human-readable description, e.g. "F_5[x]/(x^4-1)".
+	Name() string
+
+	// Reduce maps an arbitrary Z[x] polynomial to its canonical
+	// representative in the ring.
+	Reduce(p poly.Poly) poly.Poly
+	// Add, Sub, Neg, Mul operate on representatives and return canonical
+	// representatives.
+	Add(a, b poly.Poly) poly.Poly
+	Sub(a, b poly.Poly) poly.Poly
+	Neg(a poly.Poly) poly.Poly
+	Mul(a, b poly.Poly) poly.Poly
+	// Zero and One are the ring identities.
+	Zero() poly.Poly
+	One() poly.Poly
+	// Linear returns the canonical representative of (x - root).
+	Linear(root *big.Int) poly.Poly
+	// Equal reports whether a and b represent the same ring element.
+	Equal(a, b poly.Poly) bool
+
+	// Eval applies the evaluation-at-a homomorphism and returns the image
+	// as a canonical residue modulo EvalModulus(a). It returns an error if
+	// evaluation at a is not well defined on the quotient (e.g. a = 0 for
+	// FpCyclotomic, or |r(a)| <= 1 for IntQuotient).
+	Eval(f poly.Poly, a *big.Int) (*big.Int, error)
+	// EvalModulus returns the modulus of Eval's codomain at point a:
+	// p for FpCyclotomic, |r(a)| for IntQuotient.
+	EvalModulus(a *big.Int) (*big.Int, error)
+
+	// SolveScalar solves t·den ≡ num in the coefficient domain: modular
+	// inversion for F_p, exact integer division for Z. The boolean is false
+	// when den is zero or (Z case) the division is not exact; callers treat
+	// that coordinate as indeterminate or inconsistent.
+	SolveScalar(num, den *big.Int) (t *big.Int, ok bool)
+	// CoeffZero reports whether a coefficient value is zero in the
+	// coefficient domain (≡ 0 mod p, or == 0 over Z).
+	CoeffZero(v *big.Int) bool
+
+	// Rand draws a ring element suitable for use as a one-time additive
+	// share pad, reading bytes from rng. For FpCyclotomic the distribution
+	// is exactly uniform (information-theoretic hiding); for IntQuotient
+	// coefficients are uniform in [-B, B] for the configured bound B
+	// (statistical hiding only — see the package security note).
+	Rand(rng io.Reader) (poly.Poly, error)
+
+	// MaxTag is the largest usable tag value: p-2 for FpCyclotomic (values
+	// 0 and p-1 are excluded; 0 breaks evaluation after reduction, p-1 is
+	// the zero-divisor excluded by Lemma 3), unbounded (nil) for IntQuotient.
+	MaxTag() *big.Int
+	// DegreeBound is the number of coefficients of a canonical
+	// representative: p-1, or deg(r).
+	DegreeBound() int
+
+	// Params returns a serializable description sufficient to reconstruct
+	// the ring.
+	Params() Params
+}
+
+// Params is a serializable ring description.
+type Params struct {
+	Kind Kind
+	// P is the field characteristic (FpCyclotomic only).
+	P *big.Int
+	// R is the monic irreducible modulus polynomial (IntQuotient only).
+	R poly.Poly
+	// RandBound is the coefficient bound for share pads (IntQuotient only).
+	RandBound *big.Int
+}
+
+// FromParams reconstructs a Ring from serialized parameters.
+func FromParams(pr Params) (Ring, error) {
+	switch pr.Kind {
+	case KindFpCyclotomic:
+		if pr.P == nil {
+			return nil, errors.New("ring: missing characteristic p")
+		}
+		return NewFpCyclotomic(pr.P)
+	case KindIntQuotient:
+		if pr.RandBound != nil {
+			return NewIntQuotientWithBound(pr.R, pr.RandBound)
+		}
+		return NewIntQuotient(pr.R)
+	default:
+		return nil, fmt.Errorf("ring: unknown kind %d", pr.Kind)
+	}
+}
+
+// ErrEvalUndefined is returned when evaluation at the given point is not a
+// well-defined homomorphism on the quotient ring.
+var ErrEvalUndefined = errors.New("ring: evaluation not well defined at this point")

@@ -1,0 +1,468 @@
+package ring
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"sssearch/internal/poly"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+// TestLemma1 verifies ∏_{i=1}^{p-1}(x-i) ≡ x^{p-1}-1 (mod p) for several
+// primes — Lemma 1 of the paper, the reason the cyclotomic-style modulus
+// preserves root information.
+func TestLemma1(t *testing.T) {
+	for _, p := range []int64{5, 7, 11, 13, 17} {
+		factors := make([]poly.Poly, 0, p-1)
+		for i := int64(1); i < p; i++ {
+			factors = append(factors, poly.Linear(bi(i)))
+		}
+		prod := poly.Product(factors).ReduceCoeffs(bi(p))
+		// x^{p-1} - 1 mod p has constant term p-1.
+		want := poly.Monomial(bi(1), int(p-1)).Add(poly.FromInt64(p - 1)).ReduceCoeffs(bi(p))
+		if !prod.Equal(want) {
+			t.Errorf("p=%d: ∏(x-i) = %v, want %v", p, prod, want)
+		}
+	}
+}
+
+func TestNewFpCyclotomicValidation(t *testing.T) {
+	if _, err := NewFpCyclotomic(bi(4)); err == nil {
+		t.Error("composite p accepted")
+	}
+	if _, err := NewFpCyclotomic(bi(3)); err == nil {
+		t.Error("p=3 should be rejected (no usable tags)")
+	}
+	if _, err := NewFpCyclotomic(bi(5)); err != nil {
+		t.Errorf("p=5: %v", err)
+	}
+	huge := new(big.Int).Lsh(bi(1), 30)
+	if _, err := NewFpCyclotomic(huge); err == nil {
+		t.Error("oversized p accepted")
+	}
+}
+
+// TestFig2aReduction reproduces figure 2(a): the paper's example tree
+// reduced into F_5[x]/(x^4-1). customers=3, client=2, name=4.
+func TestFig2aReduction(t *testing.T) {
+	r := MustFp(5)
+	name := r.Linear(bi(4))
+	if !name.Equal(poly.FromInt64(1, 1)) { // x+1
+		t.Errorf("name = %v, want x + 1", name)
+	}
+	client := r.Mul(r.Linear(bi(2)), r.Linear(bi(4)))
+	if !client.Equal(poly.FromInt64(3, 4, 1)) { // x^2+4x+3
+		t.Errorf("client = %v, want x^2 + 4x + 3", client)
+	}
+	root := r.Mul(r.Linear(bi(3)), r.Mul(client, client))
+	if !root.Equal(poly.FromInt64(3, 3, 3, 3)) { // 3x^3+3x^2+3x+3
+		t.Errorf("root = %v, want 3x^3 + 3x^2 + 3x + 3", root)
+	}
+}
+
+// TestFig2bReduction reproduces figure 2(b): the same tree in Z[x]/(x^2+1).
+func TestFig2bReduction(t *testing.T) {
+	q := MustIntQuotient(1, 0, 1) // x^2+1
+	name := q.Linear(bi(4))
+	if !name.Equal(poly.FromInt64(-4, 1)) { // x-4
+		t.Errorf("name = %v, want x - 4", name)
+	}
+	client := q.Mul(q.Linear(bi(2)), q.Linear(bi(4)))
+	if !client.Equal(poly.FromInt64(7, -6)) { // -6x+7
+		t.Errorf("client = %v, want -6x + 7", client)
+	}
+	root := q.Mul(q.Linear(bi(3)), q.Mul(client, client))
+	if !root.Equal(poly.FromInt64(45, 265)) { // 265x+45
+		t.Errorf("root = %v, want 265x + 45", root)
+	}
+}
+
+func TestFpReduceFolding(t *testing.T) {
+	r := MustFp(5)
+	// x^4 ≡ 1, x^5 ≡ x, x^7 ≡ x^3.
+	if !r.Reduce(poly.Monomial(bi(1), 4)).Equal(poly.One()) {
+		t.Error("x^4 != 1")
+	}
+	if !r.Reduce(poly.Monomial(bi(1), 5)).Equal(poly.X()) {
+		t.Error("x^5 != x")
+	}
+	if !r.Reduce(poly.Monomial(bi(3), 7)).Equal(poly.FromInt64(0, 0, 0, 3)) {
+		t.Error("3x^7 != 3x^3")
+	}
+	// Coefficients reduce mod 5, including negatives.
+	if !r.Reduce(poly.FromInt64(-1, 6)).Equal(poly.FromInt64(4, 1)) {
+		t.Error("coefficient reduction wrong")
+	}
+}
+
+func TestFpEval(t *testing.T) {
+	r := MustFp(5)
+	client := r.Mul(r.Linear(bi(2)), r.Linear(bi(4))) // x^2+4x+3
+	v, err := r.Eval(client, bi(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sign() != 0 {
+		t.Errorf("client(2) = %v, want 0", v)
+	}
+	v, err = r.Eval(client, bi(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sign() == 0 {
+		t.Error("client(3) = 0, want nonzero")
+	}
+	// Evaluation at 0 is undefined on the quotient.
+	if _, err := r.Eval(client, bi(0)); err == nil {
+		t.Error("Eval at 0 should fail")
+	}
+	if _, err := r.EvalModulus(bi(5)); err == nil {
+		t.Error("EvalModulus at 0 mod p should fail")
+	}
+	m, err := r.EvalModulus(bi(2))
+	if err != nil || m.Int64() != 5 {
+		t.Errorf("EvalModulus = %v, %v", m, err)
+	}
+}
+
+// TestFpEvalConsistentWithUnreduced: for a ∈ F_p^*, evaluating the reduced
+// representative equals evaluating the original polynomial (this is what
+// makes querying on reduced trees sound).
+func TestFpEvalConsistentWithUnreduced(t *testing.T) {
+	r := MustFp(13)
+	rng := mrand.New(mrand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		// Random product of linear factors (like a tree node polynomial).
+		f := poly.One()
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			f = f.Mul(poly.Linear(bi(int64(1 + rng.Intn(11)))))
+		}
+		red := r.Reduce(f)
+		a := bi(int64(1 + rng.Intn(12)))
+		got, err := r.Eval(red, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.EvalMod(a, bi(13))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("eval mismatch: reduced %v vs original %v at %v", got, want, a)
+		}
+	}
+}
+
+func TestIntQuotientValidation(t *testing.T) {
+	if _, err := NewIntQuotient(poly.FromInt64(7)); err == nil {
+		t.Error("constant modulus accepted")
+	}
+	if _, err := NewIntQuotient(poly.FromInt64(1, 0, 2)); err == nil {
+		t.Error("non-monic modulus accepted")
+	}
+	// x^2-1 = (x-1)(x+1) reducible.
+	if _, err := NewIntQuotient(poly.FromInt64(-1, 0, 1)); err == nil {
+		t.Error("reducible modulus accepted")
+	}
+	// x^2+1 irreducible.
+	if _, err := NewIntQuotient(poly.FromInt64(1, 0, 1)); err != nil {
+		t.Errorf("x^2+1: %v", err)
+	}
+	// x^3+x+1 irreducible (mod 2).
+	if _, err := NewIntQuotient(poly.FromInt64(1, 1, 0, 1)); err != nil {
+		t.Errorf("x^3+x+1: %v", err)
+	}
+	// Degree 1 always fine.
+	if _, err := NewIntQuotient(poly.FromInt64(-7, 1)); err != nil {
+		t.Errorf("x-7: %v", err)
+	}
+	// Bad bound.
+	if _, err := NewIntQuotientWithBound(poly.FromInt64(1, 0, 1), bi(1)); err == nil {
+		t.Error("tiny bound accepted")
+	}
+}
+
+func TestCertifyIrreducibleCases(t *testing.T) {
+	irreducible := []poly.Poly{
+		poly.FromInt64(1, 0, 1),     // x^2+1
+		poly.FromInt64(-2, 0, 1),    // x^2-2
+		poly.FromInt64(1, 1, 1),     // x^2+x+1
+		poly.FromInt64(1, 1, 0, 1),  // x^3+x+1
+		poly.FromInt64(-2, 0, 0, 1), // x^3-2
+		poly.FromInt64(5, 1),        // x+5
+	}
+	for _, p := range irreducible {
+		if err := CertifyIrreducible(p); err != nil {
+			t.Errorf("CertifyIrreducible(%v) = %v, want nil", p, err)
+		}
+	}
+	reducible := []poly.Poly{
+		poly.FromInt64(-1, 0, 1),      // (x-1)(x+1)
+		poly.FromInt64(0, 0, 1),       // x^2
+		poly.FromInt64(-6, 11, -6, 1), // (x-1)(x-2)(x-3)
+		poly.FromInt64(2, 3, 1),       // (x+1)(x+2)
+	}
+	for _, p := range reducible {
+		if err := CertifyIrreducible(p); err == nil {
+			t.Errorf("CertifyIrreducible(%v) = nil, want error", p)
+		}
+	}
+	// x^4+1: irreducible over Z but reducible mod every prime — we must
+	// reject it (cannot certify) rather than accept silently.
+	if err := CertifyIrreducible(poly.FromInt64(1, 0, 0, 0, 1)); err == nil {
+		t.Error("x^4+1 should be rejected as uncertifiable")
+	}
+	// x^4+x+1 is irreducible mod 2 — certifiable at degree 4.
+	if err := CertifyIrreducible(poly.FromInt64(1, 1, 0, 0, 1)); err != nil {
+		t.Errorf("x^4+x+1: %v", err)
+	}
+}
+
+func TestIntQuotientReduceAndOps(t *testing.T) {
+	q := MustIntQuotient(1, 0, 1) // x^2+1
+	// x^2 ≡ -1: x^3 ≡ -x.
+	if !q.Reduce(poly.Monomial(bi(1), 3)).Equal(poly.FromInt64(0, -1)) {
+		t.Error("x^3 != -x mod x^2+1")
+	}
+	a := poly.FromInt64(1, 2)  // 2x+1
+	b := poly.FromInt64(3, -1) // -x+3
+	// (2x+1)(-x+3) = -2x^2+5x+3 ≡ 5x+5.
+	if !q.Mul(a, b).Equal(poly.FromInt64(5, 5)) {
+		t.Error("Mul wrong")
+	}
+	if !q.Add(a, b).Equal(poly.FromInt64(4, 1)) {
+		t.Error("Add wrong")
+	}
+	if !q.Sub(a, a).IsZero() {
+		t.Error("Sub wrong")
+	}
+	if !q.Neg(a).Add(a).IsZero() {
+		t.Error("Neg wrong")
+	}
+	if !q.Equal(poly.Monomial(bi(1), 2), poly.FromInt64(-1)) {
+		t.Error("Equal across representatives wrong")
+	}
+}
+
+func TestIntQuotientEvalFig6Semantics(t *testing.T) {
+	q := MustIntQuotient(1, 0, 1) // x^2+1, r(2) = 5
+	m, err := q.EvalModulus(bi(2))
+	if err != nil || m.Int64() != 5 {
+		t.Fatalf("EvalModulus(2) = %v, %v; want 5", m, err)
+	}
+	// Root node 265x+45 at x=2: 575 ≡ 0 (mod 5) — the root matches //client.
+	root := poly.FromInt64(45, 265)
+	v, err := q.Eval(root, bi(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sign() != 0 {
+		t.Errorf("root(2) mod 5 = %v, want 0", v)
+	}
+	// name = x-4 at 2 → -2 ≡ 3 (mod 5): dead branch, matches figure 6.
+	name := poly.FromInt64(-4, 1)
+	v, err = q.Eval(name, bi(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int64() != 3 {
+		t.Errorf("name(2) mod 5 = %v, want 3", v)
+	}
+	// Evaluation where |r(a)| <= 1 must fail: r(0) = 1.
+	if _, err := q.Eval(root, bi(0)); err == nil {
+		t.Error("Eval at 0 should fail (|r(0)|=1)")
+	}
+}
+
+func TestSolveScalar(t *testing.T) {
+	fp := MustFp(5)
+	if v, ok := fp.SolveScalar(bi(3), bi(2)); !ok || v.Int64() != 4 {
+		t.Errorf("Fp SolveScalar(3,2) = %v,%v; want 4 (2*4=8≡3)", v, ok)
+	}
+	if _, ok := fp.SolveScalar(bi(3), bi(5)); ok {
+		t.Error("Fp SolveScalar with den≡0 should fail")
+	}
+	z := MustIntQuotient(1, 0, 1)
+	if v, ok := z.SolveScalar(bi(-12), bi(4)); !ok || v.Int64() != -3 {
+		t.Errorf("Z SolveScalar(-12,4) = %v,%v; want -3", v, ok)
+	}
+	if _, ok := z.SolveScalar(bi(7), bi(2)); ok {
+		t.Error("Z SolveScalar inexact division should fail")
+	}
+	if _, ok := z.SolveScalar(bi(7), bi(0)); ok {
+		t.Error("Z SolveScalar by zero should fail")
+	}
+}
+
+func TestRandShapes(t *testing.T) {
+	fp := MustFp(7)
+	for i := 0; i < 20; i++ {
+		s, err := fp.Rand(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Degree() >= fp.DegreeBound() {
+			t.Fatalf("share degree %d out of bounds", s.Degree())
+		}
+		for j := 0; j <= s.Degree(); j++ {
+			c := s.Coeff(j)
+			if c.Sign() < 0 || c.Cmp(bi(7)) >= 0 {
+				t.Fatal("Fp share coefficient out of range")
+			}
+		}
+	}
+	z, err := NewIntQuotientWithBound(poly.FromInt64(1, 0, 1), bi(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenNeg := false
+	for i := 0; i < 200; i++ {
+		s, err := z.Rand(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Degree() >= z.DegreeBound() {
+			t.Fatal("Z share degree out of bounds")
+		}
+		for j := 0; j <= s.Degree(); j++ {
+			c := s.Coeff(j)
+			if c.CmpAbs(bi(100)) > 0 {
+				t.Fatalf("Z share coefficient %v out of [-100,100]", c)
+			}
+			if c.Sign() < 0 {
+				seenNeg = true
+			}
+		}
+	}
+	if !seenNeg {
+		t.Error("Z shares never negative — biased sampler?")
+	}
+}
+
+// TestSharingHidesInFp: c + (f - c) == f for random pads (additivity), and
+// the pad alone is uniform over the ring (spot-check dimension).
+func TestSharingRoundTripBothRings(t *testing.T) {
+	rings := []Ring{MustFp(11), MustIntQuotient(1, 0, 1)}
+	for _, r := range rings {
+		f := r.Mul(r.Linear(bi(2)), r.Mul(r.Linear(bi(3)), r.Linear(bi(4))))
+		for i := 0; i < 30; i++ {
+			pad, err := r.Rand(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			server := r.Sub(f, pad)
+			if !r.Equal(r.Add(pad, server), f) {
+				t.Fatalf("%s: pad + (f-pad) != f", r.Name())
+			}
+		}
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	prs := []Params{
+		MustFp(5).Params(),
+		MustFp(65537).Params(),
+		MustIntQuotient(1, 0, 1).Params(),
+		MustIntQuotient(1, 1, 0, 1).Params(),
+	}
+	for _, pr := range prs {
+		data, err := pr.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Params
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		r1, err := FromParams(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := FromParams(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Name() != r2.Name() {
+			t.Errorf("params round trip: %s != %s", r1.Name(), r2.Name())
+		}
+	}
+	// Corrupt input.
+	var pr Params
+	if err := pr.UnmarshalBinary(nil); err == nil {
+		t.Error("empty params accepted")
+	}
+	if err := pr.UnmarshalBinary([]byte{99}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := FromParams(Params{Kind: KindFpCyclotomic}); err == nil {
+		t.Error("FromParams without P accepted")
+	}
+}
+
+func TestMaxTagAndNames(t *testing.T) {
+	fp := MustFp(5)
+	if fp.MaxTag().Int64() != 3 {
+		t.Errorf("MaxTag = %v, want 3", fp.MaxTag())
+	}
+	if fp.DegreeBound() != 4 {
+		t.Error("DegreeBound wrong")
+	}
+	if fp.Name() != "F_5[x]/(x^4-1)" {
+		t.Errorf("Name = %q", fp.Name())
+	}
+	z := MustIntQuotient(1, 0, 1)
+	if z.MaxTag() != nil {
+		t.Error("Z MaxTag should be nil (unbounded)")
+	}
+	if z.DegreeBound() != 2 {
+		t.Error("Z DegreeBound wrong")
+	}
+	if z.Name() != "Z[x]/(x^2 + 1)" {
+		t.Errorf("Name = %q", z.Name())
+	}
+	if KindFpCyclotomic.String() == "" || KindIntQuotient.String() == "" || Kind(9).String() == "" {
+		t.Error("Kind.String incomplete")
+	}
+}
+
+func TestFpGCDInternal(t *testing.T) {
+	p := bi(7)
+	// gcd((x-1)(x-2), (x-2)(x-3)) = x-2 over F_7.
+	a := poly.Linear(bi(1)).Mul(poly.Linear(bi(2)))
+	b := poly.Linear(bi(2)).Mul(poly.Linear(bi(3)))
+	g := fpGCD(a, b, p)
+	if !g.Equal(poly.Linear(bi(2)).ReduceCoeffs(p)) {
+		t.Errorf("fpGCD = %v", g)
+	}
+	if !fpGCD(poly.Zero(), poly.Zero(), p).IsZero() {
+		t.Error("gcd(0,0) != 0")
+	}
+}
+
+func BenchmarkFpMulP101(b *testing.B) {
+	r := MustFp(101)
+	rng := mrand.New(mrand.NewSource(1))
+	coeffs := func() []*big.Int {
+		cs := make([]*big.Int, 100)
+		for i := range cs {
+			cs[i] = bi(rng.Int63n(101))
+		}
+		return cs
+	}
+	x := poly.New(coeffs()...)
+	y := poly.New(coeffs()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Mul(x, y)
+	}
+}
+
+func BenchmarkIntQuotientMul(b *testing.B) {
+	q := MustIntQuotient(1, 1, 0, 1)
+	x := poly.FromInt64(12345, -6789, 4242)
+	y := poly.FromInt64(-777, 888, 999)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Mul(x, y)
+	}
+}

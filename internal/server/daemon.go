@@ -1,0 +1,187 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"sssearch/internal/wire"
+)
+
+// Daemon serves the wire protocol over a listener, answering each
+// connection from a Local share store. One goroutine per connection;
+// requests within a connection are handled sequentially (the protocol is
+// strict request/response).
+type Daemon struct {
+	local  *Local
+	logger *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewDaemon wraps a Local store for network serving. logger may be nil
+// (logging disabled).
+func NewDaemon(local *Local, logger *log.Logger) *Daemon {
+	return &Daemon{local: local, logger: logger}
+}
+
+// Serve accepts connections until the listener is closed.
+func (d *Daemon) Serve(l net.Listener) error {
+	d.mu.Lock()
+	d.listener = l
+	d.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			d.mu.Lock()
+			closed := d.closed
+			d.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			if err := d.HandleConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				d.logf("connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	l := d.listener
+	d.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	d.wg.Wait()
+	return err
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.logger != nil {
+		d.logger.Printf(format, args...)
+	}
+}
+
+// HandleConn speaks the protocol on a single connection until Bye or EOF.
+// Exported so tests and the in-process transport can drive it directly.
+func (d *Daemon) HandleConn(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+	// Handshake.
+	f, _, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.MsgHello {
+		return fmt.Errorf("server: expected Hello, got %s", f.Type)
+	}
+	hello, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		return err
+	}
+	if hello.Version != wire.Version {
+		_, _ = wire.WriteFrame(conn, wire.Frame{
+			Type:    wire.MsgError,
+			Payload: wire.EncodeError(wire.ErrorMsg{Message: fmt.Sprintf("unsupported version %d", hello.Version)}),
+		})
+		return fmt.Errorf("server: client version %d unsupported", hello.Version)
+	}
+	ackPayload, err := wire.EncodeHelloAck(wire.HelloAck{
+		Version: wire.Version,
+		Params:  d.local.Ring().Params(),
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := wire.WriteFrame(conn, wire.Frame{Type: wire.MsgHelloAck, Payload: ackPayload}); err != nil {
+		return err
+	}
+	// Request loop.
+	for {
+		f, _, err := wire.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		reply, err := d.dispatch(f)
+		if err != nil {
+			return err
+		}
+		if reply == nil { // Bye
+			return nil
+		}
+		if _, err := wire.WriteFrame(conn, *reply); err != nil {
+			return err
+		}
+	}
+}
+
+// dispatch handles one request frame, returning the response frame
+// (nil for Bye). Store errors become MsgError replies rather than
+// connection teardown.
+func (d *Daemon) dispatch(f wire.Frame) (*wire.Frame, error) {
+	fail := func(id uint64, err error) *wire.Frame {
+		return &wire.Frame{
+			Type:    wire.MsgError,
+			Payload: wire.EncodeError(wire.ErrorMsg{ID: id, Message: err.Error()}),
+		}
+	}
+	switch f.Type {
+	case wire.MsgEval:
+		req, err := wire.DecodeEvalReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		answers, err := d.local.EvalNodes(req.Keys, req.Points)
+		if err != nil {
+			return fail(req.ID, err), nil
+		}
+		return &wire.Frame{
+			Type:    wire.MsgEvalResp,
+			Payload: wire.EncodeEvalResp(wire.EvalResp{ID: req.ID, Answers: answers}),
+		}, nil
+	case wire.MsgFetch:
+		req, err := wire.DecodeFetchReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		answers, err := d.local.FetchPolys(req.Keys)
+		if err != nil {
+			return fail(req.ID, err), nil
+		}
+		payload, err := wire.EncodeFetchResp(wire.FetchResp{ID: req.ID, Answers: answers})
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Frame{Type: wire.MsgFetchResp, Payload: payload}, nil
+	case wire.MsgPrune:
+		req, err := wire.DecodePruneReq(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.local.Prune(req.Keys); err != nil {
+			return fail(req.ID, err), nil
+		}
+		return &wire.Frame{Type: wire.MsgAck, Payload: wire.EncodeAck(req.ID)}, nil
+	case wire.MsgBye:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("server: unexpected frame %s", f.Type)
+	}
+}

@@ -1,0 +1,82 @@
+// Package server hosts the data-owner-facing server side of the scheme:
+// an in-process share store that implements core.ServerAPI directly (used
+// by tests, benchmarks and the network daemon), plus fault-injection
+// wrappers for the verification experiments.
+//
+// The server holds ONLY its additive share tree and the public ring
+// parameters. It never sees the original polynomials, the tag mapping, the
+// client seed, or plaintext — evaluating its share at a query point reveals
+// one uniformly-distributed summand.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/ring"
+	"sssearch/internal/sharing"
+)
+
+// Local is an in-process server over a materialized share tree. Safe for
+// concurrent use (the tree is read-only after construction).
+type Local struct {
+	ring ring.Ring
+	tree *sharing.Tree
+}
+
+// NewLocal builds a Local server.
+func NewLocal(r ring.Ring, tree *sharing.Tree) (*Local, error) {
+	if r == nil || tree == nil || tree.Root == nil {
+		return nil, errors.New("server: nil ring or tree")
+	}
+	return &Local{ring: r, tree: tree}, nil
+}
+
+// Ring returns the server's (public) ring parameters.
+func (s *Local) Ring() ring.Ring { return s.ring }
+
+// Tree exposes the share tree (used by the store and the daemon).
+func (s *Local) Tree() *sharing.Tree { return s.tree }
+
+// EvalNodes implements core.ServerAPI.
+func (s *Local) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	out := make([]core.NodeEval, len(keys))
+	for i, k := range keys {
+		node, err := s.tree.Lookup(k)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		values := make([]*big.Int, len(points))
+		for j, p := range points {
+			v, err := s.ring.Eval(node.Poly, p)
+			if err != nil {
+				return nil, fmt.Errorf("server: evaluating %s at %s: %w", k, p, err)
+			}
+			values[j] = v
+		}
+		out[i] = core.NodeEval{Key: k, Values: values, NumChildren: len(node.Children)}
+	}
+	return out, nil
+}
+
+// FetchPolys implements core.ServerAPI.
+func (s *Local) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	out := make([]core.NodePoly, len(keys))
+	for i, k := range keys {
+		node, err := s.tree.Lookup(k)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		out[i] = core.NodePoly{Key: k, Poly: node.Poly, NumChildren: len(node.Children)}
+	}
+	return out, nil
+}
+
+// Prune implements core.ServerAPI. The in-process server holds no per-query
+// state, so this is a no-op acknowledgement.
+func (s *Local) Prune([]drbg.NodeKey) error { return nil }
+
+var _ core.ServerAPI = (*Local)(nil)

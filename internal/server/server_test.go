@@ -1,0 +1,139 @@
+package server
+
+import (
+	"math/big"
+	"testing"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/paperdata"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/sharing"
+)
+
+func testSeed(b byte) drbg.Seed {
+	var s drbg.Seed
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func buildLocal(t *testing.T) (*Local, ring.Ring) {
+	t.Helper()
+	r := paperdata.ZRing()
+	enc, err := polyenc.Encode(r, paperdata.Document(), paperdata.Mapping(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := sharing.Split(enc, testSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewLocal(r, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return local, r
+}
+
+func TestNewLocalValidation(t *testing.T) {
+	if _, err := NewLocal(nil, nil); err == nil {
+		t.Error("nil inputs accepted")
+	}
+	if _, err := NewLocal(paperdata.ZRing(), &sharing.Tree{}); err == nil {
+		t.Error("empty tree accepted")
+	}
+}
+
+func TestEvalNodesShapes(t *testing.T) {
+	local, _ := buildLocal(t)
+	points := []*big.Int{big.NewInt(2), big.NewInt(3)}
+	answers, err := local.EvalNodes([]drbg.NodeKey{{}, {0}, {0, 0}}, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 3 {
+		t.Fatalf("%d answers", len(answers))
+	}
+	if answers[0].NumChildren != 2 || answers[1].NumChildren != 1 || answers[2].NumChildren != 0 {
+		t.Errorf("child counts: %+v", answers)
+	}
+	for _, a := range answers {
+		if len(a.Values) != 2 {
+			t.Errorf("node %s: %d values", a.Key, len(a.Values))
+		}
+	}
+	// Unknown key errors.
+	if _, err := local.EvalNodes([]drbg.NodeKey{{9}}, points); err == nil {
+		t.Error("bad key accepted")
+	}
+	// Undefined evaluation point errors (|r(0)| = 1).
+	if _, err := local.EvalNodes([]drbg.NodeKey{{}}, []*big.Int{big.NewInt(0)}); err == nil {
+		t.Error("undefined point accepted")
+	}
+}
+
+func TestFetchPolysMatchesTree(t *testing.T) {
+	local, r := buildLocal(t)
+	answers, err := local.FetchPolys([]drbg.NodeKey{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := local.Tree().Lookup(drbg.NodeKey{1})
+	if !r.Equal(answers[0].Poly, node.Poly) {
+		t.Error("fetched polynomial differs from stored")
+	}
+	if answers[0].NumChildren != 1 {
+		t.Error("child count wrong")
+	}
+	if _, err := local.FetchPolys([]drbg.NodeKey{{7, 7}}); err == nil {
+		t.Error("bad key accepted")
+	}
+}
+
+func TestPruneIsNoop(t *testing.T) {
+	local, _ := buildLocal(t)
+	if err := local.Prune([]drbg.NodeKey{{0}}); err != nil {
+		t.Errorf("prune: %v", err)
+	}
+}
+
+func TestTampererCounts(t *testing.T) {
+	local, _ := buildLocal(t)
+	tam := &Tamperer{Inner: local, CorruptValueAt: drbg.NodeKey{0}, CorruptPolyAt: drbg.NodeKey{1}}
+	honest, _ := local.EvalNodes([]drbg.NodeKey{{0}}, []*big.Int{big.NewInt(2)})
+	dirty, err := tam.EvalNodes([]drbg.NodeKey{{0}}, []*big.Int{big.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty[0].Values[0].Cmp(honest[0].Values[0]) == 0 {
+		t.Error("value not tampered")
+	}
+	if tam.ValueTampered != 1 {
+		t.Error("tamper count wrong")
+	}
+	hp, _ := local.FetchPolys([]drbg.NodeKey{{1}})
+	dp, err := tam.FetchPolys([]drbg.NodeKey{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp[0].Poly.Equal(hp[0].Poly) {
+		t.Error("poly not tampered")
+	}
+	if tam.PolyTampered != 1 {
+		t.Error("poly tamper count wrong")
+	}
+	// Untargeted nodes pass through unchanged.
+	clean, err := tam.EvalNodes([]drbg.NodeKey{{1}}, []*big.Int{big.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest2, _ := local.EvalNodes([]drbg.NodeKey{{1}}, []*big.Int{big.NewInt(2)})
+	if clean[0].Values[0].Cmp(honest2[0].Values[0]) != 0 {
+		t.Error("untargeted node modified")
+	}
+	if err := tam.Prune(nil); err != nil {
+		t.Error(err)
+	}
+}

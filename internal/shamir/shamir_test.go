@@ -1,0 +1,323 @@
+package shamir
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"sssearch/internal/field"
+)
+
+var f97 = field.MustNew(97)
+
+func TestNewSchemeValidation(t *testing.T) {
+	if _, err := NewScheme(f97, 0, 3); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := NewScheme(f97, 4, 3); err == nil {
+		t.Error("t>n accepted")
+	}
+	if _, err := NewScheme(field.MustNew(5), 2, 5); err == nil {
+		t.Error("n >= p accepted")
+	}
+	s, err := NewScheme(f97, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threshold() != 3 || s.Parties() != 5 || s.Field() != f97 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestSplitReconstructExact(t *testing.T) {
+	s, _ := NewScheme(f97, 3, 5)
+	secret := big.NewInt(42)
+	shares, err := s.Split(secret, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 5 {
+		t.Fatalf("got %d shares", len(shares))
+	}
+	got, err := s.Reconstruct(shares[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Errorf("reconstructed %v", got)
+	}
+	// Any subset of size t works.
+	got, err = s.Reconstruct([]Share{shares[4], shares[1], shares[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Errorf("subset reconstruction %v", got)
+	}
+	// All n shares also reconstruct correctly (overdetermined).
+	got, err = s.Reconstruct(shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Errorf("full reconstruction %v", got)
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	s, _ := NewScheme(f97, 3, 5)
+	shares, _ := s.Split(big.NewInt(7), rand.Reader)
+	if _, err := s.Reconstruct(shares[:2]); err == nil {
+		t.Error("too few shares accepted")
+	}
+	dup := []Share{shares[0], shares[0], shares[1]}
+	if _, err := s.Reconstruct(dup); err == nil {
+		t.Error("duplicate shares accepted")
+	}
+	bad := []Share{{X: 0, Y: big.NewInt(1)}, shares[0], shares[1]}
+	if _, err := s.Reconstruct(bad); err == nil {
+		t.Error("x=0 share accepted")
+	}
+}
+
+// TestThresholdHiding: with t-1 shares, every candidate secret remains
+// consistent with some polynomial — demonstrated by completing the t-1
+// shares with a forged share and checking each candidate is reachable.
+func TestThresholdHiding(t *testing.T) {
+	p := int64(13)
+	fp := field.MustNew(uint64(p))
+	s, _ := NewScheme(fp, 2, 3)
+	shares, err := s.Split(big.NewInt(5), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adversary holds only shares[0]. For EVERY candidate secret c there is
+	// a degree-1 polynomial through (0, c) and (x0, y0) — so one share rules
+	// nothing out.
+	for c := int64(0); c < p; c++ {
+		forged := []Share{
+			shares[0],
+			{X: shares[1].X, Y: nil},
+		}
+		// Solve for the y that makes the line pass through (0, c).
+		x0 := fp.FromInt64(int64(shares[0].X))
+		x1 := fp.FromInt64(int64(shares[1].X))
+		slopeNum := fp.Sub(shares[0].Y, fp.FromInt64(c))
+		slope, err := fp.Div(slopeNum, x0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forged[1].Y = fp.Add(fp.FromInt64(c), fp.Mul(slope, x1))
+		got, err := s.Reconstruct(forged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != c {
+			t.Fatalf("candidate %d not reachable (got %v)", c, got)
+		}
+	}
+}
+
+func TestSplitReconstructProperty(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(11))
+	fp := field.MustNew(65537)
+	for trial := 0; trial < 60; trial++ {
+		tt := 1 + rng.Intn(5)
+		n := tt + rng.Intn(5)
+		s, err := NewScheme(fp, tt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secret := fp.FromInt64(rng.Int63n(65537))
+		shares, err := s.Split(secret, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random subset of size tt.
+		idx := rng.Perm(n)[:tt]
+		sub := make([]Share, 0, tt)
+		for _, i := range idx {
+			sub = append(sub, shares[i])
+		}
+		got, err := s.Reconstruct(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(secret) != 0 {
+			t.Fatalf("trial %d: got %v want %v", trial, got, secret)
+		}
+	}
+}
+
+func TestAddSharesHomomorphism(t *testing.T) {
+	s, _ := NewScheme(f97, 3, 5)
+	a, _ := s.Split(big.NewInt(30), rand.Reader)
+	b, _ := s.Split(big.NewInt(50), rand.Reader)
+	sum, err := s.AddShares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Reconstruct(sum[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 80 {
+		t.Errorf("share addition: %v, want 80", got)
+	}
+	if _, err := s.AddShares(a, b[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMulSharesDegreeGrowth(t *testing.T) {
+	// Degree-1 polys (t=2): product has degree 2, so 3 points reconstruct
+	// the product but 2 points generally do not.
+	s, _ := NewScheme(f97, 2, 5)
+	a, _ := s.Split(big.NewInt(6), rand.Reader)
+	b, _ := s.Split(big.NewInt(7), rand.Reader)
+	prod, err := s.MulShares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := InterpolateAt(f97, prod[:3], f97.Zero(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Errorf("share product: %v, want 42", got)
+	}
+}
+
+func TestAdditiveSharing(t *testing.T) {
+	secret := f97.FromInt64(77)
+	for _, n := range []int{2, 3, 7} {
+		parts, err := SplitAdditive(f97, secret, n, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != n {
+			t.Fatalf("got %d parts", len(parts))
+		}
+		if CombineAdditive(f97, parts).Cmp(secret) != 0 {
+			t.Error("additive reconstruction failed")
+		}
+		// n-1 parts sum to something unrelated (whp not the secret —
+		// deterministic check: combining a strict subset must not be forced
+		// to equal the secret; we verify the last part is the exact
+		// difference).
+		partial := CombineAdditive(f97, parts[:n-1])
+		if f97.Add(partial, parts[n-1]).Cmp(secret) != 0 {
+			t.Error("difference part inconsistent")
+		}
+	}
+	if _, err := SplitAdditive(f97, secret, 1, rand.Reader); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	fp := field.MustNew(101)
+	s, _ := NewScheme(fp, 3, 7)
+	// 7 voters: 5 yes, 2 no.
+	votes := []*big.Int{
+		big.NewInt(1), big.NewInt(1), big.NewInt(0), big.NewInt(1),
+		big.NewInt(1), big.NewInt(0), big.NewInt(1),
+	}
+	res, err := MajorityVote(s, votes, []int{0, 3, 6}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.Int64() != 5 {
+		t.Errorf("tally = %v, want 5", res.Value)
+	}
+	if res.MessagesSent != 7*6 {
+		t.Errorf("messages = %d, want 42", res.MessagesSent)
+	}
+	// Too few openers.
+	if _, err := MajorityVote(s, votes, []int{0, 1}, rand.Reader); err == nil {
+		t.Error("insufficient openers accepted")
+	}
+	// Wrong vote count.
+	if _, err := MajorityVote(s, votes[:3], []int{0, 1, 2}, rand.Reader); err == nil {
+		t.Error("wrong vote count accepted")
+	}
+	// Bad opener index.
+	if _, err := MajorityVote(s, votes, []int{0, 1, 99}, rand.Reader); err == nil {
+		t.Error("bad opener index accepted")
+	}
+}
+
+func TestVetoVote(t *testing.T) {
+	fp := field.MustNew(101)
+	s, _ := NewScheme(fp, 2, 4)
+	consent := []*big.Int{big.NewInt(1), big.NewInt(1), big.NewInt(1), big.NewInt(1)}
+	res, err := VetoVote(s, consent, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.Sign() == 0 {
+		t.Error("unanimous consent opened as veto")
+	}
+	veto := []*big.Int{big.NewInt(1), big.NewInt(0), big.NewInt(1), big.NewInt(1)}
+	res, err = VetoVote(s, veto, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.Sign() != 0 {
+		t.Errorf("veto ignored: product = %v", res.Value)
+	}
+	if _, err := VetoVote(s, nil, rand.Reader); err == nil {
+		t.Error("empty vote set accepted")
+	}
+}
+
+func TestVetoVoteManyTrials(t *testing.T) {
+	fp := field.MustNew(1009)
+	s, _ := NewScheme(fp, 3, 5)
+	rng := mrand.New(mrand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(4)
+		votes := make([]*big.Int, k)
+		anyVeto := false
+		for i := range votes {
+			if rng.Intn(2) == 0 {
+				votes[i] = big.NewInt(0)
+				anyVeto = true
+			} else {
+				votes[i] = big.NewInt(1)
+			}
+		}
+		res, err := VetoVote(s, votes, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anyVeto != (res.Value.Sign() == 0) {
+			t.Fatalf("trial %d: veto=%v but product=%v", trial, anyVeto, res.Value)
+		}
+	}
+}
+
+func BenchmarkSplit3of5(b *testing.B) {
+	fp := field.MustNew(1000003)
+	s, _ := NewScheme(fp, 3, 5)
+	secret := big.NewInt(424242)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Split(secret, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct3of5(b *testing.B) {
+	fp := field.MustNew(1000003)
+	s, _ := NewScheme(fp, 3, 5)
+	shares, _ := s.Split(big.NewInt(424242), rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Reconstruct(shares[:3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

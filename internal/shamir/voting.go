@@ -1,0 +1,138 @@
+package shamir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// This file implements the paper's §3 worked example of secure multi-party
+// computation: anonymous voting without a trusted third party.
+//
+//   - Majority vote: f(x1,…,xn) = Σ xi. Each voter Pi shares its vote with a
+//     random degree-(t-1) polynomial gi, gi(0) = xi, and sends gi(j) to
+//     party Pj. Each party locally sums the received shares: h(j) = Σ gi(j).
+//     Any t parties interpolate h(0) = Σ xi. No party ever sees another's
+//     vote.
+//   - Veto vote: f(x1,…,xn) = Π xi (1 = consent). Share products multiply
+//     polynomial degrees, so opening Π gi needs k(t-1)+1 evaluation points
+//     for k voters; the protocol therefore distributes shares to
+//     max(n, k(t-1)+1) tally parties. (The BGW degree-reduction step that
+//     would avoid this is out of the paper's scope.)
+//
+// The functions below simulate the full message flow: dealing, local
+// aggregation, and opening from a caller-chosen subset of parties.
+
+// VoteResult captures the outcome and the transcript sizes of a protocol
+// run (for the E16 experiment).
+type VoteResult struct {
+	// Value is the opened function result: the vote sum, or the veto
+	// product (nonzero = unanimous consent when votes are 0/1).
+	Value *big.Int
+	// MessagesSent counts point-to-point share transfers.
+	MessagesSent int
+	// OpeningShares is the number of shares used to open the result.
+	OpeningShares int
+}
+
+// MajorityVote runs the Σ-protocol among n = len(votes) parties with
+// threshold t, then opens the tally using the t parties selected by
+// openers (indices into 0..n-1). Vote values may be any field elements;
+// {0,1} gives the paper's yes/no semantics.
+func MajorityVote(s *Scheme, votes []*big.Int, openers []int, rng io.Reader) (*VoteResult, error) {
+	n := s.Parties()
+	if len(votes) != n {
+		return nil, fmt.Errorf("shamir: %d votes for %d parties", len(votes), n)
+	}
+	if len(openers) < s.Threshold() {
+		return nil, fmt.Errorf("shamir: need %d openers, got %d", s.Threshold(), len(openers))
+	}
+	// Phase 1: each voter deals shares of its vote.
+	msgs := 0
+	received := make([][]Share, n) // received[j] = shares held by party j
+	for i := 0; i < n; i++ {
+		shares, err := s.Split(votes[i], rng)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < n; j++ {
+			received[j] = append(received[j], shares[j])
+			if i != j {
+				msgs++
+			}
+		}
+	}
+	// Phase 2: each party locally sums its received shares → h(j).
+	local := make([]Share, n)
+	for j := 0; j < n; j++ {
+		acc := s.Field().Zero()
+		for _, sh := range received[j] {
+			acc = s.Field().Add(acc, sh.Y)
+		}
+		local[j] = Share{X: uint32(j + 1), Y: acc}
+	}
+	// Phase 3: the openers pool their h(j) points and interpolate h(0).
+	opening := make([]Share, 0, len(openers))
+	for _, idx := range openers {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("shamir: opener index %d out of range", idx)
+		}
+		opening = append(opening, local[idx])
+	}
+	sum, err := s.Reconstruct(opening)
+	if err != nil {
+		return nil, err
+	}
+	return &VoteResult{Value: sum, MessagesSent: msgs, OpeningShares: len(opening)}, nil
+}
+
+// VetoVote runs the Π-protocol: every voter shares its consent bit
+// (1 = consent, 0 = veto); the tally parties multiply their local shares;
+// the opened product is nonzero iff nobody vetoed. The share polynomial
+// product has degree k(t-1), so the protocol uses m = k(t-1)+1 tally
+// parties (m may exceed the voter count).
+func VetoVote(s *Scheme, votes []*big.Int, rng io.Reader) (*VoteResult, error) {
+	k := len(votes)
+	if k == 0 {
+		return nil, errors.New("shamir: no votes")
+	}
+	t := s.Threshold()
+	m := k*(t-1) + 1
+	if m < s.Parties() {
+		m = s.Parties()
+	}
+	tally, err := NewScheme(s.Field(), t, m)
+	if err != nil {
+		return nil, fmt.Errorf("shamir: veto needs %d tally parties: %w", m, err)
+	}
+	msgs := 0
+	// received[j] = the j-th tally party's share of each vote.
+	received := make([][]Share, m)
+	for i := 0; i < k; i++ {
+		shares, err := tally.Split(votes[i], rng)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < m; j++ {
+			received[j] = append(received[j], shares[j])
+			msgs++
+		}
+	}
+	// Each tally party multiplies its shares: a point on Π gi.
+	product := make([]Share, m)
+	for j := 0; j < m; j++ {
+		acc := s.Field().One()
+		for _, sh := range received[j] {
+			acc = s.Field().Mul(acc, sh.Y)
+		}
+		product[j] = Share{X: uint32(j + 1), Y: acc}
+	}
+	// Opening needs all k(t-1)+1 points of the degree-k(t-1) product.
+	need := k*(t-1) + 1
+	val, err := InterpolateAt(s.Field(), product[:need], s.Field().Zero(), need)
+	if err != nil {
+		return nil, err
+	}
+	return &VoteResult{Value: val, MessagesSent: msgs, OpeningShares: need}, nil
+}

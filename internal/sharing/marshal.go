@@ -1,0 +1,120 @@
+package sharing
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sssearch/internal/poly"
+)
+
+// Binary layout of a share tree (preorder):
+//
+//	varint  nNodes
+//	repeat nNodes times (preorder):
+//	    varint  nChildren
+//	    poly    share polynomial (poly wire format)
+//
+// Preorder with explicit child counts reconstructs the shape uniquely.
+
+// maxTreeNodes bounds accepted trees (16M nodes).
+const maxTreeNodes = 1 << 24
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	if t.Root == nil {
+		return nil, errors.New("sharing: marshal of empty tree")
+	}
+	buf := binary.AppendUvarint(nil, uint64(t.Count()))
+	var err error
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if err != nil {
+			return
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(n.Children)))
+		buf, err = n.Poly.AppendBinary(buf)
+		if err != nil {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+	return buf, err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	tree, rest, err := DecodeTree(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errors.New("sharing: trailing bytes after tree")
+	}
+	*t = *tree
+	return nil
+}
+
+// DecodeTree decodes one share tree from the front of data.
+func DecodeTree(data []byte) (*Tree, []byte, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, errors.New("sharing: bad node count")
+	}
+	if n == 0 || n > maxTreeNodes {
+		return nil, nil, fmt.Errorf("sharing: node count %d out of range", n)
+	}
+	data = data[k:]
+	remaining := n
+	root, data, err := decodeNode(data, &remaining)
+	if err != nil {
+		return nil, nil, err
+	}
+	if remaining != 0 {
+		return nil, nil, fmt.Errorf("sharing: node count mismatch: %d unconsumed", remaining)
+	}
+	return &Tree{Root: root}, data, nil
+}
+
+func decodeNode(data []byte, remaining *uint64) (*Node, []byte, error) {
+	if *remaining == 0 {
+		return nil, nil, errors.New("sharing: more nodes than declared")
+	}
+	*remaining--
+	nc, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, errors.New("sharing: bad child count")
+	}
+	if nc > *remaining {
+		return nil, nil, fmt.Errorf("sharing: child count %d exceeds remaining nodes %d", nc, *remaining)
+	}
+	data = data[k:]
+	p, rest, err := poly.DecodePoly(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	data = rest
+	node := &Node{Poly: p}
+	for i := uint64(0); i < nc; i++ {
+		var c *Node
+		c, data, err = decodeNode(data, remaining)
+		if err != nil {
+			return nil, nil, err
+		}
+		node.Children = append(node.Children, c)
+	}
+	return node, data, nil
+}
+
+// ByteSize returns the serialized size of the tree in bytes — the storage
+// metric of experiment E7.
+func (t *Tree) ByteSize() int {
+	b, err := t.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}

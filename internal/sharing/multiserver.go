@@ -1,0 +1,130 @@
+package sharing
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/poly"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/shamir"
+)
+
+// This file implements the paper's §4.2 extension: "this can easily be
+// extended to a model with multiple servers, in which the client together
+// with k out of n servers … can reconstruct the shared secret polynomial."
+//
+// Construction: split f = f_client + f_rest as usual, then Shamir-share
+// every coefficient of f_rest with threshold k among n servers. Server j
+// stores the polynomial whose coefficients are its Shamir shares. Because
+// Lagrange reconstruction at 0 is a fixed linear combination Σ λ_j·y_j and
+// evaluation-at-a is linear in the coefficients, the client recombines
+// *scalar evaluations* from any k servers:
+//
+//	f_rest(a) = Σ_j λ_j · share_j(a)  (mod p)
+//
+// so the per-query protocol stays one scalar per node per server.
+// Shamir needs a field, so multi-server mode requires the F_p ring.
+
+// ServerShare is one server's share tree plus its Shamir evaluation point.
+type ServerShare struct {
+	X    uint32
+	Tree *Tree
+}
+
+// MultiSplit produces the client seed share (implicit, from seed) and n
+// server share trees with reconstruction threshold k. Only FpCyclotomic
+// rings are supported (Shamir needs a field).
+func MultiSplit(enc *polyenc.Tree, seed drbg.Seed, k, n int, rng io.Reader) ([]ServerShare, error) {
+	if enc == nil || enc.Root == nil {
+		return nil, errors.New("sharing: nil encoded tree")
+	}
+	fpRing, ok := enc.Ring.(*ring.FpCyclotomic)
+	if !ok {
+		return nil, fmt.Errorf("sharing: multi-server mode requires the F_p ring, got %s", enc.Ring.Name())
+	}
+	scheme, err := shamir.NewScheme(fpRing.Field(), k, n)
+	if err != nil {
+		return nil, err
+	}
+	// First compute the single-server tree (client pad removed).
+	rest, err := Split(enc, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Shamir-share each node polynomial coefficient-wise.
+	roots, err := multiSplitNode(fpRing, scheme, rest.Root, rng, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ServerShare, n)
+	for j := 0; j < n; j++ {
+		out[j] = ServerShare{X: uint32(j + 1), Tree: &Tree{Root: roots[j]}}
+	}
+	return out, nil
+}
+
+// multiSplitNode returns the n per-server images of the subtree rooted at n.
+func multiSplitNode(r *ring.FpCyclotomic, scheme *shamir.Scheme, n *Node, rng io.Reader, servers int) ([]*Node, error) {
+	bound := r.DegreeBound()
+	parts := make([][]*big.Int, servers) // parts[j][i] = coeff i of server j
+	for j := range parts {
+		parts[j] = make([]*big.Int, bound)
+	}
+	for i := 0; i < bound; i++ {
+		shares, err := scheme.Split(n.Poly.Coeff(i), rng)
+		if err != nil {
+			return nil, err
+		}
+		for j := range parts {
+			parts[j][i] = shares[j].Y
+		}
+	}
+	nodes := make([]*Node, servers)
+	for j := range nodes {
+		nodes[j] = &Node{Poly: poly.New(parts[j]...)}
+	}
+	for _, c := range n.Children {
+		childNodes, err := multiSplitNode(r, scheme, c, rng, servers)
+		if err != nil {
+			return nil, err
+		}
+		for j := range nodes {
+			nodes[j].Children = append(nodes[j].Children, childNodes[j])
+		}
+	}
+	return nodes, nil
+}
+
+// ServerEval is one server's scalar answer for a node.
+type ServerEval struct {
+	X     uint32
+	Value *big.Int
+}
+
+// CombineServerEvals reconstructs f_rest(a) from >= k scalar server
+// evaluations via Lagrange interpolation at zero.
+func CombineServerEvals(r *ring.FpCyclotomic, evals []ServerEval, k int) (*big.Int, error) {
+	shares := make([]shamir.Share, len(evals))
+	for i, e := range evals {
+		shares[i] = shamir.Share{X: e.X, Y: e.Value}
+	}
+	return shamir.InterpolateAt(r.Field(), shares, big.NewInt(0), k)
+}
+
+// MultiReconstructEval computes the full f(a) from the client's seed share
+// and >= k server evaluations.
+func MultiReconstructEval(r *ring.FpCyclotomic, client *SeedClient, key drbg.NodeKey, a *big.Int, evals []ServerEval, k int) (*big.Int, error) {
+	rest, err := CombineServerEvals(r, evals, k)
+	if err != nil {
+		return nil, err
+	}
+	cv, err := client.EvalShare(key, a)
+	if err != nil {
+		return nil, err
+	}
+	return r.Field().Add(cv, rest), nil
+}

@@ -1,0 +1,208 @@
+// Package sharing implements §4.2 of the paper: splitting an encoded
+// polynomial tree into a client part and a server part such that
+// client + server = original in the ring, with the client part generated
+// from a seeded DRBG so the client stores nothing but the seed.
+//
+// It also implements the paper's multi-server extension: the server part
+// can be Shamir-shared coefficient-wise across n servers with threshold k,
+// and — because both Lagrange reconstruction and polynomial evaluation are
+// linear — the client can recombine *evaluations* from any k servers
+// directly, without ever reconstructing polynomials.
+package sharing
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/poly"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+)
+
+// ShareLabel is the DRBG domain-separation label for client share streams.
+const ShareLabel = "sss/client-share/v1"
+
+// Node is one node of a share tree.
+type Node struct {
+	Poly     poly.Poly
+	Children []*Node
+}
+
+// Tree is a share tree: one polynomial per document node, mirroring the
+// document shape.
+type Tree struct {
+	Root *Node
+}
+
+// Walk visits the share tree in preorder with node keys. Returning false
+// prunes the subtree.
+func (t *Tree) Walk(fn func(key drbg.NodeKey, n *Node) bool) {
+	if t.Root == nil {
+		return
+	}
+	walkNode(t.Root, drbg.NodeKey{}, fn)
+}
+
+func walkNode(n *Node, key drbg.NodeKey, fn func(drbg.NodeKey, *Node) bool) {
+	if !fn(key, n) {
+		return
+	}
+	for i, c := range n.Children {
+		walkNode(c, key.Child(uint32(i)), fn)
+	}
+}
+
+// Count returns the number of nodes.
+func (t *Tree) Count() int {
+	total := 0
+	t.Walk(func(drbg.NodeKey, *Node) bool { total++; return true })
+	return total
+}
+
+// Lookup resolves a node key.
+func (t *Tree) Lookup(key drbg.NodeKey) (*Node, error) {
+	if t.Root == nil {
+		return nil, errors.New("sharing: empty tree")
+	}
+	cur := t.Root
+	for depth, idx := range key {
+		if int(idx) >= len(cur.Children) {
+			return nil, fmt.Errorf("sharing: key %v invalid at depth %d", key, depth)
+		}
+		cur = cur.Children[int(idx)]
+	}
+	return cur, nil
+}
+
+// Split derives the deterministic client share for every node of enc from
+// seed and returns the server tree (original − client). The client needs to
+// keep only the seed; SeedClient regenerates its shares on demand.
+func Split(enc *polyenc.Tree, seed drbg.Seed) (*Tree, error) {
+	if enc == nil || enc.Root == nil {
+		return nil, errors.New("sharing: nil encoded tree")
+	}
+	d := drbg.NewDeriver(seed, ShareLabel)
+	root, err := splitNode(enc.Ring, enc.Root, drbg.NodeKey{}, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Root: root}, nil
+}
+
+func splitNode(r ring.Ring, n *polyenc.Node, key drbg.NodeKey, d *drbg.Deriver) (*Node, error) {
+	pad, err := r.Rand(d.ForNode(key))
+	if err != nil {
+		return nil, fmt.Errorf("sharing: node %s: %w", key, err)
+	}
+	out := &Node{Poly: r.Sub(n.Poly, pad)}
+	for i, c := range n.Children {
+		sc, err := splitNode(r, c, key.Child(uint32(i)), d)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, sc)
+	}
+	return out, nil
+}
+
+// SeedClient regenerates client share polynomials from the seed alone —
+// the §4.2 "store only the random seed" mode.
+type SeedClient struct {
+	r ring.Ring
+	d *drbg.Deriver
+}
+
+// NewSeedClient builds the seed-only client view.
+func NewSeedClient(r ring.Ring, seed drbg.Seed) *SeedClient {
+	return &SeedClient{r: r, d: drbg.NewDeriver(seed, ShareLabel)}
+}
+
+// Ring returns the client's ring.
+func (c *SeedClient) Ring() ring.Ring { return c.r }
+
+// Share regenerates the client share polynomial of the given node.
+func (c *SeedClient) Share(key drbg.NodeKey) (poly.Poly, error) {
+	return c.r.Rand(c.d.ForNode(key))
+}
+
+// EvalShare regenerates the node share and evaluates it at point a
+// (modulo the ring's evaluation modulus at a).
+func (c *SeedClient) EvalShare(key drbg.NodeKey, a *big.Int) (*big.Int, error) {
+	share, err := c.Share(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.r.Eval(share, a)
+}
+
+// Materialize expands the client's full share tree for a given document
+// shape (taken from the server tree). This trades client memory for speed —
+// experiment E11 measures the trade.
+func Materialize(r ring.Ring, seed drbg.Seed, shape *Tree) (*Tree, error) {
+	if shape == nil || shape.Root == nil {
+		return nil, errors.New("sharing: nil shape")
+	}
+	c := NewSeedClient(r, seed)
+	var build func(n *Node, key drbg.NodeKey) (*Node, error)
+	build = func(n *Node, key drbg.NodeKey) (*Node, error) {
+		share, err := c.Share(key)
+		if err != nil {
+			return nil, err
+		}
+		out := &Node{Poly: share}
+		for i, ch := range n.Children {
+			bc, err := build(ch, key.Child(uint32(i)))
+			if err != nil {
+				return nil, err
+			}
+			out.Children = append(out.Children, bc)
+		}
+		return out, nil
+	}
+	root, err := build(shape.Root, drbg.NodeKey{})
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Root: root}, nil
+}
+
+// Reconstruct adds client and server trees back into the encoded tree.
+// Shapes must match exactly.
+func Reconstruct(r ring.Ring, client, server *Tree) (*polyenc.Tree, error) {
+	if client == nil || server == nil || client.Root == nil || server.Root == nil {
+		return nil, errors.New("sharing: nil share tree")
+	}
+	var merge func(c, s *Node, key drbg.NodeKey) (*polyenc.Node, error)
+	merge = func(c, s *Node, key drbg.NodeKey) (*polyenc.Node, error) {
+		if len(c.Children) != len(s.Children) {
+			return nil, fmt.Errorf("sharing: shape mismatch at %s: %d vs %d children",
+				key, len(c.Children), len(s.Children))
+		}
+		out := &polyenc.Node{Poly: r.Add(c.Poly, s.Poly)}
+		for i := range c.Children {
+			mc, err := merge(c.Children[i], s.Children[i], key.Child(uint32(i)))
+			if err != nil {
+				return nil, err
+			}
+			out.Children = append(out.Children, mc)
+		}
+		return out, nil
+	}
+	root, err := merge(client.Root, server.Root, drbg.NodeKey{})
+	if err != nil {
+		return nil, err
+	}
+	return &polyenc.Tree{Ring: r, Root: root}, nil
+}
+
+// ReconstructFromSeed is Reconstruct with a seed-only client: the client
+// tree is regenerated on the fly from the server tree's shape.
+func ReconstructFromSeed(r ring.Ring, seed drbg.Seed, server *Tree) (*polyenc.Tree, error) {
+	client, err := Materialize(r, seed, server)
+	if err != nil {
+		return nil, err
+	}
+	return Reconstruct(r, client, server)
+}

@@ -1,0 +1,61 @@
+package sharing
+
+import (
+	"fmt"
+	"math/big"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/poly"
+	"sssearch/internal/ring"
+)
+
+// ShareSource abstracts where the client's share polynomials come from:
+// regenerated from a seed (SeedClient, the paper's §4.2 storage-optimal
+// mode), held in a materialized tree (StaticSource), or — in tests — the
+// paper's published figure values verbatim.
+type ShareSource interface {
+	// Share returns the client share polynomial of the keyed node.
+	Share(key drbg.NodeKey) (poly.Poly, error)
+	// EvalShare evaluates the node's client share at point a, reduced
+	// modulo the ring's evaluation modulus at a.
+	EvalShare(key drbg.NodeKey, a *big.Int) (*big.Int, error)
+}
+
+var _ ShareSource = (*SeedClient)(nil)
+
+// StaticSource serves client shares from a materialized share tree — the
+// memory-for-CPU end of the §4.2 trade-off, and the vehicle for running
+// the protocol on externally supplied share values (e.g. the paper's
+// figures 3 and 4).
+type StaticSource struct {
+	r    ring.Ring
+	tree *Tree
+}
+
+// NewStaticSource wraps a materialized client share tree.
+func NewStaticSource(r ring.Ring, tree *Tree) (*StaticSource, error) {
+	if r == nil || tree == nil || tree.Root == nil {
+		return nil, fmt.Errorf("sharing: nil ring or tree")
+	}
+	return &StaticSource{r: r, tree: tree}, nil
+}
+
+// Share implements ShareSource.
+func (s *StaticSource) Share(key drbg.NodeKey) (poly.Poly, error) {
+	n, err := s.tree.Lookup(key)
+	if err != nil {
+		return poly.Poly{}, err
+	}
+	return n.Poly, nil
+}
+
+// EvalShare implements ShareSource.
+func (s *StaticSource) EvalShare(key drbg.NodeKey, a *big.Int) (*big.Int, error) {
+	share, err := s.Share(key)
+	if err != nil {
+		return nil, err
+	}
+	return s.r.Eval(share, a)
+}
+
+var _ ShareSource = (*StaticSource)(nil)

@@ -1,0 +1,154 @@
+package swp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sssearch/internal/xmltree"
+	"sssearch/internal/xpath"
+)
+
+func doc(t *testing.T, s string) *xmltree.Node {
+	t.Helper()
+	n, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+const paperDoc = `<customers><client><name/></client><client><name/></client></customers>`
+
+func TestSearchPaperExample(t *testing.T) {
+	c := NewClient([]byte("master"))
+	idx, err := c.BuildIndex(doc(t, paperDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Tokens) != 5 {
+		t.Fatalf("index size %d", len(idx.Tokens))
+	}
+	res := idx.Search(c.Trapdoor("client"))
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %v", res.Matches)
+	}
+	if res.Matches[0].String() != "/0" || res.Matches[1].String() != "/1" {
+		t.Errorf("matches = %v", res.Matches)
+	}
+	// Linear scan always touches everything — the baseline's defining cost.
+	if res.TokensScanned != 5 {
+		t.Errorf("scanned %d, want 5", res.TokensScanned)
+	}
+	if got := idx.Search(c.Trapdoor("nonexistent")); len(got.Matches) != 0 || got.TokensScanned != 5 {
+		t.Errorf("miss still scans all: %+v", got)
+	}
+}
+
+func TestSearchMatchesXPathOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vocab := []string{"a", "b", "c", "d"}
+	var build func(depth int) *xmltree.Node
+	build = func(depth int) *xmltree.Node {
+		n := xmltree.NewNode(vocab[rng.Intn(len(vocab))])
+		if depth > 0 {
+			for i := 0; i < rng.Intn(4); i++ {
+				n.AppendChild(build(depth - 1))
+			}
+		}
+		return n
+	}
+	c := NewClient([]byte("oracle"))
+	for trial := 0; trial < 20; trial++ {
+		d := build(4)
+		idx, err := c.BuildIndex(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tag := range vocab {
+			got := idx.Search(c.Trapdoor(tag))
+			want := xpath.MustParse("//" + tag).Evaluate(d)
+			if len(got.Matches) != len(want) {
+				t.Fatalf("//%s: %d matches, oracle %d", tag, len(got.Matches), len(want))
+			}
+			for i := range want {
+				if got.Matches[i].String() != want[i].Key().String() {
+					t.Fatalf("//%s: match %d differs", tag, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTokensLookRandom(t *testing.T) {
+	// Two nodes with the SAME tag must have different tokens (position
+	// stream), or the index leaks equality joins beyond search results.
+	c := NewClient([]byte("k"))
+	idx, _ := c.BuildIndex(doc(t, paperDoc))
+	// positions 1 and 3 are the two client nodes.
+	if idx.Tokens[1] == idx.Tokens[3] {
+		t.Error("identical tags produced identical tokens")
+	}
+	if idx.Tokens[2] == idx.Tokens[4] {
+		t.Error("identical tags produced identical tokens (names)")
+	}
+}
+
+func TestDifferentKeysDisagree(t *testing.T) {
+	c1 := NewClient([]byte("k1"))
+	c2 := NewClient([]byte("k2"))
+	idx, _ := c1.BuildIndex(doc(t, paperDoc))
+	// A trapdoor under the wrong key finds nothing (w.h.p.).
+	res := idx.Search(c2.Trapdoor("client"))
+	if len(res.Matches) != 0 {
+		t.Error("foreign trapdoor matched")
+	}
+}
+
+func TestRecoverWordImage(t *testing.T) {
+	c := NewClient([]byte("rec"))
+	d := doc(t, paperDoc)
+	idx, _ := c.BuildIndex(d)
+	want := map[int]string{0: "customers", 1: "client", 2: "name"}
+	for pos, tag := range want {
+		x, err := c.RecoverWordImage(idx, pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(x, c.wordImage(tag)) {
+			t.Errorf("position %d: recovered image does not match %q", pos, tag)
+		}
+	}
+	if _, err := c.RecoverWordImage(idx, 99); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+}
+
+func TestBuildIndexNil(t *testing.T) {
+	c := NewClient(nil)
+	if _, err := c.BuildIndex(nil); err == nil {
+		t.Error("nil doc accepted")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	c := NewClient([]byte("sz"))
+	idx, _ := c.BuildIndex(doc(t, paperDoc))
+	if idx.ByteSize() < 5*blockSize {
+		t.Error("ByteSize too small")
+	}
+}
+
+func BenchmarkSearch1000(b *testing.B) {
+	c := NewClient([]byte("bench"))
+	root := xmltree.NewNode("root")
+	for i := 0; i < 999; i++ {
+		root.AddChild("leaf")
+	}
+	idx, _ := c.BuildIndex(root)
+	td := c.Trapdoor("leaf")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search(td)
+	}
+}

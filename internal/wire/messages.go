@@ -1,0 +1,322 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/poly"
+	"sssearch/internal/ring"
+)
+
+// This file defines typed encode/decode helpers for each message payload.
+
+// Hello is the client's opening message.
+type Hello struct{ Version uint32 }
+
+// EncodeHello marshals a Hello payload.
+func EncodeHello(h Hello) []byte {
+	return binary.AppendUvarint(nil, uint64(h.Version))
+}
+
+// DecodeHello unmarshals a Hello payload.
+func DecodeHello(data []byte) (Hello, error) {
+	v, k := binary.Uvarint(data)
+	if k <= 0 {
+		return Hello{}, errors.New("wire: bad hello")
+	}
+	return Hello{Version: uint32(v)}, nil
+}
+
+// HelloAck is the server's session acceptance: protocol version plus the
+// public ring parameters of the hosted tree.
+type HelloAck struct {
+	Version uint32
+	Params  ring.Params
+}
+
+// EncodeHelloAck marshals a HelloAck payload.
+func EncodeHelloAck(h HelloAck) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(h.Version))
+	pb, err := h.Params.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, pb...), nil
+}
+
+// DecodeHelloAck unmarshals a HelloAck payload.
+func DecodeHelloAck(data []byte) (HelloAck, error) {
+	v, k := binary.Uvarint(data)
+	if k <= 0 {
+		return HelloAck{}, errors.New("wire: bad hello ack")
+	}
+	params, rest, err := ring.DecodeParams(data[k:])
+	if err != nil {
+		return HelloAck{}, err
+	}
+	if len(rest) != 0 {
+		return HelloAck{}, errors.New("wire: trailing bytes in hello ack")
+	}
+	return HelloAck{Version: uint32(v), Params: params}, nil
+}
+
+// EvalReq asks for evaluations of keys at points.
+type EvalReq struct {
+	ID     uint64
+	Keys   []drbg.NodeKey
+	Points []*big.Int
+}
+
+// EncodeEvalReq marshals an EvalReq payload.
+func EncodeEvalReq(r EvalReq) []byte {
+	out := binary.AppendUvarint(nil, r.ID)
+	out = AppendKeys(out, r.Keys)
+	out = AppendBigs(out, r.Points)
+	return out
+}
+
+// DecodeEvalReq unmarshals an EvalReq payload.
+func DecodeEvalReq(data []byte) (EvalReq, error) {
+	id, k := binary.Uvarint(data)
+	if k <= 0 {
+		return EvalReq{}, errors.New("wire: bad eval id")
+	}
+	keys, rest, err := DecodeKeys(data[k:])
+	if err != nil {
+		return EvalReq{}, err
+	}
+	points, rest, err := DecodeBigs(rest)
+	if err != nil {
+		return EvalReq{}, err
+	}
+	if len(rest) != 0 {
+		return EvalReq{}, errors.New("wire: trailing bytes in eval request")
+	}
+	return EvalReq{ID: id, Keys: keys, Points: points}, nil
+}
+
+// EvalResp carries the answers to an EvalReq.
+type EvalResp struct {
+	ID      uint64
+	Answers []core.NodeEval
+}
+
+// EncodeEvalResp marshals an EvalResp payload.
+func EncodeEvalResp(r EvalResp) []byte {
+	out := binary.AppendUvarint(nil, r.ID)
+	out = binary.AppendUvarint(out, uint64(len(r.Answers)))
+	for _, a := range r.Answers {
+		out = AppendKey(out, a.Key)
+		out = binary.AppendUvarint(out, uint64(a.NumChildren))
+		out = AppendBigs(out, a.Values)
+	}
+	return out
+}
+
+// DecodeEvalResp unmarshals an EvalResp payload.
+func DecodeEvalResp(data []byte) (EvalResp, error) {
+	id, k := binary.Uvarint(data)
+	if k <= 0 {
+		return EvalResp{}, errors.New("wire: bad eval resp id")
+	}
+	data = data[k:]
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n > maxListLen {
+		return EvalResp{}, errors.New("wire: bad answer count")
+	}
+	data = data[k:]
+	if n > uint64(len(data)) {
+		return EvalResp{}, errors.New("wire: answer count exceeds available bytes")
+	}
+	out := EvalResp{ID: id, Answers: make([]core.NodeEval, n)}
+	for i := uint64(0); i < n; i++ {
+		key, rest, err := DecodeKey(data)
+		if err != nil {
+			return EvalResp{}, err
+		}
+		nch, k := binary.Uvarint(rest)
+		if k <= 0 || nch > maxListLen {
+			return EvalResp{}, errors.New("wire: bad child count")
+		}
+		values, rest2, err := DecodeBigs(rest[k:])
+		if err != nil {
+			return EvalResp{}, err
+		}
+		out.Answers[i] = core.NodeEval{Key: key, NumChildren: int(nch), Values: values}
+		data = rest2
+	}
+	if len(data) != 0 {
+		return EvalResp{}, errors.New("wire: trailing bytes in eval response")
+	}
+	return out, nil
+}
+
+// FetchReq asks for share polynomials.
+type FetchReq struct {
+	ID   uint64
+	Keys []drbg.NodeKey
+}
+
+// EncodeFetchReq marshals a FetchReq payload.
+func EncodeFetchReq(r FetchReq) []byte {
+	out := binary.AppendUvarint(nil, r.ID)
+	return AppendKeys(out, r.Keys)
+}
+
+// DecodeFetchReq unmarshals a FetchReq payload.
+func DecodeFetchReq(data []byte) (FetchReq, error) {
+	id, k := binary.Uvarint(data)
+	if k <= 0 {
+		return FetchReq{}, errors.New("wire: bad fetch id")
+	}
+	keys, rest, err := DecodeKeys(data[k:])
+	if err != nil {
+		return FetchReq{}, err
+	}
+	if len(rest) != 0 {
+		return FetchReq{}, errors.New("wire: trailing bytes in fetch request")
+	}
+	return FetchReq{ID: id, Keys: keys}, nil
+}
+
+// FetchResp carries the answers to a FetchReq.
+type FetchResp struct {
+	ID      uint64
+	Answers []core.NodePoly
+}
+
+// EncodeFetchResp marshals a FetchResp payload.
+func EncodeFetchResp(r FetchResp) ([]byte, error) {
+	out := binary.AppendUvarint(nil, r.ID)
+	out = binary.AppendUvarint(out, uint64(len(r.Answers)))
+	var err error
+	for _, a := range r.Answers {
+		out = AppendKey(out, a.Key)
+		out = binary.AppendUvarint(out, uint64(a.NumChildren))
+		out, err = a.Poly.AppendBinary(out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DecodeFetchResp unmarshals a FetchResp payload.
+func DecodeFetchResp(data []byte) (FetchResp, error) {
+	id, k := binary.Uvarint(data)
+	if k <= 0 {
+		return FetchResp{}, errors.New("wire: bad fetch resp id")
+	}
+	data = data[k:]
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n > maxListLen {
+		return FetchResp{}, errors.New("wire: bad answer count")
+	}
+	data = data[k:]
+	if n > uint64(len(data)) {
+		return FetchResp{}, errors.New("wire: answer count exceeds available bytes")
+	}
+	out := FetchResp{ID: id, Answers: make([]core.NodePoly, n)}
+	for i := uint64(0); i < n; i++ {
+		key, rest, err := DecodeKey(data)
+		if err != nil {
+			return FetchResp{}, err
+		}
+		nch, k := binary.Uvarint(rest)
+		if k <= 0 || nch > maxListLen {
+			return FetchResp{}, errors.New("wire: bad child count")
+		}
+		p, rest2, err := poly.DecodePoly(rest[k:])
+		if err != nil {
+			return FetchResp{}, err
+		}
+		out.Answers[i] = core.NodePoly{Key: key, NumChildren: int(nch), Poly: p}
+		data = rest2
+	}
+	if len(data) != 0 {
+		return FetchResp{}, errors.New("wire: trailing bytes in fetch response")
+	}
+	return out, nil
+}
+
+// PruneReq notifies the server of dead subtrees.
+type PruneReq struct {
+	ID   uint64
+	Keys []drbg.NodeKey
+}
+
+// EncodePruneReq marshals a PruneReq payload.
+func EncodePruneReq(r PruneReq) []byte {
+	out := binary.AppendUvarint(nil, r.ID)
+	return AppendKeys(out, r.Keys)
+}
+
+// DecodePruneReq unmarshals a PruneReq payload.
+func DecodePruneReq(data []byte) (PruneReq, error) {
+	id, k := binary.Uvarint(data)
+	if k <= 0 {
+		return PruneReq{}, errors.New("wire: bad prune id")
+	}
+	keys, rest, err := DecodeKeys(data[k:])
+	if err != nil {
+		return PruneReq{}, err
+	}
+	if len(rest) != 0 {
+		return PruneReq{}, errors.New("wire: trailing bytes in prune request")
+	}
+	return PruneReq{ID: id, Keys: keys}, nil
+}
+
+// EncodeAck marshals an Ack payload.
+func EncodeAck(id uint64) []byte { return binary.AppendUvarint(nil, id) }
+
+// DecodeAck unmarshals an Ack payload.
+func DecodeAck(data []byte) (uint64, error) {
+	id, k := binary.Uvarint(data)
+	if k <= 0 {
+		return 0, errors.New("wire: bad ack")
+	}
+	return id, nil
+}
+
+// ErrorMsg reports a server-side failure for a request.
+type ErrorMsg struct {
+	ID      uint64
+	Message string
+}
+
+// EncodeError marshals an ErrorMsg payload.
+func EncodeError(e ErrorMsg) []byte {
+	out := binary.AppendUvarint(nil, e.ID)
+	return AppendString(out, e.Message)
+}
+
+// DecodeError unmarshals an ErrorMsg payload.
+func DecodeError(data []byte) (ErrorMsg, error) {
+	id, k := binary.Uvarint(data)
+	if k <= 0 {
+		return ErrorMsg{}, errors.New("wire: bad error id")
+	}
+	msg, rest, err := DecodeString(data[k:])
+	if err != nil {
+		return ErrorMsg{}, err
+	}
+	if len(rest) != 0 {
+		return ErrorMsg{}, errors.New("wire: trailing bytes in error message")
+	}
+	return ErrorMsg{ID: id, Message: msg}, nil
+}
+
+// RemoteError is the client-side surfacing of a server ErrorMsg.
+type RemoteError struct {
+	ID      uint64
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: server error (req %d): %s", e.ID, e.Message)
+}

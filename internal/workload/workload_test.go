@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"sssearch/internal/xmltree"
+)
+
+func TestRandomTreeShape(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 1000} {
+		doc := RandomTree(TreeConfig{Nodes: n, MaxFanout: 4, Vocab: 6, Seed: 7})
+		if got := doc.Count(); got != n {
+			t.Errorf("Nodes=%d: got %d elements", n, got)
+		}
+		s := xmltree.ComputeStats(doc)
+		if s.MaxFanout > 4 {
+			t.Errorf("fanout %d exceeds bound", s.MaxFanout)
+		}
+		if s.DistinctTags > 6 {
+			t.Errorf("vocab %d exceeds bound", s.DistinctTags)
+		}
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	a := RandomTree(TreeConfig{Nodes: 200, MaxFanout: 3, Vocab: 5, Seed: 42})
+	b := RandomTree(TreeConfig{Nodes: 200, MaxFanout: 3, Vocab: 5, Seed: 42})
+	if a.String() != b.String() {
+		t.Error("same seed produced different trees")
+	}
+	c := RandomTree(TreeConfig{Nodes: 200, MaxFanout: 3, Vocab: 5, Seed: 43})
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical trees")
+	}
+}
+
+func TestRandomTreeDefaults(t *testing.T) {
+	doc := RandomTree(TreeConfig{})
+	if doc.Count() != 1 {
+		t.Error("zero config should give a single node")
+	}
+}
+
+func TestChainAndFlat(t *testing.T) {
+	c := Chain(10)
+	if c.Count() != 10 || c.Depth() != 10 {
+		t.Errorf("chain: count=%d depth=%d", c.Count(), c.Depth())
+	}
+	if Chain(0).Count() != 1 {
+		t.Error("Chain(0) should clamp to 1")
+	}
+	f := Flat(10)
+	if f.Count() != 10 || f.Depth() != 2 {
+		t.Errorf("flat: count=%d depth=%d", f.Count(), f.Depth())
+	}
+}
+
+func TestAuctionStructure(t *testing.T) {
+	doc := Auction(AuctionConfig{Items: 20, People: 15, Auctions: 10, Seed: 3})
+	s := xmltree.ComputeStats(doc)
+	if s.TagCounts["item"] != 20 {
+		t.Errorf("items = %d", s.TagCounts["item"])
+	}
+	if s.TagCounts["person"] != 15 {
+		t.Errorf("people = %d", s.TagCounts["person"])
+	}
+	if s.TagCounts["open_auction"] != 10 {
+		t.Errorf("auctions = %d", s.TagCounts["open_auction"])
+	}
+	if s.TagCounts["site"] != 1 || doc.Tag != "site" {
+		t.Error("root wrong")
+	}
+	// Deterministic.
+	again := Auction(AuctionConfig{Items: 20, People: 15, Auctions: 10, Seed: 3})
+	if doc.String() != again.String() {
+		t.Error("auction not deterministic")
+	}
+}
+
+func TestLibraryStructure(t *testing.T) {
+	doc := Library(LibraryConfig{Books: 5, Articles: 7, Seed: 1})
+	s := xmltree.ComputeStats(doc)
+	if s.TagCounts["book"] != 5 || s.TagCounts["article"] != 7 {
+		t.Errorf("book=%d article=%d", s.TagCounts["book"], s.TagCounts["article"])
+	}
+	if s.TagCounts["author"] < 12 {
+		t.Errorf("authors = %d, want >= one per entry", s.TagCounts["author"])
+	}
+	if s.TagCounts["title"] != 12 {
+		t.Errorf("titles = %d", s.TagCounts["title"])
+	}
+}
+
+func TestClassifyTags(t *testing.T) {
+	doc := Flat(1000) // root + 999 "leaf"
+	qs := ClassifyTags(doc)
+	classes := map[string]QueryClass{}
+	for _, q := range qs {
+		classes[q.Tag] = q.Class
+	}
+	if classes["leaf"] != ClassCommon {
+		t.Errorf("leaf classified %s", classes["leaf"])
+	}
+	if classes["root"] != ClassRare {
+		t.Errorf("root classified %s", classes["root"])
+	}
+	if classes["zz-absent-tag"] != ClassMiss {
+		t.Error("missing tag not included")
+	}
+	for _, q := range qs {
+		if q.Tag == "leaf" && q.Matches != 999 {
+			t.Errorf("leaf matches = %d", q.Matches)
+		}
+	}
+}

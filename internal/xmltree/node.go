@@ -1,0 +1,216 @@
+// Package xmltree is the XML substrate of the scheme: a document model for
+// trees of elements, an independent tokenizer/parser, and a serializer.
+//
+// The search scheme encodes the *element structure* of a document (the
+// paper, §5: "we only looked at storing and retrieving trees of tag names"),
+// so the model keeps tags, attributes and text, while the encoder consumes
+// only the element tree shape and tag names.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sssearch/internal/drbg"
+)
+
+// Attr is a single attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is one XML element. Children holds child *elements* in document
+// order; interleaved character data is concatenated into Text.
+type Node struct {
+	Tag      string
+	Attrs    []Attr
+	Text     string
+	Children []*Node
+	parent   *Node
+}
+
+// NewNode creates a detached element node.
+func NewNode(tag string) *Node { return &Node{Tag: tag} }
+
+// Parent returns the parent element, nil for a root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// AppendChild attaches c as the last child of n and returns c for chaining.
+// c must be detached (no parent).
+func (n *Node) AppendChild(c *Node) *Node {
+	if c.parent != nil {
+		panic("xmltree: AppendChild of attached node")
+	}
+	c.parent = n
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AddChild creates a new element with the given tag, appends it and
+// returns it.
+func (n *Node) AddChild(tag string) *Node { return n.AppendChild(NewNode(tag)) }
+
+// SetAttr appends or replaces an attribute.
+func (n *Node) SetAttr(name, value string) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Key returns the node's path of child indices from the root — the identity
+// used by the share deriver and the wire protocol.
+func (n *Node) Key() drbg.NodeKey {
+	var rev []uint32
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		idx := -1
+		for i, sib := range cur.parent.Children {
+			if sib == cur {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic("xmltree: node not among its parent's children")
+		}
+		rev = append(rev, uint32(idx))
+	}
+	key := make(drbg.NodeKey, len(rev))
+	for i := range rev {
+		key[i] = rev[len(rev)-1-i]
+	}
+	return key
+}
+
+// Lookup resolves a node key (path of child indices) from n.
+func (n *Node) Lookup(key drbg.NodeKey) (*Node, error) {
+	cur := n
+	for depth, idx := range key {
+		if int(idx) >= len(cur.Children) {
+			return nil, fmt.Errorf("xmltree: key %v invalid at depth %d (%d children)", key, depth, len(cur.Children))
+		}
+		cur = cur.Children[int(idx)]
+	}
+	return cur, nil
+}
+
+// Walk visits n and all descendants in document (pre-)order. Returning
+// false from fn prunes the subtree below the visited node.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Count returns the number of elements in the subtree rooted at n.
+func (n *Node) Count() int {
+	total := 0
+	n.Walk(func(*Node) bool { total++; return true })
+	return total
+}
+
+// Depth returns the height of the subtree (a leaf has depth 1).
+func (n *Node) Depth() int {
+	deepest := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > deepest {
+			deepest = d
+		}
+	}
+	return deepest + 1
+}
+
+// PathString renders the tag path from the root to n, e.g.
+// "/customers/client/name".
+func (n *Node) PathString() string {
+	var tags []string
+	for cur := n; cur != nil; cur = cur.parent {
+		tags = append(tags, cur.Tag)
+	}
+	var sb strings.Builder
+	for i := len(tags) - 1; i >= 0; i-- {
+		sb.WriteByte('/')
+		sb.WriteString(tags[i])
+	}
+	return sb.String()
+}
+
+// Clone deep-copies the subtree rooted at n; the copy is detached.
+func (n *Node) Clone() *Node {
+	c := &Node{Tag: n.Tag, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		c.Attrs = append([]Attr(nil), n.Attrs...)
+	}
+	for _, child := range n.Children {
+		c.AppendChild(child.Clone())
+	}
+	return c
+}
+
+// Stats summarises a tree's shape — consumed by the workload generators and
+// the experiment tables.
+type Stats struct {
+	Elements  int
+	MaxDepth  int
+	Leaves    int
+	MaxFanout int
+	// DistinctTags is the tag vocabulary size.
+	DistinctTags int
+	// TagCounts maps tag → occurrence count.
+	TagCounts map[string]int
+}
+
+// ComputeStats gathers Stats over the subtree rooted at n.
+func ComputeStats(n *Node) Stats {
+	s := Stats{TagCounts: map[string]int{}}
+	var rec func(node *Node, depth int)
+	rec = func(node *Node, depth int) {
+		s.Elements++
+		s.TagCounts[node.Tag]++
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		if len(node.Children) == 0 {
+			s.Leaves++
+		}
+		if len(node.Children) > s.MaxFanout {
+			s.MaxFanout = len(node.Children)
+		}
+		for _, c := range node.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 1)
+	s.DistinctTags = len(s.TagCounts)
+	return s
+}
+
+// Tags returns the sorted distinct tag names in the subtree.
+func Tags(n *Node) []string {
+	set := map[string]bool{}
+	n.Walk(func(m *Node) bool { set[m.Tag] = true; return true })
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

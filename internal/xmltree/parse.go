@@ -1,0 +1,412 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseError reports a well-formedness violation with its input position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xmltree: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse reads a complete XML document from r and returns its root element.
+// Supported syntax: elements, attributes (single- or double-quoted),
+// character data, CDATA sections, comments, processing instructions, an
+// XML declaration, a DOCTYPE (without internal subset), and the five
+// predefined entities plus decimal/hex character references.
+func Parse(r io.Reader) (*Node, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: reading input: %w", err)
+	}
+	return ParseBytes(data)
+}
+
+// ParseString parses a document held in a string.
+func ParseString(s string) (*Node, error) { return ParseBytes([]byte(s)) }
+
+// ParseBytes parses a document held in a byte slice.
+func ParseBytes(data []byte) (*Node, error) {
+	p := &parser{src: string(data), line: 1, col: 1}
+	return p.document()
+}
+
+type parser struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) advance(n int) {
+	for i := 0; i < n && p.pos < len(p.src); i++ {
+		if p.src[p.pos] == '\n' {
+			p.line++
+			p.col = 1
+		} else {
+			p.col++
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) hasPrefix(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.advance(1)
+		default:
+			return
+		}
+	}
+}
+
+// document parses prolog, the root element, and trailing misc.
+func (p *parser) document() (*Node, error) {
+	if err := p.prologAndMisc(); err != nil {
+		return nil, err
+	}
+	if p.eof() || p.peek() != '<' {
+		return nil, p.errf("expected root element")
+	}
+	root, err := p.element()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.trailingMisc(); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// prologAndMisc consumes whitespace, the XML declaration, comments, PIs and
+// a DOCTYPE before the root element.
+func (p *parser) prologAndMisc() error {
+	for {
+		p.skipSpace()
+		switch {
+		case p.hasPrefix("<?"):
+			if err := p.skipPI(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!--"):
+			if err := p.skipComment(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!DOCTYPE"):
+			if err := p.skipDoctype(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) trailingMisc() error {
+	for {
+		p.skipSpace()
+		switch {
+		case p.eof():
+			return nil
+		case p.hasPrefix("<?"):
+			if err := p.skipPI(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!--"):
+			if err := p.skipComment(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected content after root element")
+		}
+	}
+}
+
+func (p *parser) skipPI() error {
+	end := strings.Index(p.src[p.pos:], "?>")
+	if end < 0 {
+		return p.errf("unterminated processing instruction")
+	}
+	p.advance(end + 2)
+	return nil
+}
+
+func (p *parser) skipComment() error {
+	body := p.src[p.pos+4:]
+	end := strings.Index(body, "-->")
+	if end < 0 {
+		return p.errf("unterminated comment")
+	}
+	if strings.Contains(body[:end], "--") {
+		return p.errf("'--' not allowed inside comment")
+	}
+	p.advance(4 + end + 3)
+	return nil
+}
+
+func (p *parser) skipDoctype() error {
+	// Skip to the matching '>', tolerating an internal subset in brackets.
+	depth := 0
+	for i := p.pos; i < len(p.src); i++ {
+		switch p.src[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth == 0 {
+				p.advance(i - p.pos + 1)
+				return nil
+			}
+		}
+	}
+	return p.errf("unterminated DOCTYPE")
+}
+
+// element parses one element including its content and end tag.
+func (p *parser) element() (*Node, error) {
+	if p.peek() != '<' {
+		return nil, p.errf("expected '<'")
+	}
+	p.advance(1)
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	node := NewNode(name)
+	// Attributes.
+	for {
+		p.skipSpace()
+		switch {
+		case p.eof():
+			return nil, p.errf("unterminated start tag <%s", name)
+		case p.peek() == '>':
+			p.advance(1)
+			if err := p.content(node); err != nil {
+				return nil, err
+			}
+			return node, nil
+		case p.hasPrefix("/>"):
+			p.advance(2)
+			return node, nil
+		default:
+			aname, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := node.Attr(aname); dup {
+				return nil, p.errf("duplicate attribute %q", aname)
+			}
+			p.skipSpace()
+			if p.peek() != '=' {
+				return nil, p.errf("expected '=' after attribute %q", aname)
+			}
+			p.advance(1)
+			p.skipSpace()
+			val, err := p.attrValue()
+			if err != nil {
+				return nil, err
+			}
+			node.Attrs = append(node.Attrs, Attr{Name: aname, Value: val})
+		}
+	}
+}
+
+// content parses element content up to and including the matching end tag.
+func (p *parser) content(node *Node) error {
+	var text strings.Builder
+	for {
+		switch {
+		case p.eof():
+			return p.errf("missing end tag </%s>", node.Tag)
+		case p.hasPrefix("</"):
+			p.advance(2)
+			name, err := p.name()
+			if err != nil {
+				return err
+			}
+			if name != node.Tag {
+				return p.errf("end tag </%s> does not match <%s>", name, node.Tag)
+			}
+			p.skipSpace()
+			if p.peek() != '>' {
+				return p.errf("malformed end tag </%s", name)
+			}
+			p.advance(1)
+			node.Text += strings.TrimSpace(text.String())
+			return nil
+		case p.hasPrefix("<!--"):
+			if err := p.skipComment(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<![CDATA["):
+			end := strings.Index(p.src[p.pos+9:], "]]>")
+			if end < 0 {
+				return p.errf("unterminated CDATA section")
+			}
+			text.WriteString(p.src[p.pos+9 : p.pos+9+end])
+			p.advance(9 + end + 3)
+		case p.hasPrefix("<?"):
+			if err := p.skipPI(); err != nil {
+				return err
+			}
+		case p.peek() == '<':
+			child, err := p.element()
+			if err != nil {
+				return err
+			}
+			node.AppendChild(child)
+		default:
+			chunk, err := p.charData()
+			if err != nil {
+				return err
+			}
+			text.WriteString(chunk)
+		}
+	}
+}
+
+// charData reads text up to the next '<', decoding entities.
+func (p *parser) charData() (string, error) {
+	var sb strings.Builder
+	for !p.eof() && p.peek() != '<' {
+		c := p.peek()
+		if c == '&' {
+			val, err := p.entity()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(val)
+			continue
+		}
+		if c == ']' && p.hasPrefix("]]>") {
+			return "", p.errf("']]>' not allowed in character data")
+		}
+		sb.WriteByte(c)
+		p.advance(1)
+	}
+	return sb.String(), nil
+}
+
+// entity decodes one entity or character reference at the cursor.
+func (p *parser) entity() (string, error) {
+	end := strings.IndexByte(p.src[p.pos:], ';')
+	if end < 0 || end > 12 {
+		return "", p.errf("unterminated entity reference")
+	}
+	ref := p.src[p.pos+1 : p.pos+end]
+	p.advance(end + 1)
+	switch ref {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return "\"", nil
+	}
+	if strings.HasPrefix(ref, "#") {
+		numeric := ref[1:]
+		base := 10
+		if strings.HasPrefix(numeric, "x") || strings.HasPrefix(numeric, "X") {
+			numeric = numeric[1:]
+			base = 16
+		}
+		cp, err := strconv.ParseUint(numeric, base, 32)
+		if err != nil || !utf8.ValidRune(rune(cp)) {
+			return "", p.errf("invalid character reference &%s;", ref)
+		}
+		return string(rune(cp)), nil
+	}
+	return "", p.errf("unknown entity &%s;", ref)
+}
+
+// attrValue parses a quoted attribute value with entity decoding.
+func (p *parser) attrValue() (string, error) {
+	quote := p.peek()
+	if quote != '"' && quote != '\'' {
+		return "", p.errf("attribute value must be quoted")
+	}
+	p.advance(1)
+	var sb strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated attribute value")
+		}
+		c := p.peek()
+		switch {
+		case c == quote:
+			p.advance(1)
+			return sb.String(), nil
+		case c == '<':
+			return "", p.errf("'<' not allowed in attribute value")
+		case c == '&':
+			val, err := p.entity()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(val)
+		default:
+			sb.WriteByte(c)
+			p.advance(1)
+		}
+	}
+}
+
+// name parses an XML Name at the cursor.
+func (p *parser) name() (string, error) {
+	start := p.pos
+	if p.eof() {
+		return "", p.errf("expected name")
+	}
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	if !isNameStart(r) {
+		return "", p.errf("invalid name start character %q", r)
+	}
+	p.advance(size)
+	for !p.eof() {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		p.advance(size)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}

@@ -1,0 +1,91 @@
+package xmltree
+
+import (
+	"io"
+	"strings"
+)
+
+// Serialize writes the subtree rooted at n as XML. indent <= 0 produces a
+// compact single-line document; indent > 0 pretty-prints with that many
+// spaces per level.
+func Serialize(w io.Writer, n *Node, indent int) error {
+	sw := &stringWriter{w: w}
+	writeNode(sw, n, indent, 0)
+	if indent > 0 {
+		sw.WriteString("\n")
+	}
+	return sw.err
+}
+
+// String renders the subtree compactly.
+func (n *Node) String() string {
+	var sb strings.Builder
+	_ = Serialize(&sb, n, 0)
+	return sb.String()
+}
+
+// Pretty renders the subtree with two-space indentation.
+func (n *Node) Pretty() string {
+	var sb strings.Builder
+	_ = Serialize(&sb, n, 2)
+	return sb.String()
+}
+
+type stringWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stringWriter) WriteString(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func writeNode(w *stringWriter, n *Node, indent, depth int) {
+	pad := ""
+	if indent > 0 {
+		pad = strings.Repeat(" ", indent*depth)
+		if depth > 0 {
+			w.WriteString("\n")
+		}
+		w.WriteString(pad)
+	}
+	w.WriteString("<")
+	w.WriteString(n.Tag)
+	for _, a := range n.Attrs {
+		w.WriteString(" ")
+		w.WriteString(a.Name)
+		w.WriteString(`="`)
+		w.WriteString(escapeAttr(a.Value))
+		w.WriteString(`"`)
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		w.WriteString("/>")
+		return
+	}
+	w.WriteString(">")
+	if n.Text != "" {
+		w.WriteString(escapeText(n.Text))
+	}
+	for _, c := range n.Children {
+		writeNode(w, c, indent, depth+1)
+	}
+	if indent > 0 && len(n.Children) > 0 {
+		w.WriteString("\n")
+		w.WriteString(pad)
+	}
+	w.WriteString("</")
+	w.WriteString(n.Tag)
+	w.WriteString(">")
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+var attrEscaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

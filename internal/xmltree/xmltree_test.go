@@ -1,0 +1,381 @@
+package xmltree
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sssearch/internal/drbg"
+)
+
+const paperDoc = `<customers><client><name/></client><client><name/></client></customers>`
+
+func mustParse(t *testing.T, s string) *Node {
+	t.Helper()
+	n, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return n
+}
+
+func TestParsePaperExample(t *testing.T) {
+	root := mustParse(t, paperDoc)
+	if root.Tag != "customers" || len(root.Children) != 2 {
+		t.Fatalf("bad root: %v", root)
+	}
+	for _, c := range root.Children {
+		if c.Tag != "client" || len(c.Children) != 1 || c.Children[0].Tag != "name" {
+			t.Fatalf("bad client: %v", c)
+		}
+	}
+	if root.Count() != 5 || root.Depth() != 3 {
+		t.Errorf("Count=%d Depth=%d, want 5, 3", root.Count(), root.Depth())
+	}
+}
+
+func TestParseAttributesAndText(t *testing.T) {
+	n := mustParse(t, `<a x="1" y='two &amp; three'>hello <b/> world</a>`)
+	if v, ok := n.Attr("x"); !ok || v != "1" {
+		t.Error("attr x wrong")
+	}
+	if v, ok := n.Attr("y"); !ok || v != "two & three" {
+		t.Errorf("attr y = %q", v)
+	}
+	if _, ok := n.Attr("zzz"); ok {
+		t.Error("phantom attribute")
+	}
+	if n.Text != "hello  world" {
+		t.Errorf("text = %q", n.Text)
+	}
+	if len(n.Children) != 1 || n.Children[0].Tag != "b" {
+		t.Error("child wrong")
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	n := mustParse(t, `<e>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</e>`)
+	if n.Text != `<>&'"AB` {
+		t.Errorf("entities = %q", n.Text)
+	}
+}
+
+func TestParseCDATAAndComments(t *testing.T) {
+	n := mustParse(t, `<e><!-- a comment --><![CDATA[<raw & data>]]></e>`)
+	if n.Text != "<raw & data>" {
+		t.Errorf("cdata = %q", n.Text)
+	}
+	n = mustParse(t, `<?xml version="1.0"?><!DOCTYPE e><e><?pi stuff?></e>`)
+	if n.Tag != "e" {
+		t.Error("prolog handling broken")
+	}
+}
+
+func TestParseDoctypeWithSubset(t *testing.T) {
+	n := mustParse(t, `<!DOCTYPE doc [ <!ELEMENT doc (#PCDATA)> ]><doc/>`)
+	if n.Tag != "doc" {
+		t.Error("doctype with internal subset broken")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<a>`,
+		`<a></b>`,
+		`<a><b></a></b>`,
+		`<a x="1" x="2"/>`,
+		`<a x=1/>`,
+		`<a>&bogus;</a>`,
+		`<a>&#xZZ;</a>`,
+		`<a/><b/>`,
+		`<a><!-- -- --></a>`,
+		`<a>]]></a>`,
+		`<1bad/>`,
+		`<a b="<"/>`,
+		`text only`,
+		`<a ...`,
+		`<a><![CDATA[unterminated</a>`,
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("accepted malformed input %q", s)
+		}
+	}
+	// Errors carry positions.
+	_, err := ParseString("<a>\n<b></c></a>")
+	var pe *ParseError
+	if err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if !asParseError(err, &pe) || pe.Line != 2 {
+		t.Errorf("error position: %v", err)
+	}
+}
+
+func asParseError(err error, out **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*out = pe
+	}
+	return ok
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	docs := []string{
+		paperDoc,
+		`<a x="1"><b>text</b><c/><c/></a>`,
+		`<r><v>&lt;&amp;&gt;</v></r>`,
+		`<solo/>`,
+	}
+	for _, d := range docs {
+		n1 := mustParse(t, d)
+		out := n1.String()
+		n2 := mustParse(t, out)
+		if !treesEqual(n1, n2) {
+			t.Errorf("round trip changed tree:\n in: %s\nout: %s", d, out)
+		}
+	}
+}
+
+func TestPrettyIsReparseable(t *testing.T) {
+	n := mustParse(t, paperDoc)
+	pretty := n.Pretty()
+	if !strings.Contains(pretty, "\n") {
+		t.Error("Pretty not indented")
+	}
+	n2 := mustParse(t, pretty)
+	if !treesEqual(n, n2) {
+		t.Error("pretty output not equivalent")
+	}
+}
+
+func treesEqual(a, b *Node) bool {
+	if a.Tag != b.Tag || a.Text != b.Text || len(a.Children) != len(b.Children) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !treesEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKeyLookupRoundTrip(t *testing.T) {
+	root := mustParse(t, paperDoc)
+	var nodes []*Node
+	root.Walk(func(n *Node) bool { nodes = append(nodes, n); return true })
+	for _, n := range nodes {
+		key := n.Key()
+		got, err := root.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != n {
+			t.Errorf("Lookup(%v) returned wrong node", key)
+		}
+	}
+	if len(root.Key()) != 0 {
+		t.Error("root key not empty")
+	}
+	if _, err := root.Lookup(drbg.NodeKey{7}); err == nil {
+		t.Error("invalid key accepted")
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	root := mustParse(t, paperDoc)
+	visited := 0
+	root.Walk(func(n *Node) bool {
+		visited++
+		return n.Tag != "client" // prune below client
+	})
+	if visited != 3 { // customers + 2 clients
+		t.Errorf("visited %d nodes, want 3", visited)
+	}
+}
+
+func TestAppendChildPanicsOnAttached(t *testing.T) {
+	a, b := NewNode("a"), NewNode("b")
+	a.AppendChild(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-attach did not panic")
+		}
+	}()
+	NewNode("c").AppendChild(b)
+}
+
+func TestSetAttr(t *testing.T) {
+	n := NewNode("x")
+	n.SetAttr("k", "1")
+	n.SetAttr("k", "2")
+	n.SetAttr("j", "3")
+	if v, _ := n.Attr("k"); v != "2" {
+		t.Error("SetAttr replace failed")
+	}
+	if len(n.Attrs) != 2 {
+		t.Error("SetAttr duplicated")
+	}
+}
+
+func TestCloneDetached(t *testing.T) {
+	root := mustParse(t, paperDoc)
+	c := root.Children[0].Clone()
+	if c.Parent() != nil {
+		t.Error("clone has a parent")
+	}
+	if !treesEqual(c, root.Children[0]) {
+		t.Error("clone differs")
+	}
+	c.Children[0].Tag = "mutated"
+	if root.Children[0].Children[0].Tag == "mutated" {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestStatsAndTags(t *testing.T) {
+	root := mustParse(t, paperDoc)
+	s := ComputeStats(root)
+	if s.Elements != 5 || s.MaxDepth != 3 || s.Leaves != 2 || s.MaxFanout != 2 || s.DistinctTags != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.TagCounts["client"] != 2 || s.TagCounts["name"] != 2 || s.TagCounts["customers"] != 1 {
+		t.Errorf("tag counts = %v", s.TagCounts)
+	}
+	tags := Tags(root)
+	if len(tags) != 3 || tags[0] != "client" || tags[1] != "customers" || tags[2] != "name" {
+		t.Errorf("tags = %v", tags)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	root := mustParse(t, paperDoc)
+	leaf := root.Children[1].Children[0]
+	if leaf.PathString() != "/customers/client/name" {
+		t.Errorf("PathString = %q", leaf.PathString())
+	}
+}
+
+// randomTree builds a random element tree for cross-validation.
+func randomTree(r *rand.Rand, depth int) *Node {
+	tags := []string{"a", "b", "c", "d", "e", "item", "list"}
+	n := NewNode(tags[r.Intn(len(tags))])
+	if r.Intn(3) == 0 {
+		n.SetAttr("id", fmt.Sprintf("n%d", r.Intn(1000)))
+	}
+	if depth > 0 {
+		for i := 0; i < r.Intn(4); i++ {
+			n.AppendChild(randomTree(r, depth-1))
+		}
+	}
+	if len(n.Children) == 0 && r.Intn(2) == 0 {
+		n.Text = fmt.Sprintf("text%d", r.Intn(100))
+	}
+	return n
+}
+
+// TestCrossValidateWithEncodingXML checks that our parser agrees with the
+// stdlib parser about element structure on randomly generated documents.
+func TestCrossValidateWithEncodingXML(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		doc := randomTree(r, 4)
+		serialized := doc.String()
+		ours := mustParse(t, serialized)
+		theirs, err := parseWithStdlib(serialized)
+		if err != nil {
+			t.Fatalf("stdlib rejected our output: %v\n%s", err, serialized)
+		}
+		if !structEqual(ours, theirs) {
+			t.Fatalf("structure disagreement on:\n%s", serialized)
+		}
+	}
+}
+
+type stdNode struct {
+	tag      string
+	children []*stdNode
+}
+
+func parseWithStdlib(s string) (*stdNode, error) {
+	dec := xml.NewDecoder(strings.NewReader(s))
+	var stack []*stdNode
+	var root *stdNode
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			n := &stdNode{tag: el.Name.Local}
+			if len(stack) == 0 {
+				root = n
+			} else {
+				top := stack[len(stack)-1]
+				top.children = append(top.children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return root, nil
+}
+
+func structEqual(a *Node, b *stdNode) bool {
+	if a.Tag != b.tag || len(a.Children) != len(b.children) {
+		return false
+	}
+	for i := range a.Children {
+		if !structEqual(a.Children[i], b.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseReader(t *testing.T) {
+	n, err := Parse(bytes.NewReader([]byte(paperDoc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Tag != "customers" {
+		t.Error("Parse(io.Reader) broken")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	doc := randomTree(r, 6).String()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	doc := randomTree(r, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = doc.String()
+	}
+}

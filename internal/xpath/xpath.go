@@ -1,0 +1,239 @@
+// Package xpath implements the XPath fragment the paper queries with:
+// absolute location paths built from child ('/') and descendant ('//')
+// steps over element names, plus the '*' wildcard — e.g. //client,
+// /customers/client/name, //a/b//c.
+//
+// The plaintext evaluator here is both the baseline system the scheme is
+// compared against and the ground truth the encrypted protocol is tested
+// against.
+package xpath
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"sssearch/internal/xmltree"
+)
+
+// Axis distinguishes the two step connectors.
+type Axis uint8
+
+const (
+	// AxisChild is the '/' connector: direct children.
+	AxisChild Axis = iota
+	// AxisDescendant is the '//' connector: any strict descendant
+	// (descendant-or-self::node()/child:: in full XPath terms).
+	AxisDescendant
+)
+
+func (a Axis) String() string {
+	if a == AxisDescendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Step is one location step: an axis plus a name test ("*" = any element).
+type Step struct {
+	Axis Axis
+	Name string
+}
+
+// Wildcard reports whether the step matches any tag.
+func (s Step) Wildcard() bool { return s.Name == "*" }
+
+// Matches reports whether the step's name test accepts tag.
+func (s Step) Matches(tag string) bool { return s.Name == "*" || s.Name == tag }
+
+func (s Step) String() string { return s.Axis.String() + s.Name }
+
+// Query is a parsed location path.
+type Query struct {
+	steps []Step
+	raw   string
+}
+
+// ErrEmptyQuery is returned for empty or axis-only expressions.
+var ErrEmptyQuery = errors.New("xpath: empty query")
+
+// Parse compiles an absolute location path. Accepted grammar:
+//
+//	path := ('/' | '//') step (('/' | '//') step)*
+//	step := Name | '*'
+func Parse(expr string) (*Query, error) {
+	src := strings.TrimSpace(expr)
+	if src == "" {
+		return nil, ErrEmptyQuery
+	}
+	if !strings.HasPrefix(src, "/") {
+		return nil, fmt.Errorf("xpath: %q: only absolute paths are supported", expr)
+	}
+	var steps []Step
+	i := 0
+	for i < len(src) {
+		axis := AxisChild
+		if src[i] != '/' {
+			return nil, fmt.Errorf("xpath: %q: expected '/' at offset %d", expr, i)
+		}
+		i++
+		if i < len(src) && src[i] == '/' {
+			axis = AxisDescendant
+			i++
+		}
+		start := i
+		for i < len(src) && src[i] != '/' {
+			i++
+		}
+		name := src[start:i]
+		if name == "" {
+			return nil, fmt.Errorf("xpath: %q: empty step", expr)
+		}
+		if name != "*" && !validName(name) {
+			return nil, fmt.Errorf("xpath: %q: invalid name %q", expr, name)
+		}
+		steps = append(steps, Step{Axis: axis, Name: name})
+	}
+	if len(steps) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	return &Query{steps: steps, raw: src}, nil
+}
+
+// MustParse is Parse but panics on error (tests, examples).
+func MustParse(expr string) *Query {
+	q, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Steps returns a copy of the compiled steps.
+func (q *Query) Steps() []Step { return append([]Step(nil), q.steps...) }
+
+// Names returns the distinct non-wildcard step names in order of first use.
+func (q *Query) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range q.steps {
+		if s.Wildcard() || seen[s.Name] {
+			continue
+		}
+		seen[s.Name] = true
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// String returns the canonical form of the query.
+func (q *Query) String() string {
+	var sb strings.Builder
+	for _, s := range q.steps {
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// Evaluate returns the matching elements under root, deduplicated, in
+// document order. The context of the first step is the (virtual) document
+// node whose only child is root, matching standard XPath semantics: /a
+// matches the root only if it is named a, //a matches every element named a
+// including the root.
+func (q *Query) Evaluate(root *xmltree.Node) []*xmltree.Node {
+	if root == nil {
+		return nil
+	}
+	current := []*xmltree.Node{} // result of the previous step
+	for si, step := range q.steps {
+		next := make([]*xmltree.Node, 0, len(current))
+		seen := make(map[*xmltree.Node]bool)
+		add := func(n *xmltree.Node) {
+			if !seen[n] {
+				seen[n] = true
+				next = append(next, n)
+			}
+		}
+		if si == 0 {
+			// Document-node context.
+			switch step.Axis {
+			case AxisChild:
+				if step.Matches(root.Tag) {
+					add(root)
+				}
+			case AxisDescendant:
+				root.Walk(func(n *xmltree.Node) bool {
+					if step.Matches(n.Tag) {
+						add(n)
+					}
+					return true
+				})
+			}
+		} else {
+			for _, ctx := range current {
+				switch step.Axis {
+				case AxisChild:
+					for _, c := range ctx.Children {
+						if step.Matches(c.Tag) {
+							add(c)
+						}
+					}
+				case AxisDescendant:
+					for _, c := range ctx.Children {
+						c.Walk(func(n *xmltree.Node) bool {
+							if step.Matches(n.Tag) {
+								add(n)
+							}
+							return true
+						})
+					}
+				}
+			}
+		}
+		current = next
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	return sortDocOrder(root, current)
+}
+
+// sortDocOrder orders nodes by position in a preorder walk of root.
+// Intermediate steps can enqueue overlapping subtrees out of order; a single
+// O(n) walk restores document order.
+func sortDocOrder(root *xmltree.Node, nodes []*xmltree.Node) []*xmltree.Node {
+	if len(nodes) <= 1 {
+		return nodes
+	}
+	want := make(map[*xmltree.Node]bool, len(nodes))
+	for _, n := range nodes {
+		want[n] = true
+	}
+	out := make([]*xmltree.Node, 0, len(nodes))
+	root.Walk(func(n *xmltree.Node) bool {
+		if want[n] {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// validName checks an XML Name (mirrors the xmltree parser's rule).
+func validName(s string) bool {
+	for i, r := range s {
+		if i == 0 {
+			if !(r == '_' || r == ':' || unicode.IsLetter(r)) {
+				return false
+			}
+			continue
+		}
+		if !(r == '_' || r == ':' || r == '-' || r == '.' ||
+			unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			return false
+		}
+	}
+	return utf8.ValidString(s) && s != ""
+}

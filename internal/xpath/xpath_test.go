@@ -1,0 +1,265 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sssearch/internal/xmltree"
+)
+
+const paperDoc = `<customers><client><name/></client><client><name/></client></customers>`
+
+func doc(t *testing.T, s string) *xmltree.Node {
+	t.Helper()
+	n, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func tags(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Tag
+	}
+	return out
+}
+
+func paths(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.PathString()
+	}
+	return out
+}
+
+func TestParseValid(t *testing.T) {
+	cases := map[string][]Step{
+		"//client": {{AxisDescendant, "client"}},
+		"/customers/client": {
+			{AxisChild, "customers"}, {AxisChild, "client"},
+		},
+		"//a/b//c": {
+			{AxisDescendant, "a"}, {AxisChild, "b"}, {AxisDescendant, "c"},
+		},
+		"/*/name":  {{AxisChild, "*"}, {AxisChild, "name"}},
+		" //x ":    {{AxisDescendant, "x"}},
+		"/a-b/c.d": {{AxisChild, "a-b"}, {AxisChild, "c.d"}},
+	}
+	for expr, want := range cases {
+		q, err := Parse(expr)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", expr, err)
+			continue
+		}
+		got := q.Steps()
+		if len(got) != len(want) {
+			t.Errorf("Parse(%q) steps = %v", expr, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("Parse(%q)[%d] = %v, want %v", expr, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, expr := range []string{
+		"", "   ", "client", "a/b", "/", "//", "/a//", "/a//", "///a",
+		"/a/1bad", "/a/b c", "/a/&x",
+	} {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) accepted", expr)
+		}
+	}
+}
+
+func TestQueryStringCanonical(t *testing.T) {
+	q := MustParse(" //a/b//c ")
+	if q.String() != "//a/b//c" {
+		t.Errorf("String = %q", q.String())
+	}
+}
+
+func TestNames(t *testing.T) {
+	q := MustParse("//a/b//a/*/c")
+	got := q.Names()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestEvaluatePaperQuery(t *testing.T) {
+	root := doc(t, paperDoc)
+	// The paper's running query //client.
+	got := MustParse("//client").Evaluate(root)
+	if len(got) != 2 || got[0].Tag != "client" || got[1].Tag != "client" {
+		t.Fatalf("//client = %v", tags(got))
+	}
+	// Root is matched by //customers.
+	got = MustParse("//customers").Evaluate(root)
+	if len(got) != 1 || got[0] != root {
+		t.Error("//customers should match the root")
+	}
+	// /customers/client/name: both name leaves.
+	got = MustParse("/customers/client/name").Evaluate(root)
+	if len(got) != 2 || got[0].Tag != "name" {
+		t.Errorf("path query = %v", paths(got))
+	}
+	// /client matches nothing (root is customers).
+	if got := MustParse("/client").Evaluate(root); len(got) != 0 {
+		t.Errorf("/client = %v", tags(got))
+	}
+	// //customers//name: names strictly below root.
+	got = MustParse("//customers//name").Evaluate(root)
+	if len(got) != 2 {
+		t.Errorf("//customers//name = %v", paths(got))
+	}
+	// Miss: //zzz.
+	if got := MustParse("//zzz").Evaluate(root); got != nil {
+		t.Errorf("//zzz = %v", tags(got))
+	}
+}
+
+func TestEvaluateWildcard(t *testing.T) {
+	root := doc(t, paperDoc)
+	got := MustParse("//*").Evaluate(root)
+	if len(got) != 5 {
+		t.Errorf("//* matched %d, want 5", len(got))
+	}
+	got = MustParse("/*/client").Evaluate(root)
+	if len(got) != 2 {
+		t.Errorf("/*/client = %v", tags(got))
+	}
+	got = MustParse("/customers/*").Evaluate(root)
+	if len(got) != 2 || got[0].Tag != "client" {
+		t.Errorf("/customers/* = %v", tags(got))
+	}
+}
+
+func TestEvaluateNested(t *testing.T) {
+	// a containing a — descendant steps must dedup and keep doc order.
+	root := doc(t, `<a><a><b/></a><b/><c><a><b/></a></c></a>`)
+	got := MustParse("//a//b").Evaluate(root)
+	if len(got) != 3 {
+		t.Fatalf("//a//b = %v", paths(got))
+	}
+	got = MustParse("//a/b").Evaluate(root)
+	if len(got) != 3 { // b under inner a (x2 via outer too, dedup) + direct b
+		t.Fatalf("//a/b = %v", paths(got))
+	}
+	// /a/a/b: only the b under the first nested a.
+	got = MustParse("/a/a/b").Evaluate(root)
+	if len(got) != 1 {
+		t.Fatalf("/a/a/b = %v", paths(got))
+	}
+}
+
+func TestEvaluateDocumentOrderAndDedup(t *testing.T) {
+	root := doc(t, `<r><x><y id="1"/></x><y id="2"/><x><y id="3"/></x></r>`)
+	got := MustParse("//y").Evaluate(root)
+	if len(got) != 3 {
+		t.Fatalf("//y = %v", paths(got))
+	}
+	for i, want := range []string{"1", "2", "3"} {
+		if v, _ := got[i].Attr("id"); v != want {
+			t.Errorf("position %d: id=%s want %s", i, v, want)
+		}
+	}
+	// Overlapping contexts must not duplicate results.
+	got = MustParse("//r//y").Evaluate(root)
+	if len(got) != 3 {
+		t.Errorf("//r//y duplicated: %v", paths(got))
+	}
+}
+
+func TestEvaluateNilRoot(t *testing.T) {
+	if got := MustParse("//a").Evaluate(nil); got != nil {
+		t.Error("nil root should yield nil")
+	}
+}
+
+// buildRandomTree makes a tree with controlled tags for the oracle test.
+func buildRandomTree(r *rand.Rand, depth, fan int) *xmltree.Node {
+	tags := []string{"a", "b", "c", "d"}
+	n := xmltree.NewNode(tags[r.Intn(len(tags))])
+	if depth > 0 {
+		k := r.Intn(fan + 1)
+		for i := 0; i < k; i++ {
+			n.AppendChild(buildRandomTree(r, depth-1, fan))
+		}
+	}
+	return n
+}
+
+// TestDescendantOracle: //t must equal a plain filtered walk.
+func TestDescendantOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 50; trial++ {
+		root := buildRandomTree(r, 5, 3)
+		for _, tag := range []string{"a", "b", "c", "d", "nope"} {
+			want := []*xmltree.Node{}
+			root.Walk(func(n *xmltree.Node) bool {
+				if n.Tag == tag {
+					want = append(want, n)
+				}
+				return true
+			})
+			got := MustParse("//" + tag).Evaluate(root)
+			if len(got) != len(want) {
+				t.Fatalf("//%s: %d matches, walk found %d", tag, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("//%s: order mismatch at %d", tag, i)
+				}
+			}
+		}
+	}
+}
+
+// TestChildStepOracle: /r/t equals manual child filtering.
+func TestChildStepOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 30; trial++ {
+		root := buildRandomTree(r, 4, 4)
+		q := fmt.Sprintf("/%s/a", root.Tag)
+		got := MustParse(q).Evaluate(root)
+		want := 0
+		for _, c := range root.Children {
+			if c.Tag == "a" {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("%s: got %d, want %d", q, len(got), want)
+		}
+	}
+}
+
+func TestAxisStrings(t *testing.T) {
+	if AxisChild.String() != "/" || AxisDescendant.String() != "//" {
+		t.Error("axis strings wrong")
+	}
+	s := Step{AxisDescendant, "x"}
+	if s.String() != "//x" {
+		t.Error("step string wrong")
+	}
+	if !(Step{AxisChild, "*"}).Wildcard() {
+		t.Error("wildcard detection wrong")
+	}
+}
+
+func BenchmarkEvaluateDescendant(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	root := buildRandomTree(r, 8, 4)
+	q := MustParse("//a//b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Evaluate(root)
+	}
+}

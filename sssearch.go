@@ -1,0 +1,371 @@
+package sssearch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"strings"
+
+	"sssearch/internal/client"
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/metrics"
+	"sssearch/internal/poly"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/sharing"
+	"sssearch/internal/store"
+	"sssearch/internal/xmltree"
+	"sssearch/internal/xpath"
+)
+
+// Document is a parsed XML element tree.
+type Document = xmltree.Node
+
+// NodeKey identifies an element by its path of child indices from the root.
+type NodeKey = drbg.NodeKey
+
+// Stats is the per-query protocol cost snapshot.
+type Stats = metrics.Snapshot
+
+// VerifyLevel controls how much a search re-checks the server; see the
+// constants below.
+type VerifyLevel = core.VerifyLevel
+
+// Verification levels.
+const (
+	// VerifyNone trusts the server's evaluations (minimum bandwidth;
+	// ambiguous nodes stay unresolved).
+	VerifyNone = core.VerifyNone
+	// VerifyResolve fetches polynomials only where needed for an exact
+	// answer (the default).
+	VerifyResolve = core.VerifyResolve
+	// VerifyFull re-derives every reported match, catching a lying server.
+	VerifyFull = core.VerifyFull
+)
+
+// ParseXML parses an XML document from a string.
+func ParseXML(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// ParseXMLReader parses an XML document from a reader.
+func ParseXMLReader(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// RingKind selects the quotient ring family of §4.1.
+type RingKind int
+
+const (
+	// RingZ is Z[x]/(r(x)): short polynomials (deg r coefficients) whose
+	// integer coefficients grow with document size. The default.
+	RingZ RingKind = iota
+	// RingFp is F_p[x]/(x^{p-1}-1): constant-size polynomials (p-1
+	// coefficients < p), tag domain limited to [1, p-2].
+	RingFp
+)
+
+// Config tunes Outsource.
+type Config struct {
+	// Kind selects the ring family. Default: RingZ.
+	Kind RingKind
+	// P is the field characteristic for RingFp. Default: 257.
+	P uint64
+	// R holds the ascending coefficients of the monic irreducible modulus
+	// for RingZ. Default: x^2+1.
+	R []int64
+	// Secret keys the private tag mapping. Default: derived from the seed.
+	Secret []byte
+	// Seed fixes the client share seed; zero value means "generate fresh".
+	Seed drbg.Seed
+}
+
+// ClientKey is the client's complete secret material: the share seed, the
+// private tag mapping and the (public) ring parameters.
+type ClientKey struct {
+	state *store.ClientState
+}
+
+// ServerStore is the server-side artifact: the share tree plus ring
+// parameters. It contains no secrets.
+type ServerStore struct {
+	ring ring.Ring
+	tree *sharing.Tree
+}
+
+// Bundle pairs the two Outsource outputs.
+type Bundle struct {
+	Server *ServerStore
+	Key    *ClientKey
+}
+
+// Outsource encodes, splits and packages a document for outsourcing.
+func Outsource(doc *Document, cfg Config) (*Bundle, error) {
+	if doc == nil {
+		return nil, errors.New("sssearch: nil document")
+	}
+	var r ring.Ring
+	var err error
+	switch cfg.Kind {
+	case RingFp:
+		p := cfg.P
+		if p == 0 {
+			p = 257
+		}
+		r, err = ring.NewFpCyclotomic(new(big.Int).SetUint64(p))
+	case RingZ:
+		coeffs := cfg.R
+		if len(coeffs) == 0 {
+			coeffs = []int64{1, 0, 1} // x^2+1
+		}
+		r, err = ring.NewIntQuotient(poly.FromInt64(coeffs...))
+	default:
+		return nil, fmt.Errorf("sssearch: unknown ring kind %d", cfg.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == (drbg.Seed{}) {
+		seed, err = drbg.NewSeed()
+		if err != nil {
+			return nil, err
+		}
+	}
+	secret := cfg.Secret
+	if secret == nil {
+		secret = seed[:]
+	}
+	m, err := mapping.New(r.MaxTag(), secret)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := polyenc.Encode(r, doc, m)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := sharing.Split(enc, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{
+		Server: &ServerStore{ring: r, tree: tree},
+		Key: &ClientKey{state: &store.ClientState{
+			Seed:    seed,
+			Params:  r.Params(),
+			Mapping: m,
+		}},
+	}, nil
+}
+
+// --- persistence -----------------------------------------------------------
+
+// Save writes the server store to a file.
+func (s *ServerStore) Save(path string) error {
+	return store.SaveServer(path, s.ring, s.tree)
+}
+
+// LoadServerStore reads a server store from a file.
+func LoadServerStore(path string) (*ServerStore, error) {
+	r, tree, err := store.LoadServer(path)
+	if err != nil {
+		return nil, err
+	}
+	return &ServerStore{ring: r, tree: tree}, nil
+}
+
+// NodeCount reports the number of stored share polynomials.
+func (s *ServerStore) NodeCount() int { return s.tree.Count() }
+
+// ByteSize reports the serialized size of the share tree.
+func (s *ServerStore) ByteSize() int { return s.tree.ByteSize() }
+
+// RingName describes the store's ring.
+func (s *ServerStore) RingName() string { return s.ring.Name() }
+
+// Save writes the client key to a file (0600).
+func (k *ClientKey) Save(path string) error { return store.SaveClient(path, k.state) }
+
+// LoadClientKey reads a client key from a file.
+func LoadClientKey(path string) (*ClientKey, error) {
+	st, err := store.LoadClient(path)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientKey{state: st}, nil
+}
+
+// Seed returns the client share seed.
+func (k *ClientKey) Seed() drbg.Seed { return k.state.Seed }
+
+// --- serving ----------------------------------------------------------------
+
+// ServeTCP serves the store's share tree on the listener until Close is
+// called on the returned daemon.
+func (s *ServerStore) ServeTCP(l net.Listener) (*Daemon, error) {
+	local, err := server.NewLocal(s.ring, s.tree)
+	if err != nil {
+		return nil, err
+	}
+	d := server.NewDaemon(local, nil)
+	go func() { _ = d.Serve(l) }()
+	return &Daemon{d: d}, nil
+}
+
+// Daemon is a running network server.
+type Daemon struct{ d *server.Daemon }
+
+// Close stops the daemon and waits for in-flight connections.
+func (d *Daemon) Close() error { return d.d.Close() }
+
+// --- querying ---------------------------------------------------------------
+
+// Session is a connected query client.
+type Session struct {
+	engine   *core.Engine
+	counters *metrics.Counters
+	remote   *client.Remote // nil for in-process sessions
+}
+
+// Connect opens an in-process session: client and server in one address
+// space (no network), sharing the bundle's key and store.
+func (b *Bundle) Connect() (*Session, error) {
+	return b.Key.ConnectLocal(b.Server)
+}
+
+// ConnectLocal opens an in-process session against a server store.
+func (k *ClientKey) ConnectLocal(s *ServerStore) (*Session, error) {
+	local, err := server.NewLocal(s.ring, s.tree)
+	if err != nil {
+		return nil, err
+	}
+	return k.newSession(local, nil)
+}
+
+// Dial opens a TCP session against a remote share server.
+func (k *ClientKey) Dial(addr string) (*Session, error) {
+	counters := &metrics.Counters{}
+	remote, err := client.Dial(addr, counters)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := k.newSessionWithCounters(remote, remote, counters)
+	if err != nil {
+		remote.Close()
+		return nil, err
+	}
+	return sess, nil
+}
+
+func (k *ClientKey) newSession(api core.ServerAPI, remote *client.Remote) (*Session, error) {
+	return k.newSessionWithCounters(api, remote, &metrics.Counters{})
+}
+
+func (k *ClientKey) newSessionWithCounters(api core.ServerAPI, remote *client.Remote, counters *metrics.Counters) (*Session, error) {
+	r, err := ring.FromParams(k.state.Params)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(r, k.state.Seed, k.state.Mapping, api, counters)
+	return &Session{engine: eng, counters: counters, remote: remote}, nil
+}
+
+// Close releases the session (closes the network connection if any).
+func (s *Session) Close() error {
+	if s.remote != nil {
+		return s.remote.Close()
+	}
+	return nil
+}
+
+// SearchOption tunes a single search.
+type SearchOption func(*core.Opts)
+
+// WithVerify sets the verification level.
+func WithVerify(v VerifyLevel) SearchOption {
+	return func(o *core.Opts) { o.Verify = v }
+}
+
+// SearchResult is a completed query.
+type SearchResult struct {
+	// Matches identify the matching elements, in document order.
+	Matches []NodeKey
+	// Unresolved lists possible extra matches left unverified under
+	// VerifyNone.
+	Unresolved []NodeKey
+	// Stats is the protocol cost of this query.
+	Stats Stats
+}
+
+// Paths resolves the match keys against a plaintext copy of the document
+// (a client-side convenience for display; the server never sees it).
+func (r *SearchResult) Paths(doc *Document) []string {
+	out := make([]string, 0, len(r.Matches))
+	for _, k := range r.Matches {
+		n, err := doc.Lookup(k)
+		if err != nil {
+			out = append(out, "<invalid:"+k.String()+">")
+			continue
+		}
+		out = append(out, n.PathString())
+	}
+	return out
+}
+
+// Search evaluates an XPath expression (e.g. //client, /site//item/name)
+// against the shared tree. A query for a tag that never occurs in the
+// document returns an empty result.
+func (s *Session) Search(expr string, opts ...SearchOption) (*SearchResult, error) {
+	q, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	o := core.Opts{Verify: VerifyResolve}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	res, err := s.engine.Query(q, o)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownTag) {
+			return &SearchResult{}, nil
+		}
+		return nil, err
+	}
+	return &SearchResult{
+		Matches:    res.Matches,
+		Unresolved: res.Unresolved,
+		Stats:      res.Stats,
+	}, nil
+}
+
+// Counters exposes the session's cumulative protocol counters.
+func (s *Session) Counters() Stats { return s.counters.Snapshot() }
+
+// EvaluatePlaintext runs the same XPath expression against a plaintext
+// document — the correctness oracle and the "no encryption" baseline.
+func EvaluatePlaintext(doc *Document, expr string) ([]string, error) {
+	q, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range q.Evaluate(doc) {
+		out = append(out, n.PathString())
+	}
+	return out, nil
+}
+
+// FormatStats renders a Stats snapshot as a short human-readable string.
+func FormatStats(s Stats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "visited %d nodes (%d pruned), %d rounds, %d values",
+		s.NodesVisited, s.NodesPruned, s.Rounds, s.ValuesMoved)
+	if s.PolysFetched > 0 {
+		fmt.Fprintf(&sb, ", %d polynomials (%d B)", s.PolysFetched, s.PolyBytesMoved)
+	}
+	if s.BytesSent+s.BytesReceived > 0 {
+		fmt.Fprintf(&sb, ", wire %d B out / %d B in", s.BytesSent, s.BytesReceived)
+	}
+	return sb.String()
+}
