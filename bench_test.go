@@ -11,8 +11,12 @@ import (
 	"crypto/sha256"
 	"io"
 	"math/big"
+	"net"
+	"sync"
 	"testing"
 	"time"
+
+	"sssearch/internal/client"
 
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
@@ -68,6 +72,7 @@ func BenchmarkCoeffGrowth(b *testing.B)      { runExperiment(b, "coeffgrowth", t
 func BenchmarkAdvancedQuery(b *testing.B)    { runExperiment(b, "advanced", true) }
 func BenchmarkVerification(b *testing.B)     { runExperiment(b, "verify", true) }
 func BenchmarkVoting(b *testing.B)           { runExperiment(b, "voting", true) }
+func BenchmarkConcurrentEngine(b *testing.B) { runExperiment(b, "concurrent", true) }
 
 // --- micro-benchmarks of the protocol's hot paths ---------------------------
 
@@ -246,6 +251,165 @@ func BenchmarkMajorityVote9(b *testing.B) {
 		}
 	}
 }
+
+// --- concurrent multi-server fan-out benchmarks -----------------------------
+//
+// The paper's §4.2 k-of-n extension puts one share server per party; the
+// question is whether adding servers adds latency (sequential fan-out: the
+// sum of k round trips per protocol round) or throughput (concurrent
+// fan-out: the slowest of k round trips). Each member is wrapped in a
+// fixed simulated RTT so the benchmark measures the fan-out schedule, not
+// this machine's core count.
+
+// latencyAPI models a share server one network round trip away.
+type latencyAPI struct {
+	inner core.ServerAPI
+	rtt   time.Duration
+}
+
+func (l latencyAPI) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	time.Sleep(l.rtt)
+	return l.inner.EvalNodes(keys, points)
+}
+
+func (l latencyAPI) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	time.Sleep(l.rtt)
+	return l.inner.FetchPolys(keys)
+}
+
+func (l latencyAPI) Prune(keys []drbg.NodeKey) error {
+	time.Sleep(l.rtt)
+	return l.inner.Prune(keys)
+}
+
+// buildMultiEngine splits a document across n share servers (threshold k),
+// each behind a simulated RTT, and returns an engine over the fan-out.
+func buildMultiEngine(b *testing.B, k, n int, sequential bool, rtt time.Duration) *core.Engine {
+	b.Helper()
+	// F_17 keeps share polynomials short (16 coefficients) so the simulated
+	// network RTT — the thing the fan-out schedule controls — dominates the
+	// local big-integer arithmetic, which a 1-core host cannot parallelise.
+	fp := ring.MustFp(17)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 300, MaxFanout: 4, Vocab: 12, Seed: 77})
+	m, err := mapping.New(fp.MaxTag(), []byte("bench-multi"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := polyenc.Encode(fp, doc, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-multi")))
+	shares, err := sharing.MultiSplit(enc, seed, k, n, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := make([]core.MultiMember, n)
+	for i, s := range shares {
+		srv, err := server.NewLocal(fp, s.Tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		members[i] = core.MultiMember{X: s.X, API: latencyAPI{inner: srv, rtt: rtt}}
+	}
+	ms, err := core.NewMultiServer(fp, k, members)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms.Sequential = sequential
+	return core.NewEngine(fp, seed, m, ms, nil)
+}
+
+func benchmarkMultiLookup(b *testing.B, sequential bool) {
+	eng := buildMultiEngine(b, 4, 4, sequential, 2*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Lookup("t3", core.Opts{Verify: core.VerifyResolve}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiServer4Sequential is the seed behavior: 4 share servers
+// queried one after another — every added server adds latency.
+func BenchmarkMultiServer4Sequential(b *testing.B) { benchmarkMultiLookup(b, true) }
+
+// BenchmarkMultiServer4Concurrent is the new fan-out: 4 share servers
+// queried in parallel — the round costs one RTT, not four.
+func BenchmarkMultiServer4Concurrent(b *testing.B) { benchmarkMultiLookup(b, false) }
+
+// --- pipelined wire protocol benchmarks --------------------------------------
+
+// benchmarkRemoteEval measures many independent EvalNodes calls through
+// one TCP connection, strict v1 (each call waits its turn on the wire)
+// versus pipelined v2 (calls overlap in flight).
+func benchmarkRemoteEval(b *testing.B, version uint32, concurrency int) {
+	fp := ring.MustFp(257)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 200, MaxFanout: 4, Vocab: 12, Seed: 78})
+	m, err := mapping.New(fp.MaxTag(), []byte("bench-wire"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := polyenc.Encode(fp, doc, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-wire")))
+	tree, err := sharing.Split(enc, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := server.NewLocal(fp, tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var keys []drbg.NodeKey
+	enc.Walk(func(key drbg.NodeKey, _ *polyenc.Node) bool {
+		keys = append(keys, key)
+		return true
+	})
+	d := server.NewDaemon(local, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = d.Serve(l)
+	}()
+	defer func() {
+		d.Close()
+		<-done
+	}()
+	r, err := client.DialVersion(l.Addr().String(), version, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	points := []*big.Int{big.NewInt(2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, concurrency)
+		for c := 0; c < concurrency; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				_, errs[c] = r.EvalNodes(keys[(i+c)%len(keys):(i+c)%len(keys)+1], points)
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRemoteEvalStrictV1(b *testing.B)    { benchmarkRemoteEval(b, 1, 16) }
+func BenchmarkRemoteEvalPipelinedV2(b *testing.B) { benchmarkRemoteEval(b, 2, 16) }
 
 // BenchmarkColdStartToFirstAnswer measures the full pipeline latency a new
 // user experiences: parse → outsource → connect → first query.

@@ -1,0 +1,146 @@
+// ServerAPI conformance: every implementation — the in-process store, the
+// tamper wrappers, the multi-server fan-out, and the remote client over a
+// loopback daemon (pipelined v2, strict v1, and pooled) — must satisfy the
+// same contract. The table itself lives in internal/apitest.
+package sssearch
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net"
+	"testing"
+
+	"sssearch/internal/apitest"
+	"sssearch/internal/client"
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/sharing"
+	"sssearch/internal/wire"
+)
+
+// startFixtureDaemon serves the fixture's share tree on a loopback
+// listener, shut down via t.Cleanup.
+func startFixtureDaemon(t *testing.T, f *apitest.Fixture) string {
+	t.Helper()
+	d := server.NewDaemon(f.Reference, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = d.Serve(l)
+	}()
+	t.Cleanup(func() {
+		d.Close()
+		<-done
+	})
+	return l.Addr().String()
+}
+
+func TestConformanceLocal(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ring ring.Ring
+	}{
+		{"Fp", ring.MustFp(257)},
+		{"Z", ring.MustIntQuotient(1, 0, 1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			apitest.Run(t, tc.ring, func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+				return f.Reference
+			})
+		})
+	}
+}
+
+// The tamper wrappers must be transparent when their targets never fire:
+// idle (no target) and aimed at a key outside the document.
+func TestConformanceTamperer(t *testing.T) {
+	t.Run("Idle", func(t *testing.T) {
+		apitest.Run(t, ring.MustIntQuotient(1, 0, 1), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			return &server.Tamperer{Inner: f.Reference}
+		})
+	})
+	t.Run("MissedTarget", func(t *testing.T) {
+		apitest.Run(t, ring.MustFp(257), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			return &server.Tamperer{
+				Inner:          f.Reference,
+				CorruptPolyAt:  drbg.NodeKey{1 << 20},
+				CorruptValueAt: drbg.NodeKey{1 << 20},
+			}
+		})
+	})
+}
+
+func TestConformanceMultiServer(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{1, 1}, {2, 3}, {4, 4}} {
+		t.Run(fmt.Sprintf("k%d_n%d", tc.k, tc.n), func(t *testing.T) {
+			apitest.Run(t, ring.MustFp(257), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+				fp := f.Ring.(*ring.FpCyclotomic)
+				shares, err := sharing.MultiSplit(f.Encoded, f.Seed, tc.k, tc.n, rand.Reader)
+				if err != nil {
+					t.Fatal(err)
+				}
+				members := make([]core.MultiMember, len(shares))
+				for i, s := range shares {
+					srv, err := server.NewLocal(fp, s.Tree)
+					if err != nil {
+						t.Fatal(err)
+					}
+					members[i] = core.MultiMember{X: s.X, API: srv}
+				}
+				ms, err := core.NewMultiServer(fp, tc.k, members)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ms
+			})
+		})
+	}
+}
+
+func TestConformanceRemote(t *testing.T) {
+	t.Run("Pipelined", func(t *testing.T) {
+		apitest.Run(t, ring.MustIntQuotient(1, 0, 1), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			addr := startFixtureDaemon(t, f)
+			r, err := client.Dial(addr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.ProtocolVersion(); got != wire.Version2 {
+				t.Fatalf("negotiated version %d, want %d", got, wire.Version2)
+			}
+			t.Cleanup(func() { r.Close() })
+			return r
+		})
+	})
+	t.Run("StrictV1", func(t *testing.T) {
+		apitest.Run(t, ring.MustIntQuotient(1, 0, 1), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			addr := startFixtureDaemon(t, f)
+			r, err := client.DialVersion(addr, wire.Version, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.ProtocolVersion(); got != wire.Version {
+				t.Fatalf("negotiated version %d, want %d", got, wire.Version)
+			}
+			t.Cleanup(func() { r.Close() })
+			return r
+		})
+	})
+	t.Run("Pool", func(t *testing.T) {
+		apitest.Run(t, ring.MustFp(257), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			addr := startFixtureDaemon(t, f)
+			p, err := client.DialPool(addr, 3, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { p.Close() })
+			return p
+		})
+	})
+}

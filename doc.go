@@ -32,6 +32,31 @@
 // The same ClientKey drives remote sessions over TCP (see ServeTCP/Dial)
 // and k-of-n multi-server deployments (package internal/sharing).
 //
+// # Concurrency
+//
+// The query engine is concurrent end-to-end. The wire protocol negotiates
+// a pipelined framing (version 2) that tags every frame with a request ID,
+// so one connection carries many in-flight requests; the server daemon
+// dispatches decoded requests to a bounded worker pool and writes
+// responses as they complete, out of order. On the client side,
+// client.Remote routes responses back to callers from a single reader
+// goroutine and offers context-aware and asynchronous calls
+// (EvalNodesCtx, EvalNodesAsync); client.Pool spreads calls across a
+// fixed set of connections. Old endpoints still work: version 1 peers get
+// the strict request/response loop.
+//
+// Inside a query, core.Opts.Parallelism splits each evaluation wave into
+// concurrent batches, and core.MultiServer fans a k-of-n deployment out
+// in parallel, Lagrange-combining the per-server summands — so adding
+// share servers adds throughput rather than latency. Run the comparison
+// with:
+//
+//	go run ./cmd/sss-bench -exp concurrent
+//	go test -bench 'BenchmarkMultiServer4' -benchtime 20x .
+//
+// Every core.ServerAPI implementation is held to one contract by the
+// conformance suite in internal/apitest.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured reproduction of every figure.
 package sssearch

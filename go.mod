@@ -1,0 +1,3 @@
+module sssearch
+
+go 1.21

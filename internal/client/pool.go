@@ -1,0 +1,116 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/metrics"
+	"sssearch/internal/ring"
+)
+
+// Pool is a fixed-size pool of Remote sessions to one share server,
+// spreading calls round-robin so concurrent queries are not serialised
+// behind a single connection (even a pipelined one: separate connections
+// sidestep head-of-line blocking in the kernel send queue). It implements
+// core.ServerAPI and the same context/async call surface as Remote.
+type Pool struct {
+	remotes []*Remote
+	next    atomic.Uint64
+}
+
+// DialPool opens size connections to addr (all sharing counters, which
+// may be nil). size < 1 is treated as 1.
+func DialPool(addr string, size int, counters *metrics.Counters) (*Pool, error) {
+	if size < 1 {
+		size = 1
+	}
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	p := &Pool{remotes: make([]*Remote, 0, size)}
+	for i := 0; i < size; i++ {
+		r, err := Dial(addr, counters)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("client: pool connection %d: %w", i, err)
+		}
+		p.remotes = append(p.remotes, r)
+	}
+	return p, nil
+}
+
+// NewPool wraps existing sessions (at least one) as a pool.
+func NewPool(remotes []*Remote) (*Pool, error) {
+	if len(remotes) == 0 {
+		return nil, errors.New("client: empty pool")
+	}
+	return &Pool{remotes: append([]*Remote(nil), remotes...)}, nil
+}
+
+// Size returns the number of pooled connections.
+func (p *Pool) Size() int { return len(p.remotes) }
+
+// Params returns the ring parameters announced by the server.
+func (p *Pool) Params() ring.Params { return p.remotes[0].Params() }
+
+// Ring reconstructs the ring from the announced parameters.
+func (p *Pool) Ring() (ring.Ring, error) { return p.remotes[0].Ring() }
+
+// Close closes every pooled connection, returning the first error.
+func (p *Pool) Close() error {
+	var first error
+	for _, r := range p.remotes {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// pick returns the next session round-robin.
+func (p *Pool) pick() *Remote {
+	return p.remotes[int(p.next.Add(1)-1)%len(p.remotes)]
+}
+
+// EvalNodesCtx is EvalNodes with context cancellation.
+func (p *Pool) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	return p.pick().EvalNodesCtx(ctx, keys, points)
+}
+
+// FetchPolysCtx is FetchPolys with context cancellation.
+func (p *Pool) FetchPolysCtx(ctx context.Context, keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	return p.pick().FetchPolysCtx(ctx, keys)
+}
+
+// PruneCtx is Prune with context cancellation.
+func (p *Pool) PruneCtx(ctx context.Context, keys []drbg.NodeKey) error {
+	return p.pick().PruneCtx(ctx, keys)
+}
+
+// EvalNodes implements core.ServerAPI.
+func (p *Pool) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	return p.pick().EvalNodes(keys, points)
+}
+
+// FetchPolys implements core.ServerAPI.
+func (p *Pool) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	return p.pick().FetchPolys(keys)
+}
+
+// Prune implements core.ServerAPI.
+func (p *Pool) Prune(keys []drbg.NodeKey) error {
+	return p.pick().Prune(keys)
+}
+
+// EvalNodesAsync issues an EvalNodes request on the next pooled session
+// without waiting.
+func (p *Pool) EvalNodesAsync(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) <-chan EvalResult {
+	return p.pick().EvalNodesAsync(ctx, keys, points)
+}
+
+var _ core.ServerAPI = (*Pool)(nil)

@@ -2,14 +2,23 @@
 // a core.ServerAPI implementation that speaks the wire protocol to a
 // remote share server, so the query engine works identically in-process
 // and across the network.
+//
+// Sessions negotiate protocol version 2 (pipelined framing) when the
+// server supports it: requests are written as framed (request-ID) frames
+// and a single reader goroutine routes responses — possibly out of order —
+// back to their callers, so one connection carries many in-flight
+// requests. Against a version 1 server the session transparently falls
+// back to strict lockstep request/response.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -20,18 +29,38 @@ import (
 	"sssearch/internal/wire"
 )
 
+// ErrClosed is returned by calls on a closed session.
+var ErrClosed = errors.New("client: session closed")
+
 // Remote is a connected protocol session. It implements core.ServerAPI.
-// Safe for concurrent use (requests are serialized on the connection).
+// Safe for concurrent use: on a v2 session concurrent calls are pipelined
+// on the one connection; on a v1 session they serialise.
 type Remote struct {
-	mu       sync.Mutex
 	conn     io.ReadWriteCloser
-	nextID   atomic.Uint64
 	params   ring.Params
 	counters *metrics.Counters
-	closed   bool
+	version  uint32
+	nextID   atomic.Uint64
+
+	wmu sync.Mutex // serialises frame writes (and v1 round trips)
+
+	pmu     sync.Mutex
+	pending map[uint64]chan callResult // v2: in-flight requests by ID
+	readErr error                      // v2: terminal reader error
+	closed  bool
+
+	readerDone chan struct{} // v2: closed when the reader goroutine exits
 }
 
-// Dial connects to a share server over TCP and performs the handshake.
+// callResult is what the reader goroutine delivers to a waiting caller.
+type callResult struct {
+	typ     wire.MsgType
+	payload []byte
+	err     error
+}
+
+// Dial connects to a share server over TCP and performs the handshake,
+// negotiating the highest protocol version the server supports.
 // counters may be nil.
 func Dial(addr string, counters *metrics.Counters) (*Remote, error) {
 	conn, err := net.Dial("tcp", addr)
@@ -39,6 +68,52 @@ func Dial(addr string, counters *metrics.Counters) (*Remote, error) {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	r, err := NewRemote(conn, counters)
+	if err == nil {
+		return r, nil
+	}
+	conn.Close()
+	// A v1-only server rejects the version-2 Hello outright (it cannot
+	// downgrade). Redial and speak v1 — but only for an actual version
+	// rejection; any other handshake failure surfaces to the caller.
+	if isVersionRejection(err) {
+		conn, derr := net.Dial("tcp", addr)
+		if derr != nil {
+			return nil, fmt.Errorf("client: dial %s: %w", addr, derr)
+		}
+		r, rerr := newRemote(conn, counters, wire.Version)
+		if rerr != nil {
+			conn.Close()
+			return nil, rerr
+		}
+		return r, nil
+	}
+	return nil, err
+}
+
+// isVersionRejection reports whether a handshake error is a v1-only
+// server refusing the offered protocol version (the legacy daemon's
+// fixed "unsupported version N" error), as opposed to any other
+// server-side failure, which must not trigger a silent downgrade.
+func isVersionRejection(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Message, "unsupported version")
+}
+
+// NewRemote performs the handshake over an existing connection, offering
+// the newest protocol version and accepting the server's downgrade.
+func NewRemote(conn io.ReadWriteCloser, counters *metrics.Counters) (*Remote, error) {
+	return newRemote(conn, counters, wire.MaxVersion)
+}
+
+// DialVersion connects offering a specific protocol version — for interop
+// testing and for talking to old strict request/response servers without
+// the redial dance.
+func DialVersion(addr string, version uint32, counters *metrics.Counters) (*Remote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	r, err := newRemote(conn, counters, version)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -46,15 +121,14 @@ func Dial(addr string, counters *metrics.Counters) (*Remote, error) {
 	return r, nil
 }
 
-// NewRemote performs the handshake over an existing connection.
-func NewRemote(conn io.ReadWriteCloser, counters *metrics.Counters) (*Remote, error) {
+func newRemote(conn io.ReadWriteCloser, counters *metrics.Counters, offer uint32) (*Remote, error) {
 	if counters == nil {
 		counters = &metrics.Counters{}
 	}
 	r := &Remote{conn: conn, counters: counters}
 	n, err := wire.WriteFrame(conn, wire.Frame{
 		Type:    wire.MsgHello,
-		Payload: wire.EncodeHello(wire.Hello{Version: wire.Version}),
+		Payload: wire.EncodeHello(wire.Hello{Version: offer}),
 	})
 	counters.AddBytesSent(n)
 	counters.AddMessageSent()
@@ -73,10 +147,16 @@ func NewRemote(conn io.ReadWriteCloser, counters *metrics.Counters) (*Remote, er
 		if err != nil {
 			return nil, err
 		}
-		if ack.Version != wire.Version {
+		if ack.Version < wire.Version || ack.Version > offer {
 			return nil, fmt.Errorf("client: server version %d unsupported", ack.Version)
 		}
 		r.params = ack.Params
+		r.version = ack.Version
+		if r.version >= wire.Version2 {
+			r.pending = make(map[uint64]chan callResult)
+			r.readerDone = make(chan struct{})
+			go r.readLoop()
+		}
 		return r, nil
 	case wire.MsgError:
 		e, err := wire.DecodeError(f.Payload)
@@ -95,66 +175,184 @@ func (r *Remote) Params() ring.Params { return r.params }
 // Ring reconstructs the ring from the announced parameters.
 func (r *Remote) Ring() (ring.Ring, error) { return ring.FromParams(r.params) }
 
-// Close sends Bye and closes the connection.
+// ProtocolVersion returns the negotiated wire protocol version.
+func (r *Remote) ProtocolVersion() uint32 { return r.version }
+
+// Close sends Bye and closes the connection. In-flight calls fail with
+// ErrClosed.
 func (r *Remote) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.pmu.Lock()
 	if r.closed {
+		r.pmu.Unlock()
 		return nil
 	}
 	r.closed = true
-	_, _ = wire.WriteFrame(r.conn, wire.Frame{Type: wire.MsgBye})
-	return r.conn.Close()
+	r.pmu.Unlock()
+	r.wmu.Lock()
+	if r.version >= wire.Version2 {
+		_, _ = wire.WriteFramed(r.conn, wire.FramedFrame{Type: wire.MsgBye})
+	} else {
+		_, _ = wire.WriteFrame(r.conn, wire.Frame{Type: wire.MsgBye})
+	}
+	r.wmu.Unlock()
+	err := r.conn.Close()
+	if r.readerDone != nil {
+		<-r.readerDone
+	}
+	return err
 }
 
-// roundTrip sends a request frame and reads the response, surfacing
-// MsgError as *wire.RemoteError.
-func (r *Remote) roundTrip(req wire.Frame) (wire.Frame, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return wire.Frame{}, errors.New("client: session closed")
+// readLoop (v2 only) reads framed frames and routes each to the pending
+// call with its request ID. On a terminal read error every pending and
+// future call fails.
+func (r *Remote) readLoop() {
+	defer close(r.readerDone)
+	for {
+		f, n, err := wire.ReadAny(r.conn)
+		if err != nil {
+			r.pmu.Lock()
+			r.readErr = err
+			if r.closed || errors.Is(err, io.EOF) {
+				r.readErr = ErrClosed
+			}
+			pending := r.pending
+			r.pending = make(map[uint64]chan callResult)
+			failErr := r.readErr
+			r.pmu.Unlock()
+			for _, ch := range pending {
+				ch <- callResult{err: failErr}
+			}
+			return
+		}
+		r.counters.AddBytesReceived(n)
+		r.counters.AddMessageReceived()
+		res := callResult{typ: f.Type, payload: f.Payload}
+		if f.Type == wire.MsgError {
+			e, derr := wire.DecodeError(f.Payload)
+			if derr != nil {
+				res = callResult{err: derr}
+			} else {
+				res = callResult{err: &wire.RemoteError{ID: e.ID, Message: e.Message}}
+			}
+		}
+		r.pmu.Lock()
+		ch, ok := r.pending[f.ReqID]
+		delete(r.pending, f.ReqID)
+		r.pmu.Unlock()
+		if ok {
+			ch <- res // buffered: never blocks the reader
+		}
+		// Responses with no waiter (cancelled calls) are dropped.
 	}
-	n, err := wire.WriteFrame(r.conn, req)
+}
+
+// call sends one request and waits for its response, honouring ctx. On a
+// v2 session the request is pipelined; on v1 it holds the connection for
+// a strict round trip (cancellation is only observed between phases).
+func (r *Remote) call(ctx context.Context, typ wire.MsgType, id uint64, payload []byte) (wire.MsgType, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	if r.version >= wire.Version2 {
+		return r.callPipelined(ctx, typ, id, payload)
+	}
+	return r.callStrict(ctx, typ, payload)
+}
+
+func (r *Remote) callPipelined(ctx context.Context, typ wire.MsgType, id uint64, payload []byte) (wire.MsgType, []byte, error) {
+	ch := make(chan callResult, 1)
+	r.pmu.Lock()
+	if r.closed {
+		r.pmu.Unlock()
+		return 0, nil, ErrClosed
+	}
+	if r.readErr != nil {
+		err := r.readErr
+		r.pmu.Unlock()
+		return 0, nil, err
+	}
+	r.pending[id] = ch
+	r.pmu.Unlock()
+
+	r.wmu.Lock()
+	n, err := wire.WriteFramed(r.conn, wire.FramedFrame{Type: typ, ReqID: id, Payload: payload})
+	r.wmu.Unlock()
 	r.counters.AddBytesSent(n)
 	r.counters.AddMessageSent()
 	if err != nil {
-		return wire.Frame{}, err
+		r.pmu.Lock()
+		delete(r.pending, id)
+		r.pmu.Unlock()
+		return 0, nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.typ, res.payload, res.err
+	case <-ctx.Done():
+		// Abandon the request: deregister so the eventual response is
+		// dropped by the reader. The server still does the work.
+		r.pmu.Lock()
+		delete(r.pending, id)
+		r.pmu.Unlock()
+		// A response may have been delivered while we were deregistering.
+		select {
+		case res := <-ch:
+			return res.typ, res.payload, res.err
+		default:
+		}
+		return 0, nil, ctx.Err()
+	}
+}
+
+func (r *Remote) callStrict(ctx context.Context, typ wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	r.pmu.Lock()
+	closed := r.closed
+	r.pmu.Unlock()
+	if closed {
+		return 0, nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	n, err := wire.WriteFrame(r.conn, wire.Frame{Type: typ, Payload: payload})
+	r.counters.AddBytesSent(n)
+	r.counters.AddMessageSent()
+	if err != nil {
+		return 0, nil, err
 	}
 	resp, rn, err := wire.ReadFrame(r.conn)
 	r.counters.AddBytesReceived(rn)
 	r.counters.AddMessageReceived()
 	if err != nil {
-		return wire.Frame{}, err
+		return 0, nil, err
 	}
 	if resp.Type == wire.MsgError {
 		e, derr := wire.DecodeError(resp.Payload)
 		if derr != nil {
-			return wire.Frame{}, derr
+			return 0, nil, derr
 		}
-		return wire.Frame{}, &wire.RemoteError{ID: e.ID, Message: e.Message}
+		return 0, nil, &wire.RemoteError{ID: e.ID, Message: e.Message}
 	}
-	return resp, nil
+	return resp.Type, resp.Payload, nil
 }
 
 func (r *Remote) id() uint64 {
 	return r.nextID.Add(1)
 }
 
-// EvalNodes implements core.ServerAPI.
-func (r *Remote) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+// EvalNodesCtx is EvalNodes with context cancellation.
+func (r *Remote) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
 	id := r.id()
-	resp, err := r.roundTrip(wire.Frame{
-		Type:    wire.MsgEval,
-		Payload: wire.EncodeEvalReq(wire.EvalReq{ID: id, Keys: keys, Points: points}),
-	})
+	typ, payload, err := r.call(ctx, wire.MsgEval, id, wire.EncodeEvalReq(wire.EvalReq{ID: id, Keys: keys, Points: points}))
 	if err != nil {
 		return nil, err
 	}
-	if resp.Type != wire.MsgEvalResp {
-		return nil, fmt.Errorf("client: unexpected reply %s to Eval", resp.Type)
+	if typ != wire.MsgEvalResp {
+		return nil, fmt.Errorf("client: unexpected reply %s to Eval", typ)
 	}
-	dec, err := wire.DecodeEvalResp(resp.Payload)
+	dec, err := wire.DecodeEvalResp(payload)
 	if err != nil {
 		return nil, err
 	}
@@ -164,20 +362,17 @@ func (r *Remote) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeE
 	return dec.Answers, nil
 }
 
-// FetchPolys implements core.ServerAPI.
-func (r *Remote) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+// FetchPolysCtx is FetchPolys with context cancellation.
+func (r *Remote) FetchPolysCtx(ctx context.Context, keys []drbg.NodeKey) ([]core.NodePoly, error) {
 	id := r.id()
-	resp, err := r.roundTrip(wire.Frame{
-		Type:    wire.MsgFetch,
-		Payload: wire.EncodeFetchReq(wire.FetchReq{ID: id, Keys: keys}),
-	})
+	typ, payload, err := r.call(ctx, wire.MsgFetch, id, wire.EncodeFetchReq(wire.FetchReq{ID: id, Keys: keys}))
 	if err != nil {
 		return nil, err
 	}
-	if resp.Type != wire.MsgFetchResp {
-		return nil, fmt.Errorf("client: unexpected reply %s to Fetch", resp.Type)
+	if typ != wire.MsgFetchResp {
+		return nil, fmt.Errorf("client: unexpected reply %s to Fetch", typ)
 	}
-	dec, err := wire.DecodeFetchResp(resp.Payload)
+	dec, err := wire.DecodeFetchResp(payload)
 	if err != nil {
 		return nil, err
 	}
@@ -187,20 +382,17 @@ func (r *Remote) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
 	return dec.Answers, nil
 }
 
-// Prune implements core.ServerAPI.
-func (r *Remote) Prune(keys []drbg.NodeKey) error {
+// PruneCtx is Prune with context cancellation.
+func (r *Remote) PruneCtx(ctx context.Context, keys []drbg.NodeKey) error {
 	id := r.id()
-	resp, err := r.roundTrip(wire.Frame{
-		Type:    wire.MsgPrune,
-		Payload: wire.EncodePruneReq(wire.PruneReq{ID: id, Keys: keys}),
-	})
+	typ, payload, err := r.call(ctx, wire.MsgPrune, id, wire.EncodePruneReq(wire.PruneReq{ID: id, Keys: keys}))
 	if err != nil {
 		return err
 	}
-	if resp.Type != wire.MsgAck {
-		return fmt.Errorf("client: unexpected reply %s to Prune", resp.Type)
+	if typ != wire.MsgAck {
+		return fmt.Errorf("client: unexpected reply %s to Prune", typ)
 	}
-	ackID, err := wire.DecodeAck(resp.Payload)
+	ackID, err := wire.DecodeAck(payload)
 	if err != nil {
 		return err
 	}
@@ -208,6 +400,39 @@ func (r *Remote) Prune(keys []drbg.NodeKey) error {
 		return fmt.Errorf("client: ack id %d for request %d", ackID, id)
 	}
 	return nil
+}
+
+// EvalNodes implements core.ServerAPI.
+func (r *Remote) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	return r.EvalNodesCtx(context.Background(), keys, points)
+}
+
+// FetchPolys implements core.ServerAPI.
+func (r *Remote) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	return r.FetchPolysCtx(context.Background(), keys)
+}
+
+// Prune implements core.ServerAPI.
+func (r *Remote) Prune(keys []drbg.NodeKey) error {
+	return r.PruneCtx(context.Background(), keys)
+}
+
+// EvalResult is the outcome of an asynchronous EvalNodes call.
+type EvalResult struct {
+	Answers []core.NodeEval
+	Err     error
+}
+
+// EvalNodesAsync issues an EvalNodes request without waiting: the result
+// is delivered on the returned buffered channel. On a pipelined session
+// many async calls proceed concurrently on one connection.
+func (r *Remote) EvalNodesAsync(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) <-chan EvalResult {
+	ch := make(chan EvalResult, 1)
+	go func() {
+		answers, err := r.EvalNodesCtx(ctx, keys, points)
+		ch <- EvalResult{Answers: answers, Err: err}
+	}()
+	return ch
 }
 
 var _ core.ServerAPI = (*Remote)(nil)

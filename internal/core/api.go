@@ -37,7 +37,13 @@ type NodePoly struct {
 }
 
 // ServerAPI is the full server-side capability the protocol needs. It is
-// implemented in-process by server.Local and remotely by client.Remote.
+// implemented in-process by server.Local, remotely by client.Remote (and
+// client.Pool), and across a k-of-n deployment by MultiServer.
+//
+// Implementations must be safe for concurrent calls: the engine issues
+// parallel evaluation batches (Opts.Parallelism) and MultiServer fans out
+// from multiple goroutines. The conformance suite in internal/apitest
+// checks the contract below; run it against any new implementation.
 type ServerAPI interface {
 	// EvalNodes evaluates the server share of each keyed node at each of
 	// the given points, in order. Unknown keys are an error.

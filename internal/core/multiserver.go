@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/poly"
+	"sssearch/internal/ring"
+	"sssearch/internal/shamir"
+)
+
+// This file implements the client-side fan-out for the paper's §4.2
+// k-of-n extension: every node polynomial's server part is Shamir-shared
+// across n servers (sharing.MultiSplit), and the client together with any
+// k of them can answer queries. MultiServer queries the share servers
+// CONCURRENTLY and Lagrange-combines their scalar summands, so adding
+// servers adds throughput (the slowest of k round trips) instead of
+// latency (the sum of k round trips).
+
+// MultiMember is one share server in a k-of-n deployment: its Shamir
+// evaluation point and any ServerAPI transport (in-process Local over a
+// sharing.ServerShare tree, a remote client.Remote, …).
+type MultiMember struct {
+	X   uint32
+	API ServerAPI
+}
+
+// MultiServer fans one logical ServerAPI out over k-of-n share servers.
+// EvalNodes and FetchPolys succeed as long as at least k members answer;
+// the combined summands are exactly what a single-server deployment would
+// have returned, so the query engine is oblivious to the fan-out.
+//
+// Safe for concurrent use if the member APIs are.
+type MultiServer struct {
+	ring    *ring.FpCyclotomic
+	k       int
+	members []MultiMember
+
+	// Sequential disables the concurrent fan-out and queries members one
+	// at a time, stopping after k successes — the pre-concurrency
+	// behavior, kept as a benchmark baseline and ablation.
+	Sequential bool
+}
+
+// NewMultiServer wraps n member servers with reconstruction threshold k.
+// Multi-server mode requires the F_p ring (Shamir needs a field); member
+// X points must be distinct and non-zero.
+func NewMultiServer(r *ring.FpCyclotomic, k int, members []MultiMember) (*MultiServer, error) {
+	if r == nil {
+		return nil, errors.New("core: nil ring")
+	}
+	if k < 1 || k > len(members) {
+		return nil, fmt.Errorf("core: threshold %d with %d members", k, len(members))
+	}
+	seen := make(map[uint32]bool, len(members))
+	for _, m := range members {
+		if m.X == 0 {
+			return nil, errors.New("core: member share point x=0 is forbidden")
+		}
+		if seen[m.X] {
+			return nil, fmt.Errorf("core: duplicate member share point x=%d", m.X)
+		}
+		seen[m.X] = true
+		if m.API == nil {
+			return nil, errors.New("core: nil member API")
+		}
+	}
+	return &MultiServer{ring: r, k: k, members: members}, nil
+}
+
+// Members returns the number of member servers.
+func (m *MultiServer) Members() int { return len(m.members) }
+
+// Threshold returns the reconstruction threshold k.
+func (m *MultiServer) Threshold() int { return m.k }
+
+// memberCall runs one call against every member (concurrently unless
+// Sequential) and returns the first k successful results, alongside the X
+// points of the members that produced them. The concurrent path returns
+// as soon as k members have answered (or n-k+1 have failed) — a hung
+// member must not block an otherwise-answerable query; its straggler
+// goroutine drains into a buffered channel. Fails only when fewer than k
+// members can succeed.
+func memberCall[T any](m *MultiServer, call func(MultiMember) (T, error)) ([]T, []uint32, error) {
+	vals := make([]T, 0, m.k)
+	xs := make([]uint32, 0, m.k)
+	var firstErr error
+	if m.Sequential {
+		for _, mem := range m.members {
+			v, err := call(mem)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			vals = append(vals, v)
+			xs = append(xs, mem.X)
+			if len(vals) == m.k {
+				return vals, xs, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("core: only %d of %d member servers answered (need %d): %w",
+			len(vals), len(m.members), m.k, firstErr)
+	}
+	type memberResult struct {
+		idx int
+		val T
+		err error
+	}
+	ch := make(chan memberResult, len(m.members))
+	for i, mem := range m.members {
+		go func(i int, mem MultiMember) {
+			v, err := call(mem)
+			ch <- memberResult{idx: i, val: v, err: err}
+		}(i, mem)
+	}
+	failures := 0
+	for range m.members {
+		r := <-ch
+		if r.err != nil {
+			failures++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if failures > len(m.members)-m.k {
+				return nil, nil, fmt.Errorf("core: only %d of %d member servers answered (need %d): %w",
+					len(vals), len(m.members), m.k, firstErr)
+			}
+			continue
+		}
+		vals = append(vals, r.val)
+		xs = append(xs, m.members[r.idx].X)
+		if len(vals) == m.k {
+			return vals, xs, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("core: only %d of %d member servers answered (need %d): %w",
+		len(vals), len(m.members), m.k, firstErr)
+}
+
+// EvalNodes implements ServerAPI: fan the request out, then reconstruct
+// each server summand f_rest(a) = Σ_j λ_j·share_j(a) via Lagrange
+// interpolation at zero.
+func (m *MultiServer) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]NodeEval, error) {
+	per, xs, err := memberCall(m, func(mem MultiMember) ([]NodeEval, error) {
+		answers, err := mem.API.EvalNodes(keys, points)
+		if err != nil {
+			return nil, err
+		}
+		if len(answers) != len(keys) {
+			return nil, fmt.Errorf("core: member %d returned %d answers for %d keys", mem.X, len(answers), len(keys))
+		}
+		for _, a := range answers {
+			if len(a.Values) != len(points) {
+				return nil, fmt.Errorf("core: member %d returned %d values for %d points", mem.X, len(a.Values), len(points))
+			}
+		}
+		return answers, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	zero := big.NewInt(0)
+	f := m.ring.Field()
+	out := make([]NodeEval, len(keys))
+	for i, key := range keys {
+		nch := per[0][i].NumChildren
+		for j := 1; j < len(per); j++ {
+			if per[j][i].NumChildren != nch {
+				return nil, fmt.Errorf("core: member servers disagree on the child count of %s", key)
+			}
+		}
+		values := make([]*big.Int, len(points))
+		shares := make([]shamir.Share, len(per))
+		for pi := range points {
+			for j := range per {
+				shares[j] = shamir.Share{X: xs[j], Y: per[j][i].Values[pi]}
+			}
+			v, err := shamir.InterpolateAt(f, shares, zero, m.k)
+			if err != nil {
+				return nil, fmt.Errorf("core: combining evaluations of %s: %w", key, err)
+			}
+			values[pi] = v
+		}
+		out[i] = NodeEval{Key: key, Values: values, NumChildren: nch}
+	}
+	return out, nil
+}
+
+// FetchPolys implements ServerAPI: reconstruct the single-server share
+// polynomial coefficient-wise (Lagrange at zero is linear, so it commutes
+// with the coefficient view).
+func (m *MultiServer) FetchPolys(keys []drbg.NodeKey) ([]NodePoly, error) {
+	per, xs, err := memberCall(m, func(mem MultiMember) ([]NodePoly, error) {
+		answers, err := mem.API.FetchPolys(keys)
+		if err != nil {
+			return nil, err
+		}
+		if len(answers) != len(keys) {
+			return nil, fmt.Errorf("core: member %d returned %d polys for %d keys", mem.X, len(answers), len(keys))
+		}
+		return answers, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	zero := big.NewInt(0)
+	f := m.ring.Field()
+	out := make([]NodePoly, len(keys))
+	for i, key := range keys {
+		nch := per[0][i].NumChildren
+		maxLen := 0
+		for j := range per {
+			if per[j][i].NumChildren != nch {
+				return nil, fmt.Errorf("core: member servers disagree on the child count of %s", key)
+			}
+			if l := per[j][i].Poly.Len(); l > maxLen {
+				maxLen = l
+			}
+		}
+		coeffs := make([]*big.Int, maxLen)
+		shares := make([]shamir.Share, len(per))
+		for c := 0; c < maxLen; c++ {
+			for j := range per {
+				shares[j] = shamir.Share{X: xs[j], Y: per[j][i].Poly.Coeff(c)}
+			}
+			v, err := shamir.InterpolateAt(f, shares, zero, m.k)
+			if err != nil {
+				return nil, fmt.Errorf("core: combining polynomial of %s: %w", key, err)
+			}
+			coeffs[c] = v
+		}
+		out[i] = NodePoly{Key: key, Poly: poly.New(coeffs...), NumChildren: nch}
+	}
+	return out, nil
+}
+
+// Prune implements ServerAPI: advisory, so it is fanned out to every
+// member (concurrently unless Sequential) and succeeds as soon as any
+// member acknowledges — a down or hung server must not stall an
+// otherwise-answerable query. Straggler acknowledgements drain into a
+// buffered channel.
+func (m *MultiServer) Prune(keys []drbg.NodeKey) error {
+	if m.Sequential {
+		var firstErr error
+		for _, mem := range m.members {
+			if err := mem.API.Prune(keys); err == nil {
+				return nil
+			} else if firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	ch := make(chan error, len(m.members))
+	for _, mem := range m.members {
+		go func(mem MultiMember) { ch <- mem.API.Prune(keys) }(mem)
+	}
+	var firstErr error
+	for range m.members {
+		err := <-ch
+		if err == nil {
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+var _ ServerAPI = (*MultiServer)(nil)

@@ -1,0 +1,286 @@
+package core_test
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/sharing"
+	"sssearch/internal/workload"
+)
+
+// multiStack builds a k-of-n deployment and a single-server reference over
+// the same document, seed and mapping.
+type multiStack struct {
+	ring    *ring.FpCyclotomic
+	m       *mapping.Map
+	seed    drbg.Seed
+	members []core.MultiMember
+	single  *server.Local
+}
+
+func buildMultiStack(t testing.TB, k, n, nodes int) *multiStack {
+	t.Helper()
+	fp := ring.MustFp(257)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: nodes, MaxFanout: 4, Vocab: 10, Seed: 42})
+	m, err := mapping.New(fp.MaxTag(), []byte("multi-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := polyenc.Encode(fp, doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := testSeed(9)
+	singleTree, err := sharing.Split(enc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := server.NewLocal(fp, singleTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := sharing.MultiSplit(enc, seed, k, n, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]core.MultiMember, n)
+	for i, s := range shares {
+		srv, err := server.NewLocal(fp, s.Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = core.MultiMember{X: s.X, API: srv}
+	}
+	return &multiStack{ring: fp, m: m, seed: seed, members: members, single: single}
+}
+
+// failingAPI simulates a down member server.
+type failingAPI struct{}
+
+var errDown = errors.New("member down")
+
+func (failingAPI) EvalNodes([]drbg.NodeKey, []*big.Int) ([]core.NodeEval, error) {
+	return nil, errDown
+}
+func (failingAPI) FetchPolys([]drbg.NodeKey) ([]core.NodePoly, error) { return nil, errDown }
+func (failingAPI) Prune([]drbg.NodeKey) error                         { return errDown }
+
+// TestMultiServerMatchesSingleServer: the Lagrange-combined summands must
+// be indistinguishable from a single-server deployment, end to end, at
+// every verification level (VerifyFull exercises FetchPolys combining).
+func TestMultiServerMatchesSingleServer(t *testing.T) {
+	s := buildMultiStack(t, 2, 3, 60)
+	ms, err := core.NewMultiServer(s.ring, 2, s.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewEngine(s.ring, s.seed, s.m, s.single, nil)
+	eng := core.NewEngine(s.ring, s.seed, s.m, ms, nil)
+	for _, verify := range []core.VerifyLevel{core.VerifyNone, core.VerifyResolve, core.VerifyFull} {
+		for _, tag := range []string{"t0", "t3", "t7"} {
+			want, err := ref.Lookup(tag, core.Opts{Verify: verify})
+			if err != nil {
+				t.Fatalf("%s/%s: reference: %v", verify, tag, err)
+			}
+			got, err := eng.Lookup(tag, core.Opts{Verify: verify})
+			if err != nil {
+				t.Fatalf("%s/%s: multi-server: %v", verify, tag, err)
+			}
+			if len(got.Matches) != len(want.Matches) {
+				t.Fatalf("%s/%s: %d matches, want %d", verify, tag, len(got.Matches), len(want.Matches))
+			}
+			for i := range got.Matches {
+				if got.Matches[i].String() != want.Matches[i].String() {
+					t.Fatalf("%s/%s: match %d = %s, want %s", verify, tag, i, got.Matches[i], want.Matches[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiServerToleratesDownMembers: with threshold k, up to n-k member
+// failures are invisible; one more is an error.
+func TestMultiServerToleratesDownMembers(t *testing.T) {
+	s := buildMultiStack(t, 2, 3, 40)
+	// One member down: still answerable.
+	members := append([]core.MultiMember(nil), s.members...)
+	members[1] = core.MultiMember{X: members[1].X, API: failingAPI{}}
+	ms, err := core.NewMultiServer(s.ring, 2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(s.ring, s.seed, s.m, ms, nil)
+	ref := core.NewEngine(s.ring, s.seed, s.m, s.single, nil)
+	want, err := ref.Lookup("t2", core.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Lookup("t2", core.Opts{})
+	if err != nil {
+		t.Fatalf("query with one down member: %v", err)
+	}
+	if len(got.Matches) != len(want.Matches) {
+		t.Fatalf("%d matches, want %d", len(got.Matches), len(want.Matches))
+	}
+	// Two members down: below threshold.
+	members[2] = core.MultiMember{X: members[2].X, API: failingAPI{}}
+	ms2, err := core.NewMultiServer(s.ring, 2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := core.NewEngine(s.ring, s.seed, s.m, ms2, nil)
+	if _, err := eng2.Lookup("t2", core.Opts{}); err == nil {
+		t.Fatal("query with two of three members down should fail at threshold 2")
+	}
+}
+
+// hangingAPI simulates a member whose connection black-holes: calls block
+// until release is closed.
+type hangingAPI struct{ release chan struct{} }
+
+func (h hangingAPI) EvalNodes([]drbg.NodeKey, []*big.Int) ([]core.NodeEval, error) {
+	<-h.release
+	return nil, errDown
+}
+func (h hangingAPI) FetchPolys([]drbg.NodeKey) ([]core.NodePoly, error) {
+	<-h.release
+	return nil, errDown
+}
+func (h hangingAPI) Prune([]drbg.NodeKey) error {
+	<-h.release
+	return errDown
+}
+
+// TestMultiServerUnblockedByHungMember: with threshold k, a member that
+// hangs (rather than erroring) must not stall the query — the fan-out
+// returns as soon as k members answer.
+func TestMultiServerUnblockedByHungMember(t *testing.T) {
+	s := buildMultiStack(t, 2, 3, 30)
+	release := make(chan struct{})
+	defer close(release) // unblock straggler goroutines at test end
+	members := append([]core.MultiMember(nil), s.members...)
+	members[0] = core.MultiMember{X: members[0].X, API: hangingAPI{release: release}}
+	ms, err := core.NewMultiServer(s.ring, 2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(s.ring, s.seed, s.m, ms, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Lookup("t2", core.Opts{Verify: core.VerifyResolve})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("query with one hung member failed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query blocked on a hung member despite k=2 of 3 answering")
+	}
+}
+
+// TestMultiServerSequentialParity: the Sequential ablation must return
+// identical results to the concurrent fan-out.
+func TestMultiServerSequentialParity(t *testing.T) {
+	s := buildMultiStack(t, 3, 4, 50)
+	conc, err := core.NewMultiServer(s.ring, 3, s.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.NewMultiServer(s.ring, 3, s.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Sequential = true
+	engC := core.NewEngine(s.ring, s.seed, s.m, conc, nil)
+	engS := core.NewEngine(s.ring, s.seed, s.m, seq, nil)
+	for _, tag := range []string{"t1", "t5"} {
+		rc, err := engC.Lookup(tag, core.Opts{Verify: core.VerifyResolve})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := engS.Lookup(tag, core.Opts{Verify: core.VerifyResolve})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rc.Matches) != len(rs.Matches) {
+			t.Fatalf("%s: concurrent %d matches, sequential %d", tag, len(rc.Matches), len(rs.Matches))
+		}
+	}
+}
+
+// TestNewMultiServerValidation rejects bad thresholds and share points.
+func TestNewMultiServerValidation(t *testing.T) {
+	fp := ring.MustFp(257)
+	api := failingAPI{}
+	if _, err := core.NewMultiServer(fp, 2, []core.MultiMember{{X: 1, API: api}}); err == nil {
+		t.Error("threshold above member count accepted")
+	}
+	if _, err := core.NewMultiServer(fp, 0, nil); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := core.NewMultiServer(fp, 1, []core.MultiMember{{X: 0, API: api}}); err == nil {
+		t.Error("x=0 member accepted")
+	}
+	if _, err := core.NewMultiServer(fp, 2, []core.MultiMember{{X: 1, API: api}, {X: 1, API: api}}); err == nil {
+		t.Error("duplicate member points accepted")
+	}
+	if _, err := core.NewMultiServer(fp, 1, []core.MultiMember{{X: 1, API: nil}}); err == nil {
+		t.Error("nil member API accepted")
+	}
+}
+
+// TestParallelQueryParity: Opts.Parallelism must not change results, and
+// parallel batch goroutines must merge cleanly (exercised under -race).
+func TestParallelQueryParity(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 200, MaxFanout: 4, Vocab: 10, Seed: 7})
+	z := ring.MustIntQuotient(1, 0, 1)
+	m, err := mapping.New(z.MaxTag(), []byte("par-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := polyenc.Encode(z, doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := testSeed(5)
+	tree, err := sharing.Split(enc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.NewLocal(z, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(z, seed, m, srv, nil)
+	for _, tag := range []string{"t0", "t4", "t9"} {
+		want, err := eng.Lookup(tag, core.Opts{Verify: core.VerifyResolve})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, 16} {
+			got, err := eng.Lookup(tag, core.Opts{Verify: core.VerifyResolve, Parallelism: par})
+			if err != nil {
+				t.Fatalf("parallelism %d: %v", par, err)
+			}
+			if len(got.Matches) != len(want.Matches) {
+				t.Fatalf("parallelism %d: %d matches, want %d", par, len(got.Matches), len(want.Matches))
+			}
+			for i := range got.Matches {
+				if got.Matches[i].String() != want.Matches[i].String() {
+					t.Fatalf("parallelism %d: match %d differs", par, i)
+				}
+			}
+		}
+	}
+}

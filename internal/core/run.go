@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"sssearch/internal/drbg"
 	"sssearch/internal/poly"
@@ -13,11 +14,16 @@ import (
 // run is the per-query state: the compiled steps and points, the learned
 // tree shape (child counts) and an evaluation cache that keeps the protocol
 // from re-requesting sums the scan already produced.
+//
+// mu guards childCount and sumCache: when opts.Parallelism > 1 an
+// evaluation wave splits into concurrent batches whose goroutines merge
+// answers into both maps.
 type run struct {
 	e          *Engine
 	steps      []xpath.Step
 	points     []*big.Int // nil for wildcard steps
 	opts       Opts
+	mu         sync.Mutex
 	childCount map[string]int
 	sumCache   map[string]*big.Int // "key|point" → reduced sum
 }
@@ -145,32 +151,38 @@ func (r *run) evalKeys(keys []drbg.NodeKey, points []*big.Int) ([]sumState, erro
 		}
 	}
 	if len(missing) > 0 {
-		answers, err := r.e.api.EvalNodes(missing, eff)
-		if err != nil {
-			return nil, err
-		}
-		if len(answers) != len(missing) {
-			return nil, fmt.Errorf("core: server returned %d answers for %d keys", len(answers), len(missing))
-		}
+		// One wave = one protocol round (latency-wise), even when it is
+		// split into concurrent batches below.
 		r.e.counters.AddRound()
 		r.e.counters.AddNodesVisited(len(missing))
 		r.e.counters.AddNodesEvaluated(len(missing) * len(eff))
 		r.e.counters.AddValuesMoved(len(missing) * len(eff))
-		for _, ans := range answers {
-			if len(ans.Values) != len(eff) {
-				return nil, fmt.Errorf("core: server returned %d values for %d points", len(ans.Values), len(eff))
+		batches := splitBatches(missing, r.opts.Parallelism)
+		if len(batches) == 1 {
+			if err := r.evalBatch(batches[0], eff); err != nil {
+				return nil, err
 			}
-			r.childCount[ans.Key.String()] = ans.NumChildren
-			for i, p := range eff {
-				sum, err := r.combine(ans.Key, p, ans.Values[i])
+		} else {
+			errs := make([]error, len(batches))
+			var wg sync.WaitGroup
+			for bi, batch := range batches {
+				wg.Add(1)
+				go func(bi int, batch []drbg.NodeKey) {
+					defer wg.Done()
+					errs[bi] = r.evalBatch(batch, eff)
+				}(bi, batch)
+			}
+			wg.Wait()
+			for _, err := range errs {
 				if err != nil {
 					return nil, err
 				}
-				r.sumCache[cacheKey(ans.Key, p)] = sum
 			}
 		}
 	}
 	// Assemble states from cache.
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]sumState, len(keys))
 	for i, k := range keys {
 		st := sumState{key: k, nch: r.childCount[k.String()], sums: make([]*big.Int, 0, len(points))}
@@ -188,6 +200,61 @@ func (r *run) evalKeys(keys []drbg.NodeKey, points []*big.Int) ([]sumState, erro
 		out[i] = st
 	}
 	return out, nil
+}
+
+// evalBatch asks the server for one batch of keys and merges the combined
+// sums into the caches. Safe to call from concurrent batch goroutines (the
+// ServerAPI contract requires concurrent-safe implementations; the cache
+// merge is locked, the big-integer combining runs outside the lock).
+func (r *run) evalBatch(batch []drbg.NodeKey, eff []*big.Int) error {
+	answers, err := r.e.api.EvalNodes(batch, eff)
+	if err != nil {
+		return err
+	}
+	if len(answers) != len(batch) {
+		return fmt.Errorf("core: server returned %d answers for %d keys", len(answers), len(batch))
+	}
+	for _, ans := range answers {
+		if len(ans.Values) != len(eff) {
+			return fmt.Errorf("core: server returned %d values for %d points", len(ans.Values), len(eff))
+		}
+		sums := make([]*big.Int, len(eff))
+		for i, p := range eff {
+			sum, err := r.combine(ans.Key, p, ans.Values[i])
+			if err != nil {
+				return err
+			}
+			sums[i] = sum
+		}
+		r.mu.Lock()
+		r.childCount[ans.Key.String()] = ans.NumChildren
+		for i, p := range eff {
+			r.sumCache[cacheKey(ans.Key, p)] = sums[i]
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// splitBatches carves keys into at most parallelism near-even batches.
+func splitBatches(keys []drbg.NodeKey, parallelism int) [][]drbg.NodeKey {
+	if parallelism <= 1 || len(keys) <= 1 {
+		return [][]drbg.NodeKey{keys}
+	}
+	n := parallelism
+	if n > len(keys) {
+		n = len(keys)
+	}
+	size := (len(keys) + n - 1) / n
+	out := make([][]drbg.NodeKey, 0, n)
+	for start := 0; start < len(keys); start += size {
+		end := start + size
+		if end > len(keys) {
+			end = len(keys)
+		}
+		out = append(out, keys[start:end])
+	}
+	return out
 }
 
 // combine adds the client share evaluation to a server value, reduced

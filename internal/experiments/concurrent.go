@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/sharing"
+	"sssearch/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "concurrent", Ref: "§4.2 k-of-n extension, concurrent engine",
+		Title: "multi-server fan-out schedule: sequential vs concurrent round trips",
+		Run:   runConcurrent,
+	})
+}
+
+// rttAPI models a share server one (simulated) network round trip away —
+// the experiment isolates the fan-out schedule from host core count.
+type rttAPI struct {
+	inner core.ServerAPI
+	rtt   time.Duration
+}
+
+func (l rttAPI) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	time.Sleep(l.rtt)
+	return l.inner.EvalNodes(keys, points)
+}
+
+func (l rttAPI) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	time.Sleep(l.rtt)
+	return l.inner.FetchPolys(keys)
+}
+
+func (l rttAPI) Prune(keys []drbg.NodeKey) error {
+	time.Sleep(l.rtt)
+	return l.inner.Prune(keys)
+}
+
+// runConcurrent measures the same k-of-n query workload under the
+// sequential fan-out (the pre-concurrency engine: each protocol round
+// costs k round trips) and the concurrent fan-out (each round costs the
+// slowest single round trip), reporting per-query latency and speedup.
+func runConcurrent(w io.Writer, cfg Config) error {
+	nodes, queries, rtt := 150, 6, 2*time.Millisecond
+	if cfg.Quick {
+		nodes, queries, rtt = 60, 2, 1*time.Millisecond
+	}
+	fp := ring.MustFp(17)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: nodes, MaxFanout: 4, Vocab: 10, Seed: 33})
+	m, err := mapping.New(fp.MaxTag(), []byte("concurrent-exp"))
+	if err != nil {
+		return err
+	}
+	enc, err := polyenc.Encode(fp, doc, m)
+	if err != nil {
+		return err
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("concurrent-exp")))
+
+	t := &Table{Headers: []string{"servers (k=n)", "sequential ms/query", "concurrent ms/query", "speedup"}}
+	for _, n := range []int{2, 4} {
+		shares, err := sharing.MultiSplit(enc, seed, n, n, rand.Reader)
+		if err != nil {
+			return err
+		}
+		members := make([]core.MultiMember, n)
+		for i, s := range shares {
+			srv, err := server.NewLocal(fp, s.Tree)
+			if err != nil {
+				return err
+			}
+			members[i] = core.MultiMember{X: s.X, API: rttAPI{inner: srv, rtt: rtt}}
+		}
+		var elapsed [2]time.Duration
+		var matchCounts [2]int
+		for mode, sequential := range []bool{true, false} {
+			ms, err := core.NewMultiServer(fp, n, members)
+			if err != nil {
+				return err
+			}
+			ms.Sequential = sequential
+			eng := core.NewEngine(fp, seed, m, ms, nil)
+			start := time.Now()
+			for q := 0; q < queries; q++ {
+				res, err := eng.Lookup(fmt.Sprintf("t%d", q%10), core.Opts{Verify: core.VerifyResolve})
+				if err != nil {
+					return err
+				}
+				matchCounts[mode] += len(res.Matches)
+			}
+			elapsed[mode] = time.Since(start)
+		}
+		if matchCounts[0] != matchCounts[1] {
+			return fmt.Errorf("concurrent fan-out changed results: %d vs %d matches", matchCounts[1], matchCounts[0])
+		}
+		seqMS := float64(elapsed[0].Microseconds()) / 1000 / float64(queries)
+		conMS := float64(elapsed[1].Microseconds()) / 1000 / float64(queries)
+		t.Add(n, fmt.Sprintf("%.1f", seqMS), fmt.Sprintf("%.1f", conMS), fmt.Sprintf("%.2fx", seqMS/conMS))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "(simulated %s RTT per server call; the concurrent engine pays the slowest of k round trips per protocol round instead of their sum)\n", rtt)
+	return nil
+}

@@ -11,13 +11,28 @@ import (
 	"sssearch/internal/wire"
 )
 
+// DefaultWorkers is the per-connection bound on concurrently executing
+// requests for pipelined (protocol v2) sessions. Handlers spend time in
+// big-integer arithmetic and blocking writes, so a small multiple of the
+// core count keeps the pipe full without unbounded goroutine growth.
+const DefaultWorkers = 8
+
 // Daemon serves the wire protocol over a listener, answering each
-// connection from a Local share store. One goroutine per connection;
-// requests within a connection are handled sequentially (the protocol is
-// strict request/response).
+// connection from a Local share store. One goroutine per connection.
+//
+// Protocol version 1 connections are handled in strict lockstep (one
+// request, one response) for backward compatibility. Version 2 connections
+// are pipelined: decoded requests are dispatched to a bounded worker pool
+// and responses are written as they complete — serialised writes,
+// out-of-order completion — so a single connection carries many in-flight
+// requests.
 type Daemon struct {
 	local  *Local
 	logger *log.Logger
+
+	// Workers bounds concurrently executing requests per pipelined
+	// connection. Zero means DefaultWorkers. Set before Serve.
+	Workers int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -81,7 +96,8 @@ func (d *Daemon) logf(format string, args ...any) {
 // Exported so tests and the in-process transport can drive it directly.
 func (d *Daemon) HandleConn(conn io.ReadWriteCloser) error {
 	defer conn.Close()
-	// Handshake.
+	// Handshake (always legacy framing; the negotiated version decides the
+	// framing of everything after the HelloAck).
 	f, _, err := wire.ReadFrame(conn)
 	if err != nil {
 		return err
@@ -93,15 +109,19 @@ func (d *Daemon) HandleConn(conn io.ReadWriteCloser) error {
 	if err != nil {
 		return err
 	}
-	if hello.Version != wire.Version {
+	if hello.Version < wire.Version {
 		_, _ = wire.WriteFrame(conn, wire.Frame{
 			Type:    wire.MsgError,
 			Payload: wire.EncodeError(wire.ErrorMsg{Message: fmt.Sprintf("unsupported version %d", hello.Version)}),
 		})
 		return fmt.Errorf("server: client version %d unsupported", hello.Version)
 	}
+	version := hello.Version
+	if version > wire.MaxVersion {
+		version = wire.MaxVersion
+	}
 	ackPayload, err := wire.EncodeHelloAck(wire.HelloAck{
-		Version: wire.Version,
+		Version: version,
 		Params:  d.local.Ring().Params(),
 	})
 	if err != nil {
@@ -110,7 +130,14 @@ func (d *Daemon) HandleConn(conn io.ReadWriteCloser) error {
 	if _, err := wire.WriteFrame(conn, wire.Frame{Type: wire.MsgHelloAck, Payload: ackPayload}); err != nil {
 		return err
 	}
-	// Request loop.
+	if version >= wire.Version2 {
+		return d.servePipelined(conn)
+	}
+	return d.serveStrict(conn)
+}
+
+// serveStrict is the v1 request loop: one request, one response, in order.
+func (d *Daemon) serveStrict(conn io.ReadWriteCloser) error {
 	for {
 		f, _, err := wire.ReadFrame(conn)
 		if err != nil {
@@ -119,69 +146,123 @@ func (d *Daemon) HandleConn(conn io.ReadWriteCloser) error {
 			}
 			return err
 		}
-		reply, err := d.dispatch(f)
+		if f.Type == wire.MsgBye {
+			return nil
+		}
+		typ, payload, err := d.dispatch(f.Type, f.Payload)
 		if err != nil {
 			return err
 		}
-		if reply == nil { // Bye
-			return nil
-		}
-		if _, err := wire.WriteFrame(conn, *reply); err != nil {
+		if _, err := wire.WriteFrame(conn, wire.Frame{Type: typ, Payload: payload}); err != nil {
 			return err
 		}
 	}
 }
 
-// dispatch handles one request frame, returning the response frame
-// (nil for Bye). Store errors become MsgError replies rather than
-// connection teardown.
-func (d *Daemon) dispatch(f wire.Frame) (*wire.Frame, error) {
-	fail := func(id uint64, err error) *wire.Frame {
-		return &wire.Frame{
-			Type:    wire.MsgError,
-			Payload: wire.EncodeError(wire.ErrorMsg{ID: id, Message: err.Error()}),
-		}
+// servePipelined is the v2 request loop: decoded requests fan out to a
+// bounded worker pool; responses are written (serialised by wmu) as each
+// worker completes, so slow requests do not block fast ones behind them.
+func (d *Daemon) servePipelined(conn io.ReadWriteCloser) error {
+	workers := d.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
 	}
-	switch f.Type {
-	case wire.MsgEval:
-		req, err := wire.DecodeEvalReq(f.Payload)
+	var (
+		wmu      sync.Mutex // serialises response writes
+		handlers sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+
+		errOnce sync.Once
+		connErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { connErr = err })
+	}
+	for {
+		f, _, err := wire.ReadAny(conn)
 		if err != nil {
-			return nil, err
+			handlers.Wait()
+			if errors.Is(err, io.EOF) {
+				return connErr
+			}
+			if connErr != nil {
+				return connErr
+			}
+			return err
+		}
+		if f.Type == wire.MsgBye {
+			handlers.Wait()
+			return connErr
+		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(f wire.AnyFrame) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			typ, payload, err := d.dispatch(f.Type, f.Payload)
+			if err != nil {
+				// Malformed request: framing is length-prefixed so the
+				// stream stays synchronised — answer with a correlated
+				// error and keep serving.
+				typ = wire.MsgError
+				payload = wire.EncodeError(wire.ErrorMsg{ID: f.ReqID, Message: err.Error()})
+			}
+			wmu.Lock()
+			_, werr := wire.WriteFramed(conn, wire.FramedFrame{Type: typ, ReqID: f.ReqID, Payload: payload})
+			wmu.Unlock()
+			if werr != nil {
+				// A failed (possibly partial) write leaves the stream
+				// unframeable — tear the connection down rather than
+				// appending frames the client can no longer parse.
+				fail(werr)
+				conn.Close()
+			}
+		}(f)
+	}
+}
+
+// dispatch handles one request, returning the response type and payload.
+// Store errors become MsgError replies rather than connection teardown;
+// undecodable requests are returned as errors.
+func (d *Daemon) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	fail := func(id uint64, err error) (wire.MsgType, []byte, error) {
+		return wire.MsgError, wire.EncodeError(wire.ErrorMsg{ID: id, Message: err.Error()}), nil
+	}
+	switch typ {
+	case wire.MsgEval:
+		req, err := wire.DecodeEvalReq(payload)
+		if err != nil {
+			return 0, nil, err
 		}
 		answers, err := d.local.EvalNodes(req.Keys, req.Points)
 		if err != nil {
-			return fail(req.ID, err), nil
+			return fail(req.ID, err)
 		}
-		return &wire.Frame{
-			Type:    wire.MsgEvalResp,
-			Payload: wire.EncodeEvalResp(wire.EvalResp{ID: req.ID, Answers: answers}),
-		}, nil
+		return wire.MsgEvalResp, wire.EncodeEvalResp(wire.EvalResp{ID: req.ID, Answers: answers}), nil
 	case wire.MsgFetch:
-		req, err := wire.DecodeFetchReq(f.Payload)
+		req, err := wire.DecodeFetchReq(payload)
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		answers, err := d.local.FetchPolys(req.Keys)
 		if err != nil {
-			return fail(req.ID, err), nil
+			return fail(req.ID, err)
 		}
-		payload, err := wire.EncodeFetchResp(wire.FetchResp{ID: req.ID, Answers: answers})
+		out, err := wire.EncodeFetchResp(wire.FetchResp{ID: req.ID, Answers: answers})
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
-		return &wire.Frame{Type: wire.MsgFetchResp, Payload: payload}, nil
+		return wire.MsgFetchResp, out, nil
 	case wire.MsgPrune:
-		req, err := wire.DecodePruneReq(f.Payload)
+		req, err := wire.DecodePruneReq(payload)
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		if err := d.local.Prune(req.Keys); err != nil {
-			return fail(req.ID, err), nil
+			return fail(req.ID, err)
 		}
-		return &wire.Frame{Type: wire.MsgAck, Payload: wire.EncodeAck(req.ID)}, nil
-	case wire.MsgBye:
-		return nil, nil
+		return wire.MsgAck, wire.EncodeAck(req.ID), nil
 	default:
-		return nil, fmt.Errorf("server: unexpected frame %s", f.Type)
+		return 0, nil, fmt.Errorf("server: unexpected frame %s", typ)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"sssearch/internal/drbg"
 )
 
 // The decoders sit on the trust boundary: arbitrary network bytes must
@@ -72,6 +74,139 @@ func TestMutatedFramesRejected(t *testing.T) {
 		t.Errorf("only %d/500 mutations rejected", rejected)
 	}
 }
+
+// --- framed (request-ID) frame seeds --------------------------------------
+
+// TestReadAnyNeverPanicsOnRandomStream: the dual-format reader sits on the
+// same trust boundary as ReadFrame and must reject arbitrary bytes
+// gracefully in both magics.
+func TestReadAnyNeverPanicsOnRandomStream(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		stream := randBytes(r, r.Intn(120))
+		ReadAny(bytes.NewReader(stream))
+	}
+	// Random payloads behind each valid magic.
+	for i := 0; i < 2000; i++ {
+		var stream []byte
+		if i%2 == 0 {
+			stream = append(stream, 0x53, 0x53) // legacy magic
+		} else {
+			stream = append(stream, 0x53, 0x50) // framed magic
+		}
+		stream = append(stream, randBytes(r, r.Intn(60))...)
+		ReadAny(bytes.NewReader(stream))
+	}
+}
+
+// TestFramedTruncationRejected: every strict prefix of a valid framed
+// frame must fail cleanly, never hang or panic.
+func TestFramedTruncationRejected(t *testing.T) {
+	payload := EncodeEvalReq(EvalReq{ID: 42, Keys: []drbg.NodeKey{{1, 2}, {3}}})
+	var buf bytes.Buffer
+	if _, err := WriteFramed(&buf, FramedFrame{Type: MsgEval, ReqID: 42, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for cut := 0; cut < len(valid); cut++ {
+		if _, _, err := ReadAny(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(valid))
+		}
+	}
+	// The untruncated frame decodes and round-trips.
+	f, n, err := ReadAny(bytes.NewReader(valid))
+	if err != nil || n != len(valid) {
+		t.Fatalf("valid frame rejected: %v (consumed %d of %d)", err, n, len(valid))
+	}
+	if !f.Framed || f.ReqID != 42 || f.Type != MsgEval {
+		t.Fatalf("framed header mangled: %+v", f)
+	}
+	dec, err := DecodeEvalReq(f.Payload)
+	if err != nil || dec.ID != 42 || len(dec.Keys) != 2 {
+		t.Fatalf("framed payload mangled: %+v, %v", dec, err)
+	}
+}
+
+// TestFramedMutationsRejected: single-bit flips anywhere in a framed
+// frame must be caught (magic, type, reqid, length or CRC checks).
+func TestFramedMutationsRejected(t *testing.T) {
+	payload := EncodeEvalReq(EvalReq{ID: 7, Keys: nil, Points: nil})
+	var buf bytes.Buffer
+	if _, err := WriteFramed(&buf, FramedFrame{Type: MsgEval, ReqID: 7, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	r := rand.New(rand.NewSource(6))
+	rejected := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		mutated := append([]byte(nil), valid...)
+		pos := r.Intn(len(mutated))
+		mutated[pos] ^= byte(1 << r.Intn(8))
+		f, _, err := ReadAny(bytes.NewReader(mutated))
+		if err != nil {
+			rejected++
+			continue
+		}
+		// A flip the framing cannot see must at least keep the request ID
+		// honest or fail payload decode downstream.
+		if _, derr := DecodeEvalReq(f.Payload); derr != nil {
+			rejected++
+		}
+	}
+	if rejected < trials-10 {
+		t.Errorf("only %d/%d mutations rejected", rejected, trials)
+	}
+}
+
+// TestInterleavedFramedStream: a stream carrying several framed frames
+// back to back — mixed with legacy frames — must parse each frame intact
+// and in order, exactly consuming the stream.
+func TestInterleavedFramedStream(t *testing.T) {
+	var buf bytes.Buffer
+	type sent struct {
+		framed bool
+		typ    MsgType
+		reqID  uint64
+	}
+	var want []sent
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		payload := EncodeEvalReq(EvalReq{ID: uint64(i), Keys: []drbg.NodeKey{{uint32(i)}}})
+		if i%3 == 2 {
+			if _, err := WriteFrame(&buf, Frame{Type: MsgEval, Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, sent{false, MsgEval, 0})
+			continue
+		}
+		id := r.Uint64()
+		if _, err := WriteFramed(&buf, FramedFrame{Type: MsgEval, ReqID: id, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, sent{true, MsgEval, id})
+	}
+	rd := bytes.NewReader(buf.Bytes())
+	for i, w := range want {
+		f, _, err := ReadAny(rd)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Framed != w.framed || f.Type != w.typ || f.ReqID != w.reqID {
+			t.Fatalf("frame %d: got %+v, want %+v", i, f, w)
+		}
+		dec, err := DecodeEvalReq(f.Payload)
+		if err != nil || dec.ID != uint64(i) {
+			t.Fatalf("frame %d payload: %+v, %v", i, dec, err)
+		}
+	}
+	if rd.Len() != 0 {
+		t.Fatalf("%d trailing bytes after the last frame", rd.Len())
+	}
+}
+
+// TestDecodeEncodedRandomMessages: round-trip stability under random but
+// WELL-FORMED messages (complements the garbage tests above).
 
 // TestDecodeEncodedRandomMessages: round-trip stability under random but
 // WELL-FORMED messages (complements the garbage tests above).

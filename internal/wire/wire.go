@@ -11,6 +11,22 @@
 //	payload length bytes
 //	crc32   uint32  IEEE CRC over type byte + payload
 //
+// Protocol version 2 adds a pipelined variant that carries the request ID
+// in the frame header, so a connection can have many requests in flight
+// and responses can complete out of order without the transport decoding
+// payloads to route them:
+//
+//	magic   uint16  0x5350 ("SP")
+//	type    uint8
+//	reqid   uint64  request correlation ID (0 in the handshake)
+//	length  uint32  payload byte count
+//	payload length bytes
+//	crc32   uint32  IEEE CRC over type byte + reqid + payload
+//
+// The two formats are distinguished by magic; ReadAny decodes either, so
+// a v2 endpoint remains backward compatible with the strict
+// request/response v1 framing.
+//
 // All payload integers are unsigned LEB128 varints unless stated otherwise.
 package wire
 
@@ -25,11 +41,22 @@ import (
 	"sssearch/internal/drbg"
 )
 
-// Magic identifies protocol frames.
+// Magic identifies legacy (strict request/response) protocol frames.
 const Magic uint16 = 0x5353
 
-// Version is the protocol version negotiated in the handshake.
+// FramedMagic identifies pipelined frames carrying a request ID in the
+// header (protocol version 2).
+const FramedMagic uint16 = 0x5350
+
+// Version is the original strict request/response protocol version.
 const Version uint32 = 1
+
+// Version2 is the pipelined protocol version: after the handshake both
+// sides speak framed (request-ID) frames and may interleave requests.
+const Version2 uint32 = 2
+
+// MaxVersion is the highest protocol version this build speaks.
+const MaxVersion = Version2
 
 // MaxFrameSize bounds a single frame's payload (16 MiB).
 const MaxFrameSize = 16 << 20
@@ -129,35 +156,142 @@ func WriteFrame(w io.Writer, f Frame) (int, error) {
 	return total, nil
 }
 
-// ReadFrame reads one frame from r. It returns the frame and the number of
-// bytes consumed.
+// ReadFrame reads one legacy frame from r. It returns the frame and the
+// number of bytes consumed.
 func ReadFrame(r io.Reader) (Frame, int, error) {
-	header := make([]byte, 7)
-	if _, err := io.ReadFull(r, header); err != nil {
+	var magic [2]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return Frame{}, 0, err
 	}
-	if binary.BigEndian.Uint16(header[0:2]) != Magic {
+	if binary.BigEndian.Uint16(magic[:]) != Magic {
 		return Frame{}, 7, ErrBadMagic
 	}
-	length := binary.BigEndian.Uint32(header[3:7])
+	f, n, err := readLegacyBody(r)
+	return f, 2 + n, err
+}
+
+// readLegacyBody reads a legacy frame after its magic word, returning the
+// bytes consumed past the magic.
+func readLegacyBody(r io.Reader) (Frame, int, error) {
+	rest := make([]byte, 5) // type + length
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return Frame{}, 0, fmt.Errorf("wire: reading header: %w", err)
+	}
+	length := binary.BigEndian.Uint32(rest[1:5])
 	if length > MaxFrameSize {
-		return Frame{}, 7, ErrFrameTooLarge
+		return Frame{}, 5, ErrFrameTooLarge
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return Frame{}, 7, fmt.Errorf("wire: reading payload: %w", err)
+		return Frame{}, 5, fmt.Errorf("wire: reading payload: %w", err)
 	}
 	var tail [4]byte
 	if _, err := io.ReadFull(r, tail[:]); err != nil {
-		return Frame{}, 7 + int(length), fmt.Errorf("wire: reading checksum: %w", err)
+		return Frame{}, 5 + int(length), fmt.Errorf("wire: reading checksum: %w", err)
 	}
 	crc := crc32.NewIEEE()
-	crc.Write(header[2:3])
+	crc.Write(rest[0:1])
 	crc.Write(payload)
 	if crc.Sum32() != binary.BigEndian.Uint32(tail[:]) {
-		return Frame{}, 11 + int(length), ErrChecksum
+		return Frame{}, 9 + int(length), ErrChecksum
 	}
-	return Frame{Type: MsgType(header[2]), Payload: payload}, 11 + int(length), nil
+	return Frame{Type: MsgType(rest[0]), Payload: payload}, 9 + int(length), nil
+}
+
+// FramedFrame is one pipelined (version 2) protocol message: a frame plus
+// the request ID it belongs to, carried in the header so responses can be
+// routed without decoding payloads.
+type FramedFrame struct {
+	Type    MsgType
+	ReqID   uint64
+	Payload []byte
+}
+
+// framedHeaderLen is magic(2) + type(1) + reqid(8) + length(4).
+const framedHeaderLen = 15
+
+// WriteFramed writes one pipelined frame to w. It returns the number of
+// bytes written.
+func WriteFramed(w io.Writer, f FramedFrame) (int, error) {
+	if len(f.Payload) > MaxFrameSize {
+		return 0, ErrFrameTooLarge
+	}
+	header := make([]byte, framedHeaderLen)
+	binary.BigEndian.PutUint16(header[0:2], FramedMagic)
+	header[2] = byte(f.Type)
+	binary.BigEndian.PutUint64(header[3:11], f.ReqID)
+	binary.BigEndian.PutUint32(header[11:15], uint32(len(f.Payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(header[2:11])
+	crc.Write(f.Payload)
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc.Sum32())
+
+	total := 0
+	for _, chunk := range [][]byte{header, f.Payload, tail[:]} {
+		n, err := w.Write(chunk)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("wire: writing framed frame: %w", err)
+		}
+	}
+	return total, nil
+}
+
+// AnyFrame is the result of ReadAny: a message in either framing. Framed
+// reports which format was on the wire; ReqID is zero for legacy frames
+// (their correlation ID, if any, lives in the payload).
+type AnyFrame struct {
+	Type    MsgType
+	ReqID   uint64
+	Framed  bool
+	Payload []byte
+}
+
+// ReadAny reads one frame in either the legacy or the pipelined format,
+// dispatching on the magic. It returns the frame and the number of bytes
+// consumed.
+func ReadAny(r io.Reader) (AnyFrame, int, error) {
+	var magic [2]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return AnyFrame{}, 0, err
+	}
+	switch binary.BigEndian.Uint16(magic[:]) {
+	case Magic:
+		f, n, err := readLegacyBody(r)
+		return AnyFrame{Type: f.Type, Payload: f.Payload}, 2 + n, err
+	case FramedMagic:
+		rest := make([]byte, framedHeaderLen-2) // type + reqid + length
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return AnyFrame{}, 2, fmt.Errorf("wire: reading framed header: %w", err)
+		}
+		length := binary.BigEndian.Uint32(rest[9:13])
+		if length > MaxFrameSize {
+			return AnyFrame{}, framedHeaderLen, ErrFrameTooLarge
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return AnyFrame{}, framedHeaderLen, fmt.Errorf("wire: reading payload: %w", err)
+		}
+		var tail [4]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			return AnyFrame{}, framedHeaderLen + int(length), fmt.Errorf("wire: reading checksum: %w", err)
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(rest[0:9])
+		crc.Write(payload)
+		if crc.Sum32() != binary.BigEndian.Uint32(tail[:]) {
+			return AnyFrame{}, framedHeaderLen + 4 + int(length), ErrChecksum
+		}
+		return AnyFrame{
+			Type:    MsgType(rest[0]),
+			ReqID:   binary.BigEndian.Uint64(rest[1:9]),
+			Framed:  true,
+			Payload: payload,
+		}, framedHeaderLen + 4 + int(length), nil
+	default:
+		return AnyFrame{}, 2, ErrBadMagic
+	}
 }
 
 // --- payload codecs -------------------------------------------------------
