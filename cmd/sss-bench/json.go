@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"sssearch/internal/experiments"
+)
+
+// benchReport is the machine-readable result file written by -json. The
+// schema is append-only: per-PR BENCH_N.json files embed these reports,
+// so consumers diffing the perf trajectory across PRs rely on the field
+// names staying put.
+type benchReport struct {
+	Schema  string        `json:"schema"`
+	GoOS    string        `json:"goos"`
+	GoArch  string        `json:"goarch"`
+	Results []benchResult `json:"results"`
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runJSONBench times every tracked target with the testing benchmark
+// harness and writes the report to path.
+func runJSONBench(path string) error {
+	targets, err := experiments.BenchTargets()
+	if err != nil {
+		return err
+	}
+	report := benchReport{
+		Schema: "sss-bench/v1",
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+	}
+	for _, t := range targets {
+		t := t
+		var failure error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := t.Fn(); err != nil {
+					failure = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if failure != nil {
+			return fmt.Errorf("bench %s: %w", t.Name, failure)
+		}
+		res := benchResult{
+			Name:        t.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-18s %12.0f ns/op %10d B/op %8d allocs/op (%d iters)\n",
+			t.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -7,6 +7,7 @@
 //	sss-bench -quick        # reduced workloads (seconds, not minutes)
 //	sss-bench -exp pruning  # a single experiment
 //	sss-bench -list
+//	sss-bench -json out.json  # time the tracked hot paths, write JSON
 package main
 
 import (
@@ -22,8 +23,15 @@ func main() {
 	exp := flag.String("exp", "", "run a single experiment by id (default: all)")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonPath := flag.String("json", "", "time the tracked hot-path benchmarks and write a machine-readable result file")
 	flag.Parse()
 
+	if *jsonPath != "" {
+		if err := runJSONBench(*jsonPath); err != nil {
+			log.Fatalf("sss-bench: %v", err)
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %-28s %s\n", e.ID, e.Ref, e.Title)

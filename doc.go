@@ -57,6 +57,21 @@
 // Every core.ServerAPI implementation is held to one contract by the
 // conformance suite in internal/apitest.
 //
+// # Fast path
+//
+// All F_p hot-path arithmetic runs on a word-sized engine
+// (internal/fastfield): Montgomery multiplication over uint64 built on
+// bits.Mul64, packed []uint64 coefficient vectors, and an
+// allocation-free multi-point Horner pass, with the math/big
+// implementation kept as the reference and fallback for moduli over 62
+// bits and for the Z[x]/(r(x)) ring. The server memoizes hot (node,
+// point) evaluations in a bounded LRU cache, and the seed-only client
+// regenerates share pads straight into packed form, caching the hottest
+// pads. Differential tests pin both arithmetic stacks to each other at
+// every layer; BENCH_2.json records the measured effect (a //tag lookup
+// over 1000 nodes in F_257 dropped from ~1.6 s to ~14 ms on the
+// reference host).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured reproduction of every figure.
 package sssearch

@@ -120,13 +120,7 @@ func (e *Engine) Query(q *xpath.Query, opts Opts) (*Result, error) {
 		}
 		points[i] = v
 	}
-	r := &run{
-		e:          e,
-		steps:      steps,
-		points:     points,
-		opts:       opts,
-		childCount: map[string]int{},
-	}
+	r := newRun(e, steps, points, opts)
 	matches, unresolved, err := r.execute()
 	if err != nil {
 		return nil, err

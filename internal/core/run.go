@@ -8,6 +8,8 @@ import (
 	"sssearch/internal/drbg"
 	"sssearch/internal/poly"
 	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/sharing"
 	"sssearch/internal/xpath"
 )
 
@@ -19,18 +21,64 @@ import (
 // evaluation wave splits into concurrent batches whose goroutines merge
 // answers into both maps.
 type run struct {
-	e          *Engine
-	steps      []xpath.Step
-	points     []*big.Int // nil for wildcard steps
-	opts       Opts
+	e      *Engine
+	steps  []xpath.Step
+	points []*big.Int // nil for wildcard steps
+	opts   Opts
+	// ptIdx interns the query's evaluation points: every point a step can
+	// ever evaluate at is one of the r.points pointers, assigned a small
+	// index at construction. Read-only after newRun, so sumKey lookups
+	// never render a big.Int to a string.
+	ptIdx      map[*big.Int]int
 	mu         sync.Mutex
 	childCount map[string]int
-	sumCache   map[string]*big.Int // "key|point" → reduced sum
+	sumCache   map[sumKey]*big.Int
+}
+
+// sumKey addresses one cached (node, point) sum: the node's rendered path
+// and the interned point index — a comparable struct, so cache hits cost
+// no string concatenation or big.Int rendering.
+type sumKey struct {
+	node string
+	pt   int
+}
+
+// newRun assembles the per-query state, interning the point set.
+func newRun(e *Engine, steps []xpath.Step, points []*big.Int, opts Opts) *run {
+	idx := make(map[*big.Int]int, len(points))
+	for _, p := range points {
+		if p == nil {
+			continue
+		}
+		if _, ok := idx[p]; !ok {
+			idx[p] = len(idx)
+		}
+	}
+	return &run{
+		e:          e,
+		steps:      steps,
+		points:     points,
+		opts:       opts,
+		ptIdx:      idx,
+		childCount: map[string]int{},
+		sumCache:   map[sumKey]*big.Int{},
+	}
+}
+
+// ptIndex resolves an interned point. All evaluation flows through the
+// r.points pointers interned at construction, so a miss is an internal
+// invariant violation, reported loudly by the caller.
+func (r *run) ptIndex(p *big.Int) (int, bool) {
+	i, ok := r.ptIdx[p]
+	return i, ok
 }
 
 // sumState is the client-side record of one evaluated node.
 type sumState struct {
-	key  drbg.NodeKey
+	key drbg.NodeKey
+	// ks is key.String(), rendered once per wave and reused by every map
+	// consult downstream.
+	ks   string
 	nch  int
 	sums []*big.Int // aligned with the step's point vector; wildcard slot = 0
 }
@@ -47,9 +95,6 @@ func (s *sumState) zeroAll() bool {
 
 // execute runs all steps and returns final matches and unresolved keys.
 func (r *run) execute() (matches, unresolved []drbg.NodeKey, err error) {
-	if r.sumCache == nil {
-		r.sumCache = map[string]*big.Int{}
-	}
 	var contexts []drbg.NodeKey
 	for i, step := range r.steps {
 		pts := r.activePoints(i)
@@ -138,16 +183,28 @@ func (r *run) evalKeys(keys []drbg.NodeKey, points []*big.Int) ([]sumState, erro
 		return nil, nil
 	}
 	eff := make([]*big.Int, 0, len(points))
+	effIdx := make([]int, 0, len(points))
 	for _, p := range points {
-		if p != nil {
-			eff = append(eff, p)
+		if p == nil {
+			continue
 		}
+		pi, ok := r.ptIndex(p)
+		if !ok {
+			return nil, fmt.Errorf("core: internal: evaluation point %s was not interned", p)
+		}
+		eff = append(eff, p)
+		effIdx = append(effIdx, pi)
+	}
+	// Render each key once; every cache consult below reuses the string.
+	ks := make([]string, len(keys))
+	for i, k := range keys {
+		ks[i] = k.String()
 	}
 	// Partition into cached and missing.
 	var missing []drbg.NodeKey
-	for _, k := range keys {
-		if !r.cachedAll(k, eff) {
-			missing = append(missing, k)
+	for i := range keys {
+		if !r.cachedAll(ks[i], effIdx) {
+			missing = append(missing, keys[i])
 		}
 	}
 	if len(missing) > 0 {
@@ -159,7 +216,7 @@ func (r *run) evalKeys(keys []drbg.NodeKey, points []*big.Int) ([]sumState, erro
 		r.e.counters.AddValuesMoved(len(missing) * len(eff))
 		batches := splitBatches(missing, r.opts.Parallelism)
 		if len(batches) == 1 {
-			if err := r.evalBatch(batches[0], eff); err != nil {
+			if err := r.evalBatch(batches[0], eff, effIdx); err != nil {
 				return nil, err
 			}
 		} else {
@@ -169,7 +226,7 @@ func (r *run) evalKeys(keys []drbg.NodeKey, points []*big.Int) ([]sumState, erro
 				wg.Add(1)
 				go func(bi int, batch []drbg.NodeKey) {
 					defer wg.Done()
-					errs[bi] = r.evalBatch(batch, eff)
+					errs[bi] = r.evalBatch(batch, eff, effIdx)
 				}(bi, batch)
 			}
 			wg.Wait()
@@ -184,16 +241,17 @@ func (r *run) evalKeys(keys []drbg.NodeKey, points []*big.Int) ([]sumState, erro
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]sumState, len(keys))
-	for i, k := range keys {
-		st := sumState{key: k, nch: r.childCount[k.String()], sums: make([]*big.Int, 0, len(points))}
+	for i := range keys {
+		st := sumState{key: keys[i], ks: ks[i], nch: r.childCount[ks[i]], sums: make([]*big.Int, 0, len(points))}
 		for _, p := range points {
 			if p == nil {
 				st.sums = append(st.sums, big.NewInt(0))
 				continue
 			}
-			v, ok := r.sumCache[cacheKey(k, p)]
+			pi, _ := r.ptIndex(p)
+			v, ok := r.sumCache[sumKey{node: ks[i], pt: pi}]
 			if !ok {
-				return nil, fmt.Errorf("core: internal: missing cached sum for %s", k)
+				return nil, fmt.Errorf("core: internal: missing cached sum for %s", keys[i])
 			}
 			st.sums = append(st.sums, v)
 		}
@@ -206,7 +264,8 @@ func (r *run) evalKeys(keys []drbg.NodeKey, points []*big.Int) ([]sumState, erro
 // sums into the caches. Safe to call from concurrent batch goroutines (the
 // ServerAPI contract requires concurrent-safe implementations; the cache
 // merge is locked, the big-integer combining runs outside the lock).
-func (r *run) evalBatch(batch []drbg.NodeKey, eff []*big.Int) error {
+// effIdx holds the interned index of each eff point.
+func (r *run) evalBatch(batch []drbg.NodeKey, eff []*big.Int, effIdx []int) error {
 	answers, err := r.e.api.EvalNodes(batch, eff)
 	if err != nil {
 		return err
@@ -214,22 +273,51 @@ func (r *run) evalBatch(batch []drbg.NodeKey, eff []*big.Int) error {
 	if len(answers) != len(batch) {
 		return fmt.Errorf("core: server returned %d answers for %d keys", len(answers), len(batch))
 	}
+	// The evaluation modulus of each point is fixed for the whole batch;
+	// resolve it once instead of once per (node, point).
+	mods := make([]*big.Int, len(eff))
+	for i, p := range eff {
+		if mods[i], err = r.e.ring.EvalModulus(p); err != nil {
+			return fmt.Errorf("core: point %s: %w", p, err)
+		}
+	}
+	multi, isMulti := r.e.shares.(sharing.MultiPointSource)
 	for _, ans := range answers {
 		if len(ans.Values) != len(eff) {
 			return fmt.Errorf("core: server returned %d values for %d points", len(ans.Values), len(eff))
 		}
-		sums := make([]*big.Int, len(eff))
-		for i, p := range eff {
-			sum, err := r.combine(ans.Key, p, ans.Values[i])
-			if err != nil {
+		// Client share summands: one share regeneration serves all points
+		// when the source supports multi-point evaluation. Wildcard-only
+		// waves (eff empty) need no share work at all — the server round
+		// still ran to learn child counts.
+		var cvs []*big.Int
+		switch {
+		case len(eff) == 0:
+		case isMulti:
+			if cvs, err = multi.EvalShares(ans.Key, eff); err != nil {
 				return err
 			}
-			sums[i] = sum
+			if len(cvs) != len(eff) {
+				return fmt.Errorf("core: share source returned %d values for %d points", len(cvs), len(eff))
+			}
+		default:
+			cvs = make([]*big.Int, len(eff))
+			for i, p := range eff {
+				if cvs[i], err = r.e.shares.EvalShare(ans.Key, p); err != nil {
+					return err
+				}
+			}
 		}
+		sums := make([]*big.Int, len(eff))
+		for i := range eff {
+			sum := new(big.Int).Add(cvs[i], ans.Values[i])
+			sums[i] = sum.Mod(sum, mods[i])
+		}
+		aks := ans.Key.String()
 		r.mu.Lock()
-		r.childCount[ans.Key.String()] = ans.NumChildren
-		for i, p := range eff {
-			r.sumCache[cacheKey(ans.Key, p)] = sums[i]
+		r.childCount[aks] = ans.NumChildren
+		for i := range eff {
+			r.sumCache[sumKey{node: aks, pt: effIdx[i]}] = sums[i]
 		}
 		r.mu.Unlock()
 	}
@@ -257,35 +345,18 @@ func splitBatches(keys []drbg.NodeKey, parallelism int) [][]drbg.NodeKey {
 	return out
 }
 
-// combine adds the client share evaluation to a server value, reduced
-// modulo the ring's evaluation modulus at p.
-func (r *run) combine(key drbg.NodeKey, p *big.Int, serverVal *big.Int) (*big.Int, error) {
-	mod, err := r.e.ring.EvalModulus(p)
-	if err != nil {
-		return nil, fmt.Errorf("core: point %s: %w", p, err)
-	}
-	cv, err := r.e.shares.EvalShare(key, p)
-	if err != nil {
-		return nil, err
-	}
-	sum := new(big.Int).Add(cv, serverVal)
-	return sum.Mod(sum, mod), nil
-}
-
-func (r *run) cachedAll(k drbg.NodeKey, points []*big.Int) bool {
-	if _, ok := r.childCount[k.String()]; !ok {
+// cachedAll reports whether node ks has a cached child count and a cached
+// sum at every interned point index.
+func (r *run) cachedAll(ks string, effIdx []int) bool {
+	if _, ok := r.childCount[ks]; !ok {
 		return false
 	}
-	for _, p := range points {
-		if _, ok := r.sumCache[cacheKey(k, p)]; !ok {
+	for _, pi := range effIdx {
+		if _, ok := r.sumCache[sumKey{node: ks, pt: pi}]; !ok {
 			return false
 		}
 	}
 	return true
-}
-
-func cacheKey(k drbg.NodeKey, p *big.Int) string {
-	return k.String() + "|" + p.String()
 }
 
 // scanDescendants BFSes the subtrees rooted at roots, descending only
@@ -304,11 +375,10 @@ func (r *run) scanDescendants(roots []drbg.NodeKey, pts []*big.Int) ([]sumState,
 		}
 		var next []drbg.NodeKey
 		for _, st := range states {
-			ks := st.key.String()
-			if seen[ks] {
+			if seen[st.ks] {
 				continue
 			}
-			seen[ks] = true
+			seen[st.ks] = true
 			if st.zeroAll() {
 				cands = append(cands, st)
 				for c := 0; c < st.nch; c++ {
@@ -360,7 +430,7 @@ func (r *run) classify(cands []sumState, i int) (matches, unresolved []drbg.Node
 	}
 	childZero := make(map[string]bool, len(childStates))
 	for _, st := range childStates {
-		childZero[st.key.String()] = st.sums[0].Sign() == 0
+		childZero[st.ks] = st.sums[0].Sign() == 0
 	}
 	for _, c := range cands {
 		anyZeroChild := false
@@ -404,11 +474,10 @@ func (r *run) fetchPolys(keys []drbg.NodeKey) (map[string]NodePoly, error) {
 	r.e.counters.AddPolysFetched(len(answers))
 	out := make(map[string]NodePoly, len(answers))
 	for _, a := range answers {
-		if b, err := a.Poly.MarshalBinary(); err == nil {
-			r.e.counters.AddPolyBytes(len(b))
-		}
-		r.childCount[a.Key.String()] = a.NumChildren
-		out[a.Key.String()] = a
+		r.e.counters.AddPolyBytes(a.Poly.BinarySize())
+		aks := a.Key.String()
+		r.childCount[aks] = a.NumChildren
+		out[aks] = a
 	}
 	return out, nil
 }
@@ -438,6 +507,13 @@ func (r *run) recoverNodeTag(key drbg.NodeKey, nch int) (*big.Int, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tag, ok, err := r.recoverNodeTagPacked(answers, key, keys); ok {
+		if err != nil {
+			r.e.counters.AddVerifyFailure()
+			return nil, err
+		}
+		return tag, nil
+	}
 	f, err := r.reconstructPoly(answers, key)
 	if err != nil {
 		return nil, err
@@ -457,6 +533,47 @@ func (r *run) recoverNodeTag(key drbg.NodeKey, nch int) (*big.Int, error) {
 		return nil, err
 	}
 	return tag, nil
+}
+
+// recoverNodeTagPacked is the fast-path tag recovery: server polynomials
+// pack once, client shares arrive packed from the share source, and the
+// reconstruction plus eq. (2) solve stay in the word representation end
+// to end. ok=false falls back to the big.Int path (fast path off, source
+// without packed shares, or a polynomial with out-of-word coefficients —
+// e.g. a tampering server).
+func (r *run) recoverNodeTagPacked(answers map[string]NodePoly, key drbg.NodeKey, keys []drbg.NodeKey) (*big.Int, bool, error) {
+	fp, okRing := r.e.ring.(*ring.FpCyclotomic)
+	if !okRing || fp.Fast() == nil {
+		return nil, false, nil
+	}
+	src, okSrc := r.e.shares.(sharing.PackedShareSource)
+	if !okSrc {
+		return nil, false, nil
+	}
+	vecs := make([][]uint64, len(keys))
+	for i, k := range keys {
+		ans, ok := answers[k.String()]
+		if !ok {
+			return nil, false, fmt.Errorf("core: server omitted polynomial for %s", k)
+		}
+		sv, ok := fp.Pack(ans.Poly)
+		if !ok || len(sv) > fp.DegreeBound() {
+			return nil, false, nil
+		}
+		cv, ok, err := src.PackedShare(k)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok || len(cv) > fp.DegreeBound() {
+			// Over-long externally supplied shares (StaticSource over
+			// unreduced figure values) take the big.Int path, which Reduces.
+			return nil, false, nil
+		}
+		vecs[i] = fp.AddPacked(cv, sv)
+	}
+	r.e.counters.AddTagRecovered()
+	tag, err := polyenc.RecoverTagPacked(fp, vecs[0], vecs[1:])
+	return tag, true, err
 }
 
 // verifyMatches re-derives each reported match's tag and compares it with

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sssearch/internal/core"
+	"sssearch/internal/ring"
+	"sssearch/internal/workload"
+)
+
+// BenchTarget is one tracked hot-path measurement: the named closures are
+// what cmd/sss-bench -json times and what the per-PR BENCH_N.json files
+// record, so the perf trajectory of the reproduction is comparable across
+// PRs. Names are stable identifiers — do not rename without migrating the
+// recorded history.
+type BenchTarget struct {
+	Name string
+	// Fn runs one iteration of the measured operation. Setup cost is paid
+	// before BenchTargets returns, not inside Fn.
+	Fn func() error
+}
+
+// BenchTargets builds the tracked measurement set:
+//
+//   - fig5 / fig6: the paper's worked query figures, golden-checked per
+//     iteration (same code path as the F_p and Z benchmarks in
+//     bench_test.go).
+//   - lookupFp1000Hit: a //t3 lookup over a 1000-node random tree in
+//     F_257 with a seed-only client — the protocol's end-to-end hot path,
+//     mirroring BenchmarkLookupFp1000Hit.
+func BenchTargets() ([]BenchTarget, error) {
+	var targets []BenchTarget
+	for _, id := range []string{"fig5", "fig6"} {
+		e, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s not registered", id)
+		}
+		run := e.Run
+		targets = append(targets, BenchTarget{
+			Name: id,
+			Fn:   func() error { return run(io.Discard, Config{Quick: true}) },
+		})
+	}
+
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 1000, MaxFanout: 4, Vocab: 20, Seed: 1234})
+	p, err := buildPipeline(ring.MustFp(257), doc, "bench-lookup-fp-1000")
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.mapping.Value("t3"); !ok {
+		if _, err := p.mapping.Assign("t3"); err != nil {
+			return nil, err
+		}
+	}
+	targets = append(targets, BenchTarget{
+		Name: "lookupFp1000Hit",
+		Fn: func() error {
+			_, err := p.engine.Lookup("t3", core.Opts{Verify: core.VerifyResolve})
+			return err
+		},
+	})
+	return targets, nil
+}

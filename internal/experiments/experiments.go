@@ -10,7 +10,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/big"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -76,7 +78,9 @@ type Table struct {
 	Rows    [][]string
 }
 
-// Add appends a row (values are Sprint-ed).
+// Add appends a row (values are Sprint-ed; the common cell types skip the
+// fmt machinery — the figure experiments render thousands of big.Int and
+// integer cells per run and the reflection cost used to dominate them).
 func (t *Table) Add(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
@@ -84,7 +88,19 @@ func (t *Table) Add(cells ...any) {
 		case string:
 			row[i] = v
 		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
+			row[i] = strconv.FormatFloat(v, 'f', 3, 64)
+		case int:
+			row[i] = strconv.Itoa(v)
+		case int64:
+			row[i] = strconv.FormatInt(v, 10)
+		case *big.Int:
+			if v.IsInt64() {
+				row[i] = strconv.FormatInt(v.Int64(), 10)
+			} else {
+				row[i] = v.String()
+			}
+		case fmt.Stringer:
+			row[i] = v.String()
 		default:
 			row[i] = fmt.Sprint(c)
 		}
@@ -92,7 +108,10 @@ func (t *Table) Add(cells ...any) {
 	t.Rows = append(t.Rows, row)
 }
 
-// Render writes the table with aligned columns.
+// Render writes the table with aligned columns. The whole table is built
+// in one buffer and written with a single Write: rendering runs inside
+// every figure benchmark iteration, so per-line fmt round trips and
+// strings.Repeat padding allocations are worth avoiding.
 func (t *Table) Render(w io.Writer) {
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
@@ -105,18 +124,25 @@ func (t *Table) Render(w io.Writer) {
 			}
 		}
 	}
+	maxWidth := 0
+	for _, wd := range widths {
+		if wd > maxWidth {
+			maxWidth = wd
+		}
+	}
+	spaces := strings.Repeat(" ", maxWidth)
+	var sb strings.Builder
 	line := func(cells []string) {
-		var sb strings.Builder
 		for i, c := range cells {
 			if i > 0 {
 				sb.WriteString("  ")
 			}
 			sb.WriteString(c)
 			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
-				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(spaces[:pad])
 			}
 		}
-		fmt.Fprintln(w, sb.String())
+		sb.WriteByte('\n')
 	}
 	line(t.Headers)
 	rule := make([]string, len(t.Headers))
@@ -127,6 +153,7 @@ func (t *Table) Render(w io.Writer) {
 	for _, row := range t.Rows {
 		line(row)
 	}
+	io.WriteString(w, sb.String())
 }
 
 // sortedPaths orders the paper's five node paths for stable output.

@@ -1,0 +1,345 @@
+// Package fastfield is the word-sized fast-path arithmetic engine for
+// prime fields whose modulus fits in a single machine word.
+//
+// Every hot path of the scheme — server-side share evaluation, client
+// share regeneration, Horner loops over F_p[x]/(x^{p-1}-1) — reduces to
+// scalar arithmetic mod a prime p that, for every deployable parameter
+// set, fits comfortably in 62 bits. This package does that arithmetic on
+// plain uint64 values with Montgomery reduction built on bits.Mul64,
+// avoiding the per-operation allocations of math/big entirely:
+//
+//   - Elem is a canonical field element in [0, p), represented as uint64.
+//   - Mul/Add/Sub/Neg/Inv/Exp are single-word operations; Mul uses
+//     bits.Div64 in the plain domain, MRed/MForm expose the Montgomery
+//     domain for chained multiplications.
+//   - Packed coefficient vectors ([]uint64, ascending degree) carry whole
+//     polynomials; EvalMany runs one allocation-free multi-point Horner
+//     pass over a polynomial, serving all active query points at once.
+//   - RandVec draws a uniform coefficient vector from an io.Reader with
+//     the same bit-masked rejection sampling as field.(*Field).Rand, but
+//     reading the stream in bulk.
+//
+// Callers fall back to the math/big path (package field / poly) whenever
+// the modulus exceeds MaxModulusBits or the ring is not a prime field
+// (ring.IntQuotient coefficients are unbounded integers). New(p) reports
+// such moduli as unsupported; the packages ring, sharing and server gate
+// on that and keep the exact pre-existing big.Int behavior.
+//
+// The Montgomery constants and reduction shape follow the widely used
+// single-word design (cf. Lattigo's ring package): R = 2^64,
+// MRed(a, b·R) = a·b mod p with one Mul64 by the precomputed p^{-1} mod
+// 2^64 and a conditional subtraction. Correctness against math/big is
+// enforced by the differential tests and the fuzz target in this package.
+package fastfield
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"math/bits"
+)
+
+// MaxModulusBits is the largest modulus bit length the fast path accepts.
+// 62 bits leaves headroom so a Montgomery-reduced product plus one
+// canonical summand stays below 2^63 without intermediate reductions.
+const MaxModulusBits = 62
+
+// ErrUnsupportedModulus reports a modulus the fast path cannot carry.
+var ErrUnsupportedModulus = errors.New("fastfield: modulus not supported by the word-sized fast path")
+
+// Field holds the precomputed constants for F_p arithmetic on uint64
+// words. Immutable after New; safe for concurrent use.
+type Field struct {
+	p    uint64 // the modulus (odd prime, <= MaxModulusBits bits)
+	pInv uint64 // p^{-1} mod 2^64, for Montgomery reduction
+	r2   uint64 // (2^64)^2 mod p, converts into the Montgomery domain
+	one  uint64 // 2^64 mod p: the Montgomery form of 1
+
+	// Rejection-sampling shape, mirroring field.(*Field).Rand: draw
+	// sampleBytes big-endian bytes, mask the top byte to the modulus bit
+	// length, reject values >= p.
+	sampleBytes int
+	sampleMask  byte
+}
+
+// New precomputes the Montgomery constants for modulus p. It returns
+// ErrUnsupportedModulus when p is even, below 3, or wider than
+// MaxModulusBits. Primality is the caller's responsibility (package field
+// verifies it once at construction); compositeness here would break
+// inversion, not reduction.
+func New(p uint64) (*Field, error) {
+	if p < 3 || p&1 == 0 || bits.Len64(p) > MaxModulusBits {
+		return nil, fmt.Errorf("%w: %d", ErrUnsupportedModulus, p)
+	}
+	// Newton iteration for p^{-1} mod 2^64: each step doubles the number
+	// of correct low bits; p odd gives 3 correct bits to start.
+	pInv := p
+	for i := 0; i < 5; i++ {
+		pInv *= 2 - p*pInv
+	}
+	// 2^64 mod p via one 128/64 division of 2^64 = (1, 0).
+	_, one := bits.Div64(1%p, 0, p)
+	// R^2 mod p = (2^64 mod p)^2 mod p.
+	hi, lo := bits.Mul64(one, one)
+	_, r2 := bits.Div64(hi, lo, p)
+
+	nbits := bits.Len64(p)
+	nbytes := (nbits + 7) / 8
+	excess := uint(nbytes*8 - nbits)
+	return &Field{
+		p:           p,
+		pInv:        pInv,
+		r2:          r2,
+		one:         one,
+		sampleBytes: nbytes,
+		sampleMask:  byte(0xff >> excess),
+	}, nil
+}
+
+// Supported reports whether modulus p is carried by the fast path.
+func Supported(p *big.Int) bool {
+	return p != nil && p.IsUint64() && p.Sign() > 0 &&
+		p.BitLen() <= MaxModulusBits && p.Bit(0) == 1 && p.Uint64() >= 3
+}
+
+// P returns the modulus.
+func (f *Field) P() uint64 { return f.p }
+
+// Reduce maps an arbitrary uint64 into [0, p).
+func (f *Field) Reduce(a uint64) uint64 {
+	if a < f.p {
+		return a
+	}
+	return a % f.p
+}
+
+// ReduceBig maps an arbitrary big integer into [0, p), without assuming
+// it fits a word.
+func (f *Field) ReduceBig(a *big.Int) uint64 {
+	if a.Sign() >= 0 && a.IsUint64() {
+		return f.Reduce(a.Uint64())
+	}
+	var t big.Int
+	return t.Mod(a, t.SetUint64(f.p)).Uint64()
+}
+
+// Add returns a + b mod p for canonical a, b.
+func (f *Field) Add(a, b uint64) uint64 {
+	r := a + b // no overflow: a, b < 2^62
+	if r >= f.p {
+		r -= f.p
+	}
+	return r
+}
+
+// Sub returns a - b mod p for canonical a, b.
+func (f *Field) Sub(a, b uint64) uint64 {
+	r := a + f.p - b
+	if r >= f.p {
+		r -= f.p
+	}
+	return r
+}
+
+// Neg returns -a mod p for canonical a.
+func (f *Field) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return f.p - a
+}
+
+// Mul returns a·b mod p for canonical a, b, via a 128-bit product and one
+// hardware division (no domain conversion — use MRed/MForm in loops).
+func (f *Field) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, r := bits.Div64(hi, lo, f.p)
+	return r
+}
+
+// MForm converts a canonical element into the Montgomery domain: a·R mod p.
+func (f *Field) MForm(a uint64) uint64 {
+	return f.MRed(a, f.r2)
+}
+
+// MRed is the Montgomery product a·b·R^{-1} mod p for a, b < p. With b in
+// Montgomery form (b = x·R mod p) the result is the plain product a·x mod
+// p — the shape every inner loop here uses.
+func (f *Field) MRed(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	h, _ := bits.Mul64(lo*f.pInv, f.p)
+	r := hi - h + f.p
+	if r >= f.p {
+		r -= f.p
+	}
+	return r
+}
+
+// Exp returns a^e mod p for canonical a (0^0 = 1).
+func (f *Field) Exp(a uint64, e uint64) uint64 {
+	acc := f.one // Montgomery form of 1
+	base := f.MForm(a)
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			acc = f.MRed(acc, base)
+		}
+		base = f.MRed(base, base)
+	}
+	return f.MRed(acc, 1) // out of the Montgomery domain
+}
+
+// Inv returns a^{-1} mod p via Fermat's little theorem; ok is false for
+// a ≡ 0.
+func (f *Field) Inv(a uint64) (uint64, bool) {
+	if a == 0 {
+		return 0, false
+	}
+	return f.Exp(a, f.p-2), true
+}
+
+// BatchInv writes the inverse of every src element into dst (which may be
+// src itself) using Montgomery's batch-inversion trick: one Inv plus 3(n-1)
+// multiplications. Zero elements map to zero. dst must have len(src).
+func (f *Field) BatchInv(dst, src []uint64) {
+	if len(dst) != len(src) {
+		panic("fastfield: BatchInv length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	// Prefix products over the non-zero elements.
+	prefix := make([]uint64, len(src))
+	acc := f.one // Montgomery form of the running product
+	for i, v := range src {
+		prefix[i] = acc
+		if v != 0 {
+			acc = f.MRed(acc, f.MForm(v))
+		}
+	}
+	// acc is M(prod); invert once.
+	inv, ok := f.Inv(f.MRed(acc, 1))
+	if !ok {
+		// Product is zero only if p divides it — impossible with zeros
+		// skipped, unless src is all zeros.
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	accInv := f.MForm(inv)
+	for i := len(src) - 1; i >= 0; i-- {
+		v := src[i]
+		if v == 0 {
+			dst[i] = 0
+			continue
+		}
+		// dst[i] = prod_{j<i, src[j]!=0} src[j] · (prod_{j<=i})^{-1} = src[i]^{-1}.
+		dst[i] = f.MRed(f.MRed(accInv, prefix[i]), 1)
+		accInv = f.MRed(accInv, f.MForm(v))
+	}
+}
+
+// ReduceVec reduces every element of src into [0, p), writing into dst
+// (which may be src). dst must have len(src).
+func (f *Field) ReduceVec(dst, src []uint64) {
+	for i, v := range src {
+		dst[i] = f.Reduce(v)
+	}
+}
+
+// MFormVec converts a canonical vector into the Montgomery domain.
+func (f *Field) MFormVec(dst, src []uint64) {
+	for i, v := range src {
+		dst[i] = f.MRed(v, f.r2)
+	}
+}
+
+// Eval evaluates the packed polynomial coeffs (ascending degree,
+// canonical coefficients) at the canonical point x by Horner's rule.
+func (f *Field) Eval(coeffs []uint64, x uint64) uint64 {
+	xm := f.MForm(x)
+	var acc uint64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		// MRed(acc, xm) < p and coeffs[i] < p: the sum stays below 2^63.
+		acc = f.MRed(acc, xm) + coeffs[i]
+		if acc >= f.p {
+			acc -= f.p
+		}
+	}
+	return acc
+}
+
+// EvalMany evaluates the packed polynomial coeffs at every point of
+// xsMont (each in Montgomery form, see MFormVec), writing the plain-domain
+// values into dst. One pass over the polynomial serves all points; the
+// call performs no allocations. dst must have len(xsMont).
+func (f *Field) EvalMany(coeffs []uint64, xsMont []uint64, dst []uint64) {
+	if len(dst) != len(xsMont) {
+		panic("fastfield: EvalMany length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	p := f.p
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		c := coeffs[i]
+		for j, xm := range xsMont {
+			acc := f.MRed(dst[j], xm) + c
+			if acc >= p {
+				acc -= p
+			}
+			dst[j] = acc
+		}
+	}
+}
+
+// RandVec fills dst with independent uniform elements of [0, p), reading
+// entropy (or DRBG output) from r. The per-element distribution is the
+// same bit-masked rejection sampling as field.(*Field).Rand, but the
+// stream is consumed in bulk reads rather than one tiny read per draw —
+// the dominant cost of seed-only share regeneration.
+func (f *Field) RandVec(r io.Reader, dst []uint64) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	// First bulk read: one sample per element, the common case. Rejected
+	// samples (p just above a power of two rejects up to half the draws)
+	// refill from chunked reads.
+	buf := make([]byte, len(dst)*f.sampleBytes)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("fastfield: rand: %w", err)
+	}
+	refill := func() error {
+		n := 64 * f.sampleBytes
+		if want := len(dst) * f.sampleBytes; n > want {
+			n = want
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("fastfield: rand: %w", err)
+		}
+		return nil
+	}
+	off := 0
+	for i := range dst {
+		for {
+			if off+f.sampleBytes > len(buf) {
+				if err := refill(); err != nil {
+					return err
+				}
+				off = 0
+			}
+			v := uint64(buf[off] & f.sampleMask)
+			for _, b := range buf[off+1 : off+f.sampleBytes] {
+				v = v<<8 | uint64(b)
+			}
+			off += f.sampleBytes
+			if v < f.p {
+				dst[i] = v
+				break
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package fastfield
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzOpsVsBigInt drives every scalar operation of the fast path against
+// the math/big reference. Any divergence — for any modulus in the
+// supported table, any pair of words — is a bug in the Montgomery
+// constants or the reduction shape.
+func FuzzOpsVsBigInt(f *testing.F) {
+	f.Add(uint8(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint8(2), uint64(256), uint64(1), uint64(255))
+	f.Add(uint8(5), uint64(1)<<61, uint64(1)<<60, uint64(3))
+	f.Add(uint8(6), ^uint64(0), ^uint64(0)>>1, uint64(12345))
+	f.Fuzz(func(t *testing.T, pSel uint8, a, b, e uint64) {
+		p := testPrimes[int(pSel)%len(testPrimes)]
+		ff, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a %= p
+		b %= p
+		bp := new(big.Int).SetUint64(p)
+		ba := new(big.Int).SetUint64(a)
+		bb := new(big.Int).SetUint64(b)
+		mod := func(x *big.Int) uint64 { return new(big.Int).Mod(x, bp).Uint64() }
+
+		if got, want := ff.Add(a, b), mod(new(big.Int).Add(ba, bb)); got != want {
+			t.Fatalf("p=%d Add(%d,%d)=%d want %d", p, a, b, got, want)
+		}
+		if got, want := ff.Sub(a, b), mod(new(big.Int).Sub(ba, bb)); got != want {
+			t.Fatalf("p=%d Sub(%d,%d)=%d want %d", p, a, b, got, want)
+		}
+		wantMul := mod(new(big.Int).Mul(ba, bb))
+		if got := ff.Mul(a, b); got != wantMul {
+			t.Fatalf("p=%d Mul(%d,%d)=%d want %d", p, a, b, got, wantMul)
+		}
+		if got := ff.MRed(a, ff.MForm(b)); got != wantMul {
+			t.Fatalf("p=%d MRed(%d,MForm(%d))=%d want %d", p, a, b, got, wantMul)
+		}
+		eSmall := e % 4096
+		wantExp := new(big.Int).Exp(ba, new(big.Int).SetUint64(eSmall), bp).Uint64()
+		if got := ff.Exp(a, eSmall); got != wantExp {
+			t.Fatalf("p=%d Exp(%d,%d)=%d want %d", p, a, eSmall, got, wantExp)
+		}
+		if inv, ok := ff.Inv(a); ok {
+			if ff.Mul(a, inv) != 1 {
+				t.Fatalf("p=%d Inv(%d)=%d is not an inverse", p, a, inv)
+			}
+		} else if a != 0 {
+			t.Fatalf("p=%d Inv(%d) refused a non-zero element", p, a)
+		}
+		// A three-coefficient Horner closes the loop on Eval.
+		coeffs := []uint64{a, b, ff.Add(a, 1)}
+		ref := new(big.Int)
+		bx := bb
+		for i := len(coeffs) - 1; i >= 0; i-- {
+			ref.Mul(ref, bx)
+			ref.Add(ref, new(big.Int).SetUint64(coeffs[i]))
+			ref.Mod(ref, bp)
+		}
+		if got := ff.Eval(coeffs, b); got != ref.Uint64() {
+			t.Fatalf("p=%d Eval=%d want %d", p, got, ref.Uint64())
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package field
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"sssearch/internal/fastfield"
+)
+
+// TestFastAccessor checks which moduli expose the word-sized engine.
+func TestFastAccessor(t *testing.T) {
+	if MustNew(257).Fast() == nil {
+		t.Fatal("F_257 should carry the fast path")
+	}
+	big63, err := New(new(big.Int).SetUint64(9223372036854775783)) // prime near 2^63
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big63.Fast() != nil {
+		t.Fatalf("a %d-bit modulus must not carry the %d-bit fast path",
+			big63.BitLen(), fastfield.MaxModulusBits)
+	}
+}
+
+// TestFastMatchesBig cross-checks the word-sized engine against the
+// big.Int methods of the same field on random and edge elements.
+func TestFastMatchesBig(t *testing.T) {
+	for _, p := range []uint64{5, 257, 1009, (1 << 61) - 1} {
+		f := MustNew(p)
+		ff := f.Fast()
+		if ff == nil {
+			t.Fatalf("no fast path for %d", p)
+		}
+		rng := rand.New(rand.NewSource(int64(p)))
+		cases := []uint64{0, 1, p - 1, p / 2}
+		for i := 0; i < 30; i++ {
+			cases = append(cases, rng.Uint64()%p)
+		}
+		for _, a := range cases {
+			ba := new(big.Int).SetUint64(a)
+			for _, b := range cases {
+				bb := new(big.Int).SetUint64(b)
+				if got, want := ff.Mul(a, b), f.Mul(ba, bb).Uint64(); got != want {
+					t.Fatalf("p=%d Mul(%d,%d): fast %d, big %d", p, a, b, got, want)
+				}
+				if got, want := ff.Add(a, b), f.Add(ba, bb).Uint64(); got != want {
+					t.Fatalf("p=%d Add(%d,%d): fast %d, big %d", p, a, b, got, want)
+				}
+				if got, want := ff.Sub(a, b), f.Sub(ba, bb).Uint64(); got != want {
+					t.Fatalf("p=%d Sub(%d,%d): fast %d, big %d", p, a, b, got, want)
+				}
+			}
+			if inv, ok := ff.Inv(a); ok {
+				ref, err := f.Inv(ba)
+				if err != nil {
+					t.Fatalf("p=%d Inv(%d): fast inverted, big errored", p, a)
+				}
+				if inv != ref.Uint64() {
+					t.Fatalf("p=%d Inv(%d): fast %d, big %s", p, a, inv, ref)
+				}
+			}
+		}
+	}
+}

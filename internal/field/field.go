@@ -13,6 +13,7 @@ import (
 	"io"
 	"math/big"
 
+	"sssearch/internal/fastfield"
 	"sssearch/internal/mathutil"
 )
 
@@ -22,6 +23,10 @@ type Field struct {
 	p *big.Int
 	// pMinus1 caches p-1, used for exponent reduction and range checks.
 	pMinus1 *big.Int
+	// fast is the word-sized arithmetic engine for this modulus, or nil
+	// when p exceeds fastfield.MaxModulusBits. Callers on hot paths check
+	// Fast() and fall back to the big.Int methods below.
+	fast *fastfield.Field
 }
 
 var (
@@ -41,7 +46,19 @@ func New(p *big.Int) (*Field, error) {
 		return nil, ErrNotPrime
 	}
 	pc := new(big.Int).Set(p)
-	return &Field{p: pc, pMinus1: new(big.Int).Sub(pc, big.NewInt(1))}, nil
+	return &Field{p: pc, pMinus1: new(big.Int).Sub(pc, big.NewInt(1)), fast: fastPath(pc)}, nil
+}
+
+// fastPath builds the word-sized engine when the modulus supports it.
+func fastPath(p *big.Int) *fastfield.Field {
+	if !fastfield.Supported(p) {
+		return nil
+	}
+	f, err := fastfield.New(p.Uint64())
+	if err != nil {
+		return nil
+	}
+	return f
 }
 
 // NewUint64 constructs F_p for a prime p given as uint64.
@@ -50,7 +67,7 @@ func NewUint64(p uint64) (*Field, error) {
 		return nil, ErrNotPrime
 	}
 	bp := new(big.Int).SetUint64(p)
-	return &Field{p: bp, pMinus1: new(big.Int).Sub(bp, big.NewInt(1))}, nil
+	return &Field{p: bp, pMinus1: new(big.Int).Sub(bp, big.NewInt(1)), fast: fastPath(bp)}, nil
 }
 
 // MustNew is New but panics on error; intended for tests and constants.
@@ -64,6 +81,12 @@ func MustNew(p uint64) *Field {
 
 // P returns (a copy of) the field characteristic.
 func (f *Field) P() *big.Int { return new(big.Int).Set(f.p) }
+
+// Fast returns the word-sized fast-path engine for this field, or nil
+// when the modulus exceeds fastfield.MaxModulusBits. The fast engine
+// computes the same results as the big.Int methods (differentially
+// tested); hot paths use it to avoid per-operation allocations.
+func (f *Field) Fast() *fastfield.Field { return f.fast }
 
 // Order returns the number of elements of the field (same as P for F_p).
 func (f *Field) Order() *big.Int { return f.P() }

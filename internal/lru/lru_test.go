@@ -1,0 +1,94 @@
+package lru
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBasic(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	// "b" is now LRU; adding "c" must evict it.
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("recently used entry evicted: %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("Get(c) = %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	c := New[int, string](2)
+	c.Add(1, "x")
+	c.Add(1, "y")
+	if c.Len() != 1 {
+		t.Fatalf("duplicate Add grew the cache: %d", c.Len())
+	}
+	if v, _ := c.Get(1); v != "y" {
+		t.Fatalf("Add did not update: %q", v)
+	}
+}
+
+func TestNilCacheDisabled(t *testing.T) {
+	var c *Cache[string, int] // also what New(0) returns
+	if New[string, int](0) != nil {
+		t.Fatal("New(0) should return nil")
+	}
+	c.Add("a", 1) // must not panic
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Len() != 0 || c.Cap() != 0 {
+		t.Fatal("nil cache has size")
+	}
+}
+
+func TestSingleEntry(t *testing.T) {
+	c := New[int, int](1)
+	for i := 0; i < 10; i++ {
+		c.Add(i, i)
+		if v, ok := c.Get(i); !ok || v != i {
+			t.Fatalf("entry %d missing right after Add", i)
+		}
+		if c.Len() != 1 {
+			t.Fatalf("Len = %d, want 1", c.Len())
+		}
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 100
+				c.Add(k, k)
+				if v, ok := c.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

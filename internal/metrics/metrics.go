@@ -24,6 +24,8 @@ type Counters struct {
 	bytesReceived  atomic.Int64 // wire bytes server→client
 	messagesSent   atomic.Int64
 	messagesRcvd   atomic.Int64
+	evalCacheHits  atomic.Int64 // server eval-cache hits (node×point reused)
+	evalCacheMiss  atomic.Int64 // server eval-cache misses (Horner passes run)
 }
 
 // Add* methods increment the corresponding counter.
@@ -41,6 +43,8 @@ func (c *Counters) AddBytesSent(n int)      { c.bytesSent.Add(int64(n)) }
 func (c *Counters) AddBytesReceived(n int)  { c.bytesReceived.Add(int64(n)) }
 func (c *Counters) AddMessageSent()         { c.messagesSent.Add(1) }
 func (c *Counters) AddMessageReceived()     { c.messagesRcvd.Add(1) }
+func (c *Counters) AddEvalCacheHits(n int)  { c.evalCacheHits.Add(int64(n)) }
+func (c *Counters) AddEvalCacheMiss(n int)  { c.evalCacheMiss.Add(int64(n)) }
 
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
@@ -57,6 +61,8 @@ type Snapshot struct {
 	BytesReceived  int64
 	MessagesSent   int64
 	MessagesRcvd   int64
+	EvalCacheHits  int64
+	EvalCacheMiss  int64
 }
 
 // Snapshot captures the current counter values.
@@ -75,6 +81,8 @@ func (c *Counters) Snapshot() Snapshot {
 		BytesReceived:  c.bytesReceived.Load(),
 		MessagesSent:   c.messagesSent.Load(),
 		MessagesRcvd:   c.messagesRcvd.Load(),
+		EvalCacheHits:  c.evalCacheHits.Load(),
+		EvalCacheMiss:  c.evalCacheMiss.Load(),
 	}
 }
 
@@ -93,6 +101,8 @@ func (c *Counters) Reset() {
 	c.bytesReceived.Store(0)
 	c.messagesSent.Store(0)
 	c.messagesRcvd.Store(0)
+	c.evalCacheHits.Store(0)
+	c.evalCacheMiss.Store(0)
 }
 
 // Sub returns the delta s - prev, for per-query deltas over a shared
@@ -112,12 +122,15 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		BytesReceived:  s.BytesReceived - prev.BytesReceived,
 		MessagesSent:   s.MessagesSent - prev.MessagesSent,
 		MessagesRcvd:   s.MessagesRcvd - prev.MessagesRcvd,
+		EvalCacheHits:  s.EvalCacheHits - prev.EvalCacheHits,
+		EvalCacheMiss:  s.EvalCacheMiss - prev.EvalCacheMiss,
 	}
 }
 
 // String renders a compact one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d",
+	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d",
 		s.NodesEvaluated, s.ValuesMoved, s.PolysFetched, s.PolyBytesMoved,
-		s.Rounds, s.NodesVisited, s.NodesPruned, s.TagsRecovered, s.VerifyFailures)
+		s.Rounds, s.NodesVisited, s.NodesPruned, s.TagsRecovered, s.VerifyFailures,
+		s.EvalCacheHits, s.EvalCacheMiss)
 }

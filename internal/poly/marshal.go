@@ -47,6 +47,30 @@ func (p Poly) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
+// BinarySize returns len(MarshalBinary()) without allocating — transfer
+// accounting on the query hot path must not marshal just to count.
+func (p Poly) BinarySize() int {
+	n := uvarintLen(uint64(len(p.c)))
+	for _, v := range p.c {
+		n++ // sign byte
+		if v.Sign() != 0 {
+			b := (v.BitLen() + 7) / 8
+			n += uvarintLen(uint64(b)) + b
+		}
+	}
+	return n
+}
+
+// uvarintLen is the encoded length of v as an unsigned LEB128 varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
 // AppendBinary appends the canonical encoding of p to dst.
 func (p Poly) AppendBinary(dst []byte) ([]byte, error) {
 	b, err := p.MarshalBinary()

@@ -1,0 +1,61 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestBinarySizeMatchesMarshal pins BinarySize to the real encoding for
+// zero, negative, huge and random coefficients.
+func TestBinarySizeMatchesMarshal(t *testing.T) {
+	cases := []Poly{
+		Zero(),
+		One(),
+		FromInt64(0, 0, 5),
+		FromInt64(-3, 127, 128, -129, 1<<62),
+		New(new(big.Int).Lsh(big.NewInt(1), 500), big.NewInt(-1)),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		coeffs := make([]*big.Int, rng.Intn(40))
+		for j := range coeffs {
+			coeffs[j] = new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 200))
+			if rng.Intn(2) == 0 {
+				coeffs[j].Neg(coeffs[j])
+			}
+		}
+		cases = append(cases, New(coeffs...))
+	}
+	for _, p := range cases {
+		b, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.BinarySize(); got != len(b) {
+			t.Fatalf("BinarySize(%s) = %d, marshal length %d", p, got, len(b))
+		}
+	}
+}
+
+// TestUint64CoeffsRoundTrip checks the packed boundary conversions.
+func TestUint64CoeffsRoundTrip(t *testing.T) {
+	p := FromInt64(3, 0, 7, 255)
+	c, ok := p.Uint64Coeffs(nil)
+	if !ok {
+		t.Fatal("Uint64Coeffs refused word-sized coefficients")
+	}
+	if !NewUint64(c).Equal(p) {
+		t.Fatalf("round trip changed the polynomial: %v vs %v", NewUint64(c), p)
+	}
+	if _, ok := FromInt64(1, -2).Uint64Coeffs(nil); ok {
+		t.Fatal("Uint64Coeffs accepted a negative coefficient")
+	}
+	if _, ok := New(new(big.Int).Lsh(big.NewInt(1), 70)).Uint64Coeffs(nil); ok {
+		t.Fatal("Uint64Coeffs accepted a >64-bit coefficient")
+	}
+	// NewUint64 trims trailing zeros into canonical form.
+	if got := NewUint64([]uint64{4, 0, 0}); got.Degree() != 0 {
+		t.Fatalf("NewUint64 did not trim: degree %d", got.Degree())
+	}
+}

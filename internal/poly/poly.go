@@ -66,6 +66,33 @@ func FromInt64(coeffs ...int64) Poly {
 	return Poly{c: c}.trim()
 }
 
+// NewUint64 builds a polynomial from uint64 coefficients in ascending
+// degree order — the boundary conversion out of the packed word-sized
+// representation (package fastfield).
+func NewUint64(coeffs []uint64) Poly {
+	c := make([]*big.Int, len(coeffs))
+	for i, v := range coeffs {
+		c[i] = new(big.Int).SetUint64(v)
+	}
+	return Poly{c: c}.trim()
+}
+
+// Uint64Coeffs appends the coefficients to dst as uint64 values in
+// ascending degree order. It reports ok=false (returning dst truncated to
+// its original length) when any coefficient is negative or wider than a
+// word; callers then fall back to the big.Int path. Unlike Coeffs, no
+// big.Int copies are made.
+func (p Poly) Uint64Coeffs(dst []uint64) ([]uint64, bool) {
+	mark := len(dst)
+	for _, v := range p.c {
+		if v.Sign() < 0 || !v.IsUint64() {
+			return dst[:mark], false
+		}
+		dst = append(dst, v.Uint64())
+	}
+	return dst, true
+}
+
 // Linear returns the monic linear polynomial (x - root).
 func Linear(root *big.Int) Poly {
 	return New(new(big.Int).Neg(root), big.NewInt(1))

@@ -180,6 +180,11 @@ func (t *Tree) MaxCoeffBits() int {
 // coordinates — checked via a full ring identity — verify it, which is what
 // catches a lying server.
 func RecoverTag(r ring.Ring, f poly.Poly, children []poly.Poly) (*big.Int, error) {
+	if fp, ok := r.(*ring.FpCyclotomic); ok && fp.Fast() != nil {
+		if t, ok, err := recoverTagPacked(fp, f, children); ok {
+			return t, err
+		}
+	}
 	q := r.One()
 	for _, c := range children {
 		q = r.Mul(q, c)
@@ -211,6 +216,80 @@ func RecoverTag(r ring.Ring, f poly.Poly, children []poly.Poly) (*big.Int, error
 		return nil, ErrInconsistent
 	}
 	return t, nil
+}
+
+// recoverTagPacked packs the polynomials and defers to RecoverTagPacked.
+// ok=false (first return ignored) sends the caller to the generic path
+// when any polynomial refuses to pack.
+func recoverTagPacked(r *ring.FpCyclotomic, f poly.Poly, children []poly.Poly) (*big.Int, bool, error) {
+	pf, ok := r.Pack(f)
+	if !ok || len(pf) > r.DegreeBound() {
+		return nil, false, nil
+	}
+	packed := make([][]uint64, len(children))
+	for i, c := range children {
+		pc, ok := r.Pack(c)
+		if !ok || len(pc) > r.DegreeBound() {
+			return nil, false, nil
+		}
+		packed[i] = pc
+	}
+	t, err := RecoverTagPacked(r, pf, packed)
+	return t, true, err
+}
+
+// RecoverTagPacked is RecoverTag on the word-sized fast path: the product
+// tree, the shifted difference and the verification identity all run on
+// packed []uint64 vectors (canonical, length <= DegreeBound), never
+// crossing the big.Int boundary until the single recovered tag value. The
+// engine's tag-recovery path feeds it reconstructed shares that were
+// never unpacked.
+func RecoverTagPacked(r *ring.FpCyclotomic, pf []uint64, children [][]uint64) (*big.Int, error) {
+	n := r.DegreeBound()
+	ff := r.Fast()
+	q := []uint64{1}
+	for _, pc := range children {
+		q = r.MulPacked(q, pc)
+	}
+	if len(q) < n {
+		grown := make([]uint64, n)
+		copy(grown, q)
+		q = grown
+	}
+	// d = q·x − f, with the multiply-by-x a cyclic shift (x·x^{n-1} ≡ 1).
+	d := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		d[(i+1)%n] = q[i]
+	}
+	for i, v := range pf {
+		d[i] = ff.Sub(d[i], v)
+	}
+	var t uint64
+	found := false
+	for i := 0; i < n; i++ {
+		if q[i] == 0 {
+			continue
+		}
+		inv, _ := ff.Inv(q[i])
+		t = ff.Mul(d[i], inv)
+		found = true
+		break
+	}
+	if !found {
+		return nil, ErrNoEquation
+	}
+	// Full verification: (x − t)·Q must reproduce f coefficient-wise.
+	check := r.MulPacked([]uint64{ff.Neg(t), 1}, q)
+	for i := 0; i < n; i++ {
+		var want uint64
+		if i < len(pf) {
+			want = pf[i]
+		}
+		if check[i] != want {
+			return nil, ErrInconsistent
+		}
+	}
+	return new(big.Int).SetUint64(t), nil
 }
 
 // RecoverTagUnchecked solves only the single lowest usable coefficient

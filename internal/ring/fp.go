@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/big"
 
+	"sssearch/internal/fastfield"
 	"sssearch/internal/field"
 	"sssearch/internal/poly"
 )
@@ -16,11 +17,23 @@ import (
 // By Lemma 1 of the paper, x^{p-1}-1 ≡ ∏_{i=1}^{p-1}(x-i) (mod p), so
 // reduction never destroys root information for tags in [1, p-2]
 // (Theorem 1).
+//
+// When the modulus fits fastfield.MaxModulusBits (every constructible
+// FpCyclotomic does — the coefficient-count cap keeps p far below it),
+// the ring carries a word-sized fast path: polynomials whose coefficients
+// fit machine words are packed into []uint64 vectors and all arithmetic
+// runs in package fastfield without big.Int allocations. Polynomials that
+// do not pack (negative or oversized coefficients from unreduced Z[x]
+// inputs) fall back to the original big.Int path; both paths compute
+// identical results (differentially tested in fastpath_test.go).
 type FpCyclotomic struct {
 	f *field.Field
 	p *big.Int
 	// n = p-1 is the folding period (number of coefficients).
 	n int
+	// fast is the word-sized engine, nil when disabled (SetFast) or
+	// unsupported.
+	fast *fastfield.Field
 }
 
 // NewFpCyclotomic constructs F_p[x]/(x^{p-1}-1) for prime p >= 5.
@@ -38,7 +51,8 @@ func NewFpCyclotomic(p *big.Int) (*FpCyclotomic, error) {
 		// the representation is unusable in practice.
 		return nil, errors.New("ring: p too large for the F_p[x]/(x^(p-1)-1) representation")
 	}
-	return &FpCyclotomic{f: f, p: new(big.Int).Set(p), n: int(p.Int64() - 1)}, nil
+	r := &FpCyclotomic{f: f, p: new(big.Int).Set(p), n: int(p.Int64() - 1), fast: f.Fast()}
+	return r, nil
 }
 
 // MustFp is NewFpCyclotomic for a uint64 prime; panics on error (tests).
@@ -64,8 +78,84 @@ func (r *FpCyclotomic) P() *big.Int { return new(big.Int).Set(r.p) }
 // Field returns the coefficient field.
 func (r *FpCyclotomic) Field() *field.Field { return r.f }
 
+// Fast returns the word-sized arithmetic engine behind this ring's fast
+// path, or nil when it is disabled. Packed-representation callers
+// (server.Local, sharing.SeedClient) capture it once at construction.
+func (r *FpCyclotomic) Fast() *fastfield.Field { return r.fast }
+
+// SetFast enables or disables the word-sized fast path. It exists for
+// differential tests and ablation benchmarks; production code leaves the
+// fast path on. Not safe to call concurrently with ring use.
+//
+// Disabling the fast path also restores the original one-draw-per-
+// coefficient DRBG consumption of Rand (the fast path reads the stream
+// in bulk), so the client and server sides of one deployment must agree
+// on the setting or seed-derived shares will not cancel.
+func (r *FpCyclotomic) SetFast(enabled bool) {
+	if enabled {
+		r.fast = r.f.Fast()
+		return
+	}
+	r.fast = nil
+}
+
+// Pack converts a polynomial into the packed word representation:
+// coefficients reduced into [0, p), ascending degree, degrees NOT folded
+// (evaluation is invariant under folding; use Reduce first when a
+// canonical representative is required). ok is false — and the caller
+// must take the big.Int path — when the fast path is off or any
+// coefficient is negative or wider than a word.
+func (r *FpCyclotomic) Pack(q poly.Poly) ([]uint64, bool) {
+	if r.fast == nil {
+		return nil, false
+	}
+	c, ok := q.Uint64Coeffs(make([]uint64, 0, q.Len()))
+	if !ok {
+		return nil, false
+	}
+	r.fast.ReduceVec(c, c)
+	return c, true
+}
+
+// Unpack converts a packed vector back into the big.Int boundary
+// representation. Coefficients must be canonical (< p).
+func (r *FpCyclotomic) Unpack(c []uint64) poly.Poly {
+	return poly.NewUint64(c)
+}
+
+// PackPoint maps an evaluation point to its canonical word residue,
+// rejecting a ≡ 0 (evaluation is undefined there, see Eval). Only valid
+// when the fast path is on.
+func (r *FpCyclotomic) PackPoint(a *big.Int) (uint64, error) {
+	x := r.fast.ReduceBig(a)
+	if x == 0 {
+		return 0, fmt.Errorf("%w: a ≡ 0 (mod %s)", ErrEvalUndefined, r.p)
+	}
+	return x, nil
+}
+
+// packFold packs q and folds its degrees with x^{p-1} ≡ 1, yielding at
+// most n canonical word coefficients.
+func (r *FpCyclotomic) packFold(q poly.Poly) ([]uint64, bool) {
+	c, ok := r.Pack(q)
+	if !ok {
+		return nil, false
+	}
+	if len(c) <= r.n {
+		return c, true
+	}
+	folded := c[:r.n]
+	for i := r.n; i < len(c); i++ {
+		folded[i%r.n] = r.fast.Add(folded[i%r.n], c[i])
+	}
+	return folded, true
+}
+
 // Reduce folds degrees with x^{p-1} ≡ 1 and reduces coefficients mod p.
 func (r *FpCyclotomic) Reduce(p poly.Poly) poly.Poly {
+	if c, ok := r.packFold(p); ok {
+		return r.Unpack(c)
+	}
 	if p.Degree() < r.n {
 		return p.ReduceCoeffs(r.p)
 	}
@@ -80,16 +170,101 @@ func (r *FpCyclotomic) Reduce(p poly.Poly) poly.Poly {
 }
 
 // Add implements Ring.
-func (r *FpCyclotomic) Add(a, b poly.Poly) poly.Poly { return r.Reduce(a.Add(b)) }
+func (r *FpCyclotomic) Add(a, b poly.Poly) poly.Poly {
+	if pa, ok := r.packFold(a); ok {
+		if pb, ok := r.packFold(b); ok {
+			if len(pb) > len(pa) {
+				pa, pb = pb, pa
+			}
+			for i, v := range pb {
+				pa[i] = r.fast.Add(pa[i], v)
+			}
+			return r.Unpack(pa)
+		}
+	}
+	return r.Reduce(a.Add(b))
+}
 
 // Sub implements Ring.
-func (r *FpCyclotomic) Sub(a, b poly.Poly) poly.Poly { return r.Reduce(a.Sub(b)) }
+func (r *FpCyclotomic) Sub(a, b poly.Poly) poly.Poly {
+	if pa, ok := r.packFold(a); ok {
+		if pb, ok := r.packFold(b); ok {
+			if len(pb) > len(pa) {
+				grown := make([]uint64, len(pb))
+				copy(grown, pa)
+				pa = grown
+			}
+			for i, v := range pb {
+				pa[i] = r.fast.Sub(pa[i], v)
+			}
+			return r.Unpack(pa)
+		}
+	}
+	return r.Reduce(a.Sub(b))
+}
 
 // Neg implements Ring.
-func (r *FpCyclotomic) Neg(a poly.Poly) poly.Poly { return r.Reduce(a.Neg()) }
+func (r *FpCyclotomic) Neg(a poly.Poly) poly.Poly {
+	if pa, ok := r.packFold(a); ok {
+		for i, v := range pa {
+			pa[i] = r.fast.Neg(v)
+		}
+		return r.Unpack(pa)
+	}
+	return r.Reduce(a.Neg())
+}
 
-// Mul implements Ring.
-func (r *FpCyclotomic) Mul(a, b poly.Poly) poly.Poly { return r.Reduce(a.Mul(b)) }
+// Mul implements Ring. The fast path multiplies schoolbook-style directly
+// into the folded residue (out[(i+j) mod n]), one Montgomery product per
+// coefficient pair, with no intermediate big.Int allocation.
+func (r *FpCyclotomic) Mul(a, b poly.Poly) poly.Poly {
+	pa, okA := r.packFold(a)
+	if okA {
+		if pb, okB := r.packFold(b); okB {
+			return r.Unpack(r.MulPacked(pa, pb))
+		}
+	}
+	return r.Reduce(a.Mul(b))
+}
+
+// AddPacked adds two packed canonical vectors of possibly different
+// lengths, returning a fresh vector of the longer length. Only valid when
+// the fast path is on.
+func (r *FpCyclotomic) AddPacked(pa, pb []uint64) []uint64 {
+	if len(pb) > len(pa) {
+		pa, pb = pb, pa
+	}
+	out := make([]uint64, len(pa))
+	copy(out, pa)
+	for i, v := range pb {
+		out[i] = r.fast.Add(out[i], v)
+	}
+	return out
+}
+
+// MulPacked multiplies two packed canonical vectors (each of length <= n,
+// coefficients < p) in the quotient ring, returning a fresh length-n
+// packed product. Only valid when the fast path is on; packed-
+// representation callers (polyenc tag recovery) use it to stay off the
+// big.Int boundary entirely.
+func (r *FpCyclotomic) MulPacked(pa, pb []uint64) []uint64 {
+	out := make([]uint64, r.n)
+	bm := make([]uint64, len(pb))
+	r.fast.MFormVec(bm, pb)
+	for i, ai := range pa {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range bm {
+			k := i + j
+			if k >= r.n {
+				k -= r.n
+			}
+			out[k] = r.fast.Add(out[k], r.fast.MRed(ai, bj))
+		}
+	}
+	return out
+}
 
 // Zero implements Ring.
 func (r *FpCyclotomic) Zero() poly.Poly { return poly.Zero() }
@@ -99,6 +274,9 @@ func (r *FpCyclotomic) One() poly.Poly { return poly.One() }
 
 // Linear implements Ring.
 func (r *FpCyclotomic) Linear(root *big.Int) poly.Poly {
+	if r.fast != nil {
+		return r.Unpack([]uint64{r.fast.Neg(r.fast.ReduceBig(root)), 1})
+	}
 	return r.Reduce(poly.Linear(root))
 }
 
@@ -110,6 +288,19 @@ func (r *FpCyclotomic) Equal(a, b poly.Poly) bool {
 // Eval implements Ring. Evaluation at a is well defined iff a ≢ 0 (mod p):
 // the homomorphism F_p[x]/(x^{p-1}-1) → F_p, x ↦ a, requires a^{p-1} = 1.
 func (r *FpCyclotomic) Eval(f poly.Poly, a *big.Int) (*big.Int, error) {
+	if r.fast != nil {
+		x, err := r.PackPoint(a)
+		if err != nil {
+			return nil, err
+		}
+		// Short polynomials (tag recovery, the paper's figures) pack into
+		// a stack buffer; longer ones spill to the heap via append.
+		var buf [64]uint64
+		if c, ok := f.Uint64Coeffs(buf[:0]); ok {
+			r.fast.ReduceVec(c, c)
+			return new(big.Int).SetUint64(r.fast.Eval(c, x)), nil
+		}
+	}
 	am := new(big.Int).Mod(a, r.p)
 	if am.Sign() == 0 {
 		return nil, fmt.Errorf("%w: a ≡ 0 (mod %s)", ErrEvalUndefined, r.p)
@@ -128,6 +319,14 @@ func (r *FpCyclotomic) EvalModulus(a *big.Int) (*big.Int, error) {
 
 // SolveScalar implements Ring: t = num/den in F_p when den ≢ 0.
 func (r *FpCyclotomic) SolveScalar(num, den *big.Int) (*big.Int, bool) {
+	if r.fast != nil {
+		d := r.fast.ReduceBig(den)
+		inv, ok := r.fast.Inv(d)
+		if !ok {
+			return nil, false
+		}
+		return new(big.Int).SetUint64(r.fast.Mul(r.fast.ReduceBig(num), inv)), true
+	}
 	d := new(big.Int).Mod(den, r.p)
 	if d.Sign() == 0 {
 		return nil, false
@@ -139,13 +338,29 @@ func (r *FpCyclotomic) SolveScalar(num, den *big.Int) (*big.Int, bool) {
 
 // CoeffZero implements Ring.
 func (r *FpCyclotomic) CoeffZero(v *big.Int) bool {
+	if r.fast != nil {
+		return r.fast.ReduceBig(v) == 0
+	}
 	return new(big.Int).Mod(v, r.p).Sign() == 0
 }
 
 // Rand implements Ring: a uniformly random canonical representative (p-1
 // independent uniform coefficients). This gives information-theoretic
 // hiding for additive shares.
+//
+// The fast path draws the coefficient vector through the bulk sampler
+// (fastfield.RandVec): the same per-coefficient distribution, but the rng
+// stream is consumed in large reads instead of one tiny read per
+// coefficient — which is why sharing.ShareLabel is versioned: share pads
+// derived under the old consumption pattern do not match.
 func (r *FpCyclotomic) Rand(rng io.Reader) (poly.Poly, error) {
+	if r.fast != nil {
+		vec := make([]uint64, r.n)
+		if err := r.fast.RandVec(rng, vec); err != nil {
+			return poly.Poly{}, err
+		}
+		return r.Unpack(vec), nil
+	}
 	coeffs := make([]*big.Int, r.n)
 	for i := range coeffs {
 		v, err := r.f.Rand(rng)
@@ -155,6 +370,20 @@ func (r *FpCyclotomic) Rand(rng io.Reader) (poly.Poly, error) {
 		coeffs[i] = v
 	}
 	return poly.New(coeffs...), nil
+}
+
+// RandPacked is Rand in the packed representation: it fills dst (length
+// DegreeBound) with a fresh uniform share pad, with no big.Int boundary
+// crossing. Only valid when the fast path is on; the values are exactly
+// what Rand would draw from the same rng.
+func (r *FpCyclotomic) RandPacked(rng io.Reader, dst []uint64) error {
+	if r.fast == nil {
+		return errors.New("ring: RandPacked requires the fast path")
+	}
+	if len(dst) != r.n {
+		return fmt.Errorf("ring: RandPacked needs %d slots, got %d", r.n, len(dst))
+	}
+	return r.fast.RandVec(rng, dst)
 }
 
 // MaxTag implements Ring: usable tags are [1, p-2].

@@ -16,24 +16,89 @@ import (
 
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
+	"sssearch/internal/lru"
+	"sssearch/internal/metrics"
 	"sssearch/internal/ring"
 	"sssearch/internal/sharing"
 )
 
+// DefaultEvalCacheEntries bounds the per-server eval cache: the most
+// recently used (node, point) evaluations are kept so hot subtrees — the
+// root levels every query walks before pruning — are never re-evaluated.
+// Each entry is one word of value plus map/list overhead (~100 B), so the
+// default caps cache memory at roughly 6–7 MiB regardless of tree size.
+const DefaultEvalCacheEntries = 1 << 16
+
+// evalKey identifies one cached fast-path evaluation. Node identity is
+// the share-tree node pointer (stable for the life of the server; no
+// string rendering on the lookup path).
+type evalKey struct {
+	node *sharing.Node
+	x    uint64
+}
+
+// bigEvalKey is the fallback-ring cache key: IntQuotient points are
+// arbitrary big integers, rendered once per lookup.
+type bigEvalKey struct {
+	node *sharing.Node
+	x    string
+}
+
 // Local is an in-process server over a materialized share tree. Safe for
-// concurrent use (the tree is read-only after construction).
+// concurrent use (the tree is read-only after construction; the eval
+// cache is internally locked).
 type Local struct {
 	ring ring.Ring
 	tree *sharing.Tree
+
+	// fp + packed are the word-sized fast path: every node polynomial is
+	// packed once at construction, evaluations are uint64 Horner passes.
+	fp     *ring.FpCyclotomic
+	packed map[*sharing.Node][]uint64
+
+	// cache (fast path) / bigCache (fallback rings) memoize per-point
+	// evaluations of hot nodes across queries.
+	cache    *lru.Cache[evalKey, uint64]
+	bigCache *lru.Cache[bigEvalKey, *big.Int]
+
+	counters *metrics.Counters
 }
 
-// NewLocal builds a Local server.
+// NewLocal builds a Local server with the default eval-cache bound.
 func NewLocal(r ring.Ring, tree *sharing.Tree) (*Local, error) {
 	if r == nil || tree == nil || tree.Root == nil {
 		return nil, errors.New("server: nil ring or tree")
 	}
-	return &Local{ring: r, tree: tree}, nil
+	s := &Local{ring: r, tree: tree, counters: &metrics.Counters{}}
+	if fp, ok := r.(*ring.FpCyclotomic); ok && fp.Fast() != nil {
+		s.fp = fp
+		s.packed = make(map[*sharing.Node][]uint64)
+		tree.Walk(func(_ drbg.NodeKey, n *sharing.Node) bool {
+			if vec, ok := fp.Pack(n.Poly); ok {
+				s.packed[n] = vec
+			}
+			return true
+		})
+	}
+	s.SetEvalCacheEntries(DefaultEvalCacheEntries)
+	return s, nil
 }
+
+// SetEvalCacheEntries re-bounds the eval cache to at most n (node, point)
+// values; 0 disables caching. Not safe to call concurrently with queries.
+func (s *Local) SetEvalCacheEntries(n int) {
+	if s.fp != nil {
+		s.cache = lru.New[evalKey, uint64](n)
+		s.bigCache = nil
+		return
+	}
+	s.cache = nil
+	s.bigCache = lru.New[bigEvalKey, *big.Int](n)
+}
+
+// Counters exposes the server-side metric counters (eval-cache hits and
+// misses; the protocol counters live client-side on the engine).
+func (s *Local) Counters() *metrics.Counters { return s.counters }
 
 // Ring returns the server's (public) ring parameters.
 func (s *Local) Ring() ring.Ring { return s.ring }
@@ -41,8 +106,15 @@ func (s *Local) Ring() ring.Ring { return s.ring }
 // Tree exposes the share tree (used by the store and the daemon).
 func (s *Local) Tree() *sharing.Tree { return s.tree }
 
-// EvalNodes implements core.ServerAPI.
+// EvalNodes implements core.ServerAPI. All points of one node are served
+// by a single pass over its polynomial (multi-point Horner); cached
+// (node, point) values skip the pass entirely.
 func (s *Local) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	// Re-check the live fast-path state: SetFast(false) after NewLocal (the
+	// ablation toggle) must degrade to the big.Int path, not crash.
+	if s.fp != nil && s.fp.Fast() != nil {
+		return s.evalNodesFast(keys, points)
+	}
 	out := make([]core.NodeEval, len(keys))
 	for i, k := range keys {
 		node, err := s.tree.Lookup(k)
@@ -51,11 +123,86 @@ func (s *Local) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEv
 		}
 		values := make([]*big.Int, len(points))
 		for j, p := range points {
+			bk := bigEvalKey{node: node, x: p.String()}
+			if v, ok := s.bigCache.Get(bk); ok {
+				s.counters.AddEvalCacheHits(1)
+				values[j] = v
+				continue
+			}
 			v, err := s.ring.Eval(node.Poly, p)
 			if err != nil {
 				return nil, fmt.Errorf("server: evaluating %s at %s: %w", k, p, err)
 			}
+			s.counters.AddEvalCacheMiss(1)
+			s.bigCache.Add(bk, v)
 			values[j] = v
+		}
+		out[i] = core.NodeEval{Key: k, Values: values, NumChildren: len(node.Children)}
+	}
+	return out, nil
+}
+
+// evalNodesFast is the packed fast path: points are converted to
+// Montgomery residues once per call, each node with uncached points gets
+// exactly one Horner pass over its packed polynomial, and results cross
+// back to big.Int only at the API boundary.
+func (s *Local) evalNodesFast(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	ff := s.fp.Fast()
+	xs := make([]uint64, len(points))
+	for j, p := range points {
+		x, err := s.fp.PackPoint(p)
+		if err != nil {
+			return nil, fmt.Errorf("server: point %s: %w", p, err)
+		}
+		xs[j] = x
+	}
+	xsMont := make([]uint64, len(xs))
+	ff.MFormVec(xsMont, xs)
+
+	// Scratch for the per-node missing-point subset.
+	missMont := make([]uint64, 0, len(xs))
+	missIdx := make([]int, 0, len(xs))
+	missVal := make([]uint64, len(xs))
+
+	out := make([]core.NodeEval, len(keys))
+	for i, k := range keys {
+		node, err := s.tree.Lookup(k)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		vec, packedOK := s.packed[node]
+		values := make([]*big.Int, len(points))
+		missMont = missMont[:0]
+		missIdx = missIdx[:0]
+		for j := range xs {
+			if v, ok := s.cache.Get(evalKey{node: node, x: xs[j]}); ok {
+				s.counters.AddEvalCacheHits(1)
+				values[j] = new(big.Int).SetUint64(v)
+				continue
+			}
+			missMont = append(missMont, xsMont[j])
+			missIdx = append(missIdx, j)
+		}
+		if len(missIdx) > 0 {
+			s.counters.AddEvalCacheMiss(len(missIdx))
+			if packedOK {
+				ff.EvalMany(vec, missMont, missVal[:len(missIdx)])
+				for m, j := range missIdx {
+					s.cache.Add(evalKey{node: node, x: xs[j]}, missVal[m])
+					values[j] = new(big.Int).SetUint64(missVal[m])
+				}
+			} else {
+				// Node polynomial does not pack (foreign big coefficients):
+				// evaluate through the ring, still caching the results.
+				for _, j := range missIdx {
+					v, err := s.ring.Eval(node.Poly, points[j])
+					if err != nil {
+						return nil, fmt.Errorf("server: evaluating %s at %s: %w", k, points[j], err)
+					}
+					s.cache.Add(evalKey{node: node, x: xs[j]}, v.Uint64())
+					values[j] = v
+				}
+			}
 		}
 		out[i] = core.NodeEval{Key: k, Values: values, NumChildren: len(node.Children)}
 	}

@@ -1,0 +1,175 @@
+package sharing
+
+import (
+	"crypto/sha256"
+	"math/big"
+	"testing"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/workload"
+)
+
+// fixtureKeys returns every node key of a small split document plus the
+// seed used, over ring r.
+func fixtureKeys(t *testing.T, r ring.Ring) (*Tree, []drbg.NodeKey, drbg.Seed) {
+	t.Helper()
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 25, MaxFanout: 3, Vocab: 6, Seed: 21})
+	m, err := mapping.New(r.MaxTag(), []byte("sharing-fast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := polyenc.Encode(r, doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("sharing-fast")))
+	server, err := Split(enc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []drbg.NodeKey
+	server.Walk(func(k drbg.NodeKey, _ *Node) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return server, keys, seed
+}
+
+// TestSeedClientEvalSharesDifferential: the multi-point fast path, the
+// per-point EvalShare and the reference ring.Eval over the regenerated
+// share must all agree, cached and uncached.
+func TestSeedClientEvalSharesDifferential(t *testing.T) {
+	r := ring.MustFp(31)
+	_, keys, seed := fixtureKeys(t, r)
+	points := []*big.Int{big.NewInt(2), big.NewInt(7), big.NewInt(29)}
+	c := NewSeedClient(r, seed)
+	// A second client with caching off regenerates everything, every time.
+	cNoCache := NewSeedClient(r, seed)
+	cNoCache.SetShareCacheNodes(0)
+	for pass := 0; pass < 2; pass++ { // second pass hits the share cache
+		for _, k := range keys {
+			many, err := c.EvalShares(k, points)
+			if err != nil {
+				t.Fatal(err)
+			}
+			share, err := cNoCache.Share(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range points {
+				ref, err := r.Eval(share, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if many[i].Cmp(ref) != 0 {
+					t.Fatalf("pass %d: EvalShares(%s)[%s] = %s, ref %s", pass, k, p, many[i], ref)
+				}
+				one, err := c.EvalShare(k, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if one.Cmp(ref) != 0 {
+					t.Fatalf("pass %d: EvalShare(%s, %s) = %s, ref %s", pass, k, p, one, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestSeedClientPackedShareMatchesShare: the packed representation must
+// unpack to exactly the regenerated polynomial (it is what tag recovery
+// reconstructs from).
+func TestSeedClientPackedShareMatchesShare(t *testing.T) {
+	r := ring.MustFp(31)
+	_, keys, seed := fixtureKeys(t, r)
+	c := NewSeedClient(r, seed)
+	for _, k := range keys {
+		vec, ok, err := c.PackedShare(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("no packed share for %s on a fast ring", k)
+		}
+		share, err := c.Share(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Unpack(vec).Equal(share) {
+			t.Fatalf("packed share of %s diverged from Share", k)
+		}
+	}
+}
+
+// TestStaticSourceEvalSharesDifferential covers the materialized source,
+// including the IntQuotient fallback (no packed form).
+func TestStaticSourceEvalSharesDifferential(t *testing.T) {
+	for _, r := range []ring.Ring{ring.MustFp(31), ring.MustIntQuotient(1, 0, 1)} {
+		server, keys, _ := fixtureKeys(t, r)
+		src, err := NewStaticSource(r, server)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points := []*big.Int{big.NewInt(2), big.NewInt(7)}
+		for _, k := range keys {
+			many, err := src.EvalShares(k, points)
+			if err != nil {
+				t.Fatal(err)
+			}
+			share, err := src.Share(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range points {
+				ref, err := r.Eval(share, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if many[i].Cmp(ref) != 0 {
+					t.Fatalf("%s: EvalShares(%s)[%s] = %s, ref %s", r.Name(), k, p, many[i], ref)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitSeedClientConsistency: the pads Split subtracts must be the
+// pads SeedClient regenerates — client + server ≡ encoded at every node —
+// with the share cache on and off.
+func TestSplitSeedClientConsistency(t *testing.T) {
+	for _, r := range []ring.Ring{ring.MustFp(257), ring.MustIntQuotient(1, 0, 1)} {
+		doc := workload.RandomTree(workload.TreeConfig{Nodes: 25, MaxFanout: 3, Vocab: 6, Seed: 22})
+		m, err := mapping.New(r.MaxTag(), []byte("consistency"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := polyenc.Encode(r, doc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := drbg.Seed(sha256.Sum256([]byte("consistency")))
+		server, err := Split(enc, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReconstructFromSeed(r, seed, server)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		enc.Walk(func(k drbg.NodeKey, n *polyenc.Node) bool {
+			bn, err := back.Lookup(k)
+			if err != nil || !r.Equal(bn.Poly, n.Poly) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			t.Fatalf("%s: client + server != encoded after the packed split", r.Name())
+		}
+	}
+}

@@ -16,13 +16,22 @@ import (
 	"math/big"
 
 	"sssearch/internal/drbg"
+	"sssearch/internal/lru"
 	"sssearch/internal/poly"
 	"sssearch/internal/polyenc"
 	"sssearch/internal/ring"
 )
 
 // ShareLabel is the DRBG domain-separation label for client share streams.
-const ShareLabel = "sss/client-share/v1"
+//
+// v2 marks the packed fast-path share stream: F_p pads are drawn through
+// the bulk sampler (fastfield.RandVec via ring.RandPacked), which consumes
+// the per-node DRBG stream in large reads instead of one tiny read per
+// coefficient. The per-coefficient distribution is unchanged, but the
+// byte-consumption pattern is not, so pads derived under the v1 label
+// (pre-fast-path store files) would no longer cancel; the label bump
+// domain-separates the two streams instead of letting them silently mix.
+const ShareLabel = "sss/client-share/v2"
 
 // Node is one node of a share tree.
 type Node struct {
@@ -107,34 +116,155 @@ func splitNode(r ring.Ring, n *polyenc.Node, key drbg.NodeKey, d *drbg.Deriver) 
 	return out, nil
 }
 
+// DefaultShareCacheNodes bounds the seed-only client's packed-share LRU:
+// the most recently touched node pads are kept in packed form so hot
+// nodes (the root levels every query walks) are not re-derived from the
+// DRBG on each visit. At the default, a F_257 deployment holds at most
+// 4096 × 256 words ≈ 8 MiB — a mid-point of the §4.2 seed-vs-materialized
+// trade-off that still leaves the durable client secret at 32 bytes.
+const DefaultShareCacheNodes = 4096
+
 // SeedClient regenerates client share polynomials from the seed alone —
 // the §4.2 "store only the random seed" mode.
+//
+// On rings with the word-sized fast path, shares are regenerated directly
+// into packed []uint64 vectors (no big.Int allocation) and the most
+// recently used pads are kept in a bounded LRU cache; see
+// DefaultShareCacheNodes.
 type SeedClient struct {
 	r ring.Ring
 	d *drbg.Deriver
+	// fp is non-nil when r carries the word-sized fast path.
+	fp *ring.FpCyclotomic
+	// cache maps node-key strings to packed share pads. Cached vectors
+	// are shared and must never be mutated.
+	cache *lru.Cache[string, []uint64]
 }
 
 // NewSeedClient builds the seed-only client view.
 func NewSeedClient(r ring.Ring, seed drbg.Seed) *SeedClient {
-	return &SeedClient{r: r, d: drbg.NewDeriver(seed, ShareLabel)}
+	c := &SeedClient{r: r, d: drbg.NewDeriver(seed, ShareLabel)}
+	if fp, ok := r.(*ring.FpCyclotomic); ok && fp.Fast() != nil {
+		c.fp = fp
+		c.cache = lru.New[string, []uint64](DefaultShareCacheNodes)
+	}
+	return c
+}
+
+// SetShareCacheNodes re-bounds the packed-share cache to at most n node
+// pads (0 disables caching). Only meaningful on fast-path rings.
+func (c *SeedClient) SetShareCacheNodes(n int) {
+	if c.fp != nil {
+		c.cache = lru.New[string, []uint64](n)
+	}
 }
 
 // Ring returns the client's ring.
 func (c *SeedClient) Ring() ring.Ring { return c.r }
 
+// packedShare returns the node's share pad in packed form, regenerating
+// it from the seed on a cache miss. The returned slice is shared — read
+// only.
+func (c *SeedClient) packedShare(key drbg.NodeKey) ([]uint64, error) {
+	ks := key.String()
+	if v, ok := c.cache.Get(ks); ok {
+		return v, nil
+	}
+	vec := make([]uint64, c.fp.DegreeBound())
+	if err := c.fp.RandPacked(c.d.ForNode(key), vec); err != nil {
+		return nil, fmt.Errorf("sharing: node %s: %w", key, err)
+	}
+	c.cache.Add(ks, vec)
+	return vec, nil
+}
+
+// PackedShare implements PackedShareSource.
+func (c *SeedClient) PackedShare(key drbg.NodeKey) ([]uint64, bool, error) {
+	if c.fp == nil {
+		return nil, false, nil
+	}
+	vec, err := c.packedShare(key)
+	if err != nil {
+		return nil, false, err
+	}
+	return vec, true, nil
+}
+
 // Share regenerates the client share polynomial of the given node.
 func (c *SeedClient) Share(key drbg.NodeKey) (poly.Poly, error) {
+	if c.fp != nil {
+		vec, err := c.packedShare(key)
+		if err != nil {
+			return poly.Poly{}, err
+		}
+		return c.fp.Unpack(vec), nil
+	}
 	return c.r.Rand(c.d.ForNode(key))
 }
 
 // EvalShare regenerates the node share and evaluates it at point a
 // (modulo the ring's evaluation modulus at a).
 func (c *SeedClient) EvalShare(key drbg.NodeKey, a *big.Int) (*big.Int, error) {
+	if c.fp != nil {
+		vals, err := c.EvalShares(key, []*big.Int{a})
+		if err != nil {
+			return nil, err
+		}
+		return vals[0], nil
+	}
 	share, err := c.Share(key)
 	if err != nil {
 		return nil, err
 	}
 	return c.r.Eval(share, a)
+}
+
+// EvalShares implements MultiPointSource: the share pad is regenerated
+// (or fetched from the cache) once and evaluated at every point in a
+// single multi-point Horner pass — the DRBG regeneration, not the
+// arithmetic, dominates seed-only querying, so one pass per node is the
+// difference between O(points) and O(1) regenerations.
+func (c *SeedClient) EvalShares(key drbg.NodeKey, points []*big.Int) ([]*big.Int, error) {
+	if c.fp == nil {
+		share, err := c.Share(key)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*big.Int, len(points))
+		for i, p := range points {
+			if out[i], err = c.r.Eval(share, p); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	vec, err := c.packedShare(key)
+	if err != nil {
+		return nil, err
+	}
+	return evalPackedMany(c.fp, vec, points)
+}
+
+// evalPackedMany evaluates one packed polynomial at every point, boxing
+// the word results into the big.Int boundary representation.
+func evalPackedMany(fp *ring.FpCyclotomic, vec []uint64, points []*big.Int) ([]*big.Int, error) {
+	xs := make([]uint64, len(points))
+	for i, p := range points {
+		x, err := fp.PackPoint(p)
+		if err != nil {
+			return nil, err
+		}
+		xs[i] = x
+	}
+	ff := fp.Fast()
+	ff.MFormVec(xs, xs)
+	dst := make([]uint64, len(xs))
+	ff.EvalMany(vec, xs, dst)
+	out := make([]*big.Int, len(dst))
+	for i, v := range dst {
+		out[i] = new(big.Int).SetUint64(v)
+	}
+	return out, nil
 }
 
 // Materialize expands the client's full share tree for a given document

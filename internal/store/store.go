@@ -1,13 +1,20 @@
 // Package store persists the scheme's durable artifacts:
 //
 //   - server share stores: ring parameters + share tree, CRC-protected
-//     ("SSSTORE1" files) — what an outsourcing provider keeps on disk;
+//     ("SSSTORE2" files) — what an outsourcing provider keeps on disk;
 //   - client state: seed + private tag mapping + ring parameters
-//     ("SSCLNT1\0" files) — the client's entire secret material, which is
+//     ("SSCLNT2\0" files) — the client's entire secret material, which is
 //     all a client needs to query any number of servers.
 //
 // Formats are versioned by magic and fully length-checked on load; a
 // flipped bit anywhere fails the checksum rather than corrupting queries.
+//
+// The magic moved from generation 1 to 2 together with
+// sharing.ShareLabel: the fast-path bulk sampler changed how seed-derived
+// share pads consume the DRBG stream, so a generation-1 client key would
+// silently fail to cancel against a generation-1 server store under the
+// new derivation. Rejecting the old magic loudly (re-outsource to
+// migrate) is deliberate.
 package store
 
 import (
@@ -26,8 +33,8 @@ import (
 )
 
 var (
-	serverMagic = []byte("SSSTORE1")
-	clientMagic = []byte("SSCLNT1\x00")
+	serverMagic = []byte("SSSTORE2")
+	clientMagic = []byte("SSCLNT2\x00")
 )
 
 // ErrBadFormat reports an unrecognized or corrupt file.
