@@ -437,3 +437,50 @@ func BenchmarkColdStartToFirstAnswer(b *testing.B) {
 		_ = start
 	}
 }
+
+// --- outsourcing pipeline benchmarks -----------------------------------------
+
+func benchmarkOutsourceFp(b *testing.B, sequential bool) {
+	doc := experiments.OutsourceFpDoc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.OutsourceFpOnce(doc, sequential); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOutsourceFp1000 is the packed parallel outsourcing pipeline —
+// the sss-bench `outsourceFp` target.
+func BenchmarkOutsourceFp1000(b *testing.B) { benchmarkOutsourceFp(b, false) }
+
+// BenchmarkOutsourceFp1000Sequential is the retained reference pipeline
+// (boundary-crossing encode + SplitSequential) — the in-tree ablation for
+// the packed parallel path.
+func BenchmarkOutsourceFp1000Sequential(b *testing.B) { benchmarkOutsourceFp(b, true) }
+
+// --- k-of-n combine benchmarks -----------------------------------------------
+
+func benchmarkMultiCombine(b *testing.B, bigCombine bool) {
+	w, err := experiments.NewMultiCombineWorkload(bigCombine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiCombine measures the fastfield Lagrange combiner on a
+// 3-of-4 deployment (member evals cache-hot: the combine dominates) —
+// the sss-bench `multiCombine` target.
+func BenchmarkMultiCombine(b *testing.B) { benchmarkMultiCombine(b, false) }
+
+// BenchmarkMultiCombineBigInt is the per-point big.Int interpolation
+// ablation (the pre-fastfield combiner).
+func BenchmarkMultiCombineBigInt(b *testing.B) { benchmarkMultiCombine(b, true) }

@@ -8,6 +8,11 @@
 //	sss-bench -exp pruning  # a single experiment
 //	sss-bench -list
 //	sss-bench -json out.json  # time the tracked hot paths, write JSON
+//
+// -cpuprofile and -memprofile wrap any of the above in pprof collection,
+// so perf work can attach evidence without a bespoke harness:
+//
+//	sss-bench -json out.json -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -15,6 +20,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sssearch/internal/experiments"
 )
@@ -24,33 +31,64 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "time the tracked hot-path benchmarks and write a machine-readable result file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
-	if *jsonPath != "" {
-		if err := runJSONBench(*jsonPath); err != nil {
-			log.Fatalf("sss-bench: %v", err)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("sss-bench: cpuprofile: %v", err)
 		}
-		return
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("sss-bench: cpuprofile: %v", err)
+		}
 	}
-	if *list {
+	err := run(*exp, *quick, *list, *jsonPath)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		log.Fatalf("sss-bench: %v", err)
+	}
+}
+
+func run(exp string, quick, list bool, jsonPath string) error {
+	if jsonPath != "" {
+		return runJSONBench(jsonPath)
+	}
+	if list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %-28s %s\n", e.ID, e.Ref, e.Title)
 		}
-		return
+		return nil
 	}
-	cfg := experiments.Config{Quick: *quick}
-	if *exp != "" {
-		e, ok := experiments.ByID(*exp)
+	cfg := experiments.Config{Quick: quick}
+	if exp != "" {
+		e, ok := experiments.ByID(exp)
 		if !ok {
-			log.Fatalf("sss-bench: unknown experiment %q (try -list)", *exp)
+			return fmt.Errorf("unknown experiment %q (try -list)", exp)
 		}
 		fmt.Printf("=== %s (%s): %s ===\n", e.ID, e.Ref, e.Title)
-		if err := e.Run(os.Stdout, cfg); err != nil {
-			log.Fatalf("sss-bench: %v", err)
-		}
-		return
+		return e.Run(os.Stdout, cfg)
 	}
-	if err := experiments.RunAll(os.Stdout, cfg); err != nil {
-		log.Fatalf("sss-bench: %v", err)
+	return experiments.RunAll(os.Stdout, cfg)
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
 	}
+	defer f.Close()
+	runtime.GC() // settle live heap before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }

@@ -76,9 +76,24 @@ func TestConformanceTamperer(t *testing.T) {
 	})
 }
 
+// TestConformanceMultiServer registers core.MultiServer (wrapping
+// in-process Locals) with both combiner implementations: the fastfield
+// Lagrange batch combiner (the default) and the big.Int interpolation
+// ablation, so the rewritten combine path answers to the same contract as
+// every other ServerAPI.
 func TestConformanceMultiServer(t *testing.T) {
-	for _, tc := range []struct{ k, n int }{{1, 1}, {2, 3}, {4, 4}} {
-		t.Run(fmt.Sprintf("k%d_n%d", tc.k, tc.n), func(t *testing.T) {
+	for _, tc := range []struct {
+		k, n       int
+		bigCombine bool
+	}{
+		{1, 1, false}, {2, 3, false}, {4, 4, false},
+		{2, 3, true}, {4, 4, true},
+	} {
+		name := fmt.Sprintf("k%d_n%d", tc.k, tc.n)
+		if tc.bigCombine {
+			name += "_bigCombine"
+		}
+		t.Run(name, func(t *testing.T) {
 			apitest.Run(t, ring.MustFp(257), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
 				fp := f.Ring.(*ring.FpCyclotomic)
 				shares, err := sharing.MultiSplit(f.Encoded, f.Seed, tc.k, tc.n, rand.Reader)
@@ -97,6 +112,7 @@ func TestConformanceMultiServer(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				ms.BigCombine = tc.bigCombine
 				return ms
 			})
 		})

@@ -67,10 +67,47 @@
 // bits and for the Z[x]/(r(x)) ring. The server memoizes hot (node,
 // point) evaluations in a bounded LRU cache, and the seed-only client
 // regenerates share pads straight into packed form, caching the hottest
-// pads. Differential tests pin both arithmetic stacks to each other at
-// every layer; BENCH_2.json records the measured effect (a //tag lookup
-// over 1000 nodes in F_257 dropped from ~1.6 s to ~14 ms on the
-// reference host).
+// pads (pad-cache hit/miss counters appear in every Stats snapshot).
+// Differential tests pin both arithmetic stacks to each other at every
+// layer; BENCH_2.json records the measured effect (a //tag lookup over
+// 1000 nodes in F_257 dropped from ~1.6 s to ~14 ms on the reference
+// host).
+//
+// # Outsourcing pipeline
+//
+// The write half of the protocol — Outsource's encode→split — runs packed
+// and parallel end to end on F_p rings: node polynomials are built as
+// packed word vectors (no big.Int boxing inside the walk), share pads are
+// drawn straight into packed form and subtracted in one word pass, and
+// both tree walks run on a bounded worker pool (Config.Parallelism; the
+// result is byte-identical at every setting because every node's pad
+// derives from its own path-keyed DRBG stream). The share tree keeps the
+// packed vectors and materializes big.Int polynomials only on demand
+// (marshalling, polynomial fetches). sharing.SplitSequential is the
+// retained sequential big.Int-boundary reference, differentially tested
+// against the packed walk at the split, combine and full
+// Outsource→Search levels.
+//
+// The k-of-n combiner runs on the same engine: core.MultiServer
+// precomputes the Lagrange-at-zero basis once per answer set
+// (fastfield.LagrangeAtZero) and batch-combines whole value and
+// coefficient vectors in one Montgomery pass, falling back to per-point
+// big.Int interpolation for rings without the fast path (the BigCombine
+// ablation keeps the old path measurable).
+//
+// Intentionally still on big.Int: the Z[x]/(r(x)) ring end to end
+// (unbounded coefficients), F_p moduli over 62 bits, and
+// sharing.MultiSplit's Shamir share generation (its rng is a shared
+// stream, so a deterministic parallel walk would need a per-node
+// construction — an open item).
+//
+// BENCH_3.json records the pipeline effect (1000-node F_257 outsourcing
+// ~150 ms → ~30 ms on the 1-vCPU reference host, with the parallel walk
+// inactive there; 3-of-4 combine workload ~154 ms → ~2.4 ms). Track the
+// trajectory with:
+//
+//	go run ./cmd/sss-bench -json out.json
+//	go run ./cmd/sss-bench -json out.json -cpuprofile cpu.out -memprofile mem.out
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured reproduction of every figure.

@@ -153,3 +153,93 @@ func TestFastPathPaperFigures(t *testing.T) {
 		t.Fatal("repeat query never hit the server eval cache")
 	}
 }
+
+// TestOutsourcePipelineRoundTripDifferential is the full-stack anchor for
+// the packed parallel outsourcing pipeline: a bundle produced by the
+// default Outsource (PackedOnly encode + packed parallel split) must be
+// byte-identical to one built through the sequential big.Int-boundary
+// reference (generic encode + SplitSequential), and queries against both
+// must agree with each other and the plaintext oracle at every
+// verification level.
+func TestOutsourcePipelineRoundTripDifferential(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 240, MaxFanout: 4, Vocab: 10, Seed: 314})
+	seed := drbg.Seed(sha256.Sum256([]byte("roundtrip-diff")))
+	secret := []byte("roundtrip-diff")
+
+	// Packed parallel pipeline, exactly as Outsource runs it.
+	bundle, err := Outsource(doc, Config{Kind: RingFp, P: 257, Seed: seed, Secret: secret, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential big.Int-boundary reference pipeline.
+	r := ring.MustFp(257)
+	m, err := mapping.New(r.MaxTag(), secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := polyenc.Encode(r, doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTree, err := sharing.SplitSequential(enc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fastBytes, err := bundle.Server.tree.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := refTree.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fastBytes) != string(refBytes) {
+		t.Fatal("packed parallel Outsource tree differs from sequential big.Int reference")
+	}
+
+	refSrv, err := server.NewLocal(r, refTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng := core.NewEngine(r, seed, m, refSrv, nil)
+
+	sess, err := bundle.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	for _, expr := range []string{"//t0", "//t3", "/t1//t2", "//t4/t5"} {
+		oracle, err := EvaluatePlaintext(doc, expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, verify := range []VerifyLevel{VerifyNone, VerifyResolve, VerifyFull} {
+			got, err := sess.Search(expr, WithVerify(verify))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", expr, verify, err)
+			}
+			q, err := xpath.Parse(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := refEng.Query(q, core.Opts{Verify: verify})
+			if err != nil {
+				t.Fatalf("%s/%v reference: %v", expr, verify, err)
+			}
+			if len(got.Matches) != len(want.Matches) {
+				t.Fatalf("%s/%v: %d matches, reference %d", expr, verify, len(got.Matches), len(want.Matches))
+			}
+			for i := range got.Matches {
+				if got.Matches[i].String() != want.Matches[i].String() {
+					t.Fatalf("%s/%v: match %d differs", expr, verify, i)
+				}
+			}
+			if verify != VerifyNone && len(got.Matches) != len(oracle) {
+				t.Fatalf("%s/%v: %d matches, oracle %d", expr, verify, len(got.Matches), len(oracle))
+			}
+		}
+	}
+}

@@ -30,7 +30,14 @@ type Engine struct {
 // source (the paper's §4.2 seed-only mode). counters may be nil (a private
 // set is created).
 func NewEngine(r ring.Ring, seed drbg.Seed, m *mapping.Map, api ServerAPI, counters *metrics.Counters) *Engine {
-	return NewEngineWithShares(r, sharing.NewSeedClient(r, seed), m, api, counters)
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	shares := sharing.NewSeedClient(r, seed)
+	// Route the pad-cache hit/miss tallies into the engine's counter set
+	// so per-query snapshots expose share-regeneration work.
+	shares.SetCounters(counters)
+	return NewEngineWithShares(r, shares, m, api, counters)
 }
 
 // NewEngineWithShares assembles a query engine over an arbitrary client

@@ -6,6 +6,7 @@ import (
 	"math/big"
 
 	"sssearch/internal/drbg"
+	"sssearch/internal/fastfield"
 	"sssearch/internal/poly"
 	"sssearch/internal/ring"
 	"sssearch/internal/shamir"
@@ -42,6 +43,14 @@ type MultiServer struct {
 	// at a time, stopping after k successes — the pre-concurrency
 	// behavior, kept as a benchmark baseline and ablation.
 	Sequential bool
+
+	// BigCombine disables the fastfield Lagrange combiner and
+	// reconstructs every summand with per-point big.Int interpolation
+	// (shamir.InterpolateAt) — the pre-fastfield behavior, kept as a
+	// benchmark baseline and differential-test reference. Rings without
+	// the word-sized fast path (>62-bit moduli, SetFast(false)) take
+	// that path regardless.
+	BigCombine bool
 }
 
 // NewMultiServer wraps n member servers with reconstruction threshold k.
@@ -141,9 +150,35 @@ func memberCall[T any](m *MultiServer, call func(MultiMember) (T, error)) ([]T, 
 		len(vals), len(m.members), m.k, firstErr)
 }
 
+// lagrange builds the fastfield interpolation-at-zero basis for the
+// answering members' share points, or returns nil when the combine must
+// run on the big.Int path (no word-sized fast path, the BigCombine
+// ablation, or share points degenerate mod p).
+func (m *MultiServer) lagrange(xs []uint32) *fastfield.Lagrange {
+	if m.BigCombine {
+		return nil
+	}
+	ff := m.ring.Fast()
+	if ff == nil {
+		return nil
+	}
+	xs64 := make([]uint64, len(xs))
+	for i, x := range xs {
+		xs64[i] = uint64(x)
+	}
+	lag, err := ff.LagrangeAtZero(xs64)
+	if err != nil {
+		return nil
+	}
+	return lag
+}
+
 // EvalNodes implements ServerAPI: fan the request out, then reconstruct
 // each server summand f_rest(a) = Σ_j λ_j·share_j(a) via Lagrange
-// interpolation at zero.
+// interpolation at zero. On fast-path rings the λ_j basis is precomputed
+// once per answer set and every node's value vector is combined in a
+// single Montgomery pass; rings without the fast path fall back to
+// per-point shamir.InterpolateAt.
 func (m *MultiServer) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]NodeEval, error) {
 	per, xs, err := memberCall(m, func(mem MultiMember) ([]NodeEval, error) {
 		answers, err := mem.API.EvalNodes(keys, points)
@@ -163,6 +198,19 @@ func (m *MultiServer) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]NodeE
 	if err != nil {
 		return nil, err
 	}
+	lag := m.lagrange(xs)
+	ff := m.ring.Fast()
+	// Scratch reused across nodes on the fast path: one row per member,
+	// one destination column per query point.
+	var rows [][]uint64
+	var dst []uint64
+	if lag != nil {
+		rows = make([][]uint64, len(per))
+		for j := range rows {
+			rows[j] = make([]uint64, len(points))
+		}
+		dst = make([]uint64, len(points))
+	}
 	zero := big.NewInt(0)
 	f := m.ring.Field()
 	out := make([]NodeEval, len(keys))
@@ -174,16 +222,28 @@ func (m *MultiServer) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]NodeE
 			}
 		}
 		values := make([]*big.Int, len(points))
-		shares := make([]shamir.Share, len(per))
-		for pi := range points {
+		if lag != nil {
 			for j := range per {
-				shares[j] = shamir.Share{X: xs[j], Y: per[j][i].Values[pi]}
+				for pi := range points {
+					rows[j][pi] = ff.ReduceBig(per[j][i].Values[pi])
+				}
 			}
-			v, err := shamir.InterpolateAt(f, shares, zero, m.k)
-			if err != nil {
-				return nil, fmt.Errorf("core: combining evaluations of %s: %w", key, err)
+			lag.CombineVec(dst, rows)
+			for pi, v := range dst {
+				values[pi] = new(big.Int).SetUint64(v)
 			}
-			values[pi] = v
+		} else {
+			shares := make([]shamir.Share, len(per))
+			for pi := range points {
+				for j := range per {
+					shares[j] = shamir.Share{X: xs[j], Y: per[j][i].Values[pi]}
+				}
+				v, err := shamir.InterpolateAt(f, shares, zero, m.k)
+				if err != nil {
+					return nil, fmt.Errorf("core: combining evaluations of %s: %w", key, err)
+				}
+				values[pi] = v
+			}
 		}
 		out[i] = NodeEval{Key: key, Values: values, NumChildren: nch}
 	}
@@ -192,7 +252,10 @@ func (m *MultiServer) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]NodeE
 
 // FetchPolys implements ServerAPI: reconstruct the single-server share
 // polynomial coefficient-wise (Lagrange at zero is linear, so it commutes
-// with the coefficient view).
+// with the coefficient view). On fast-path rings all coefficients of a
+// node combine in one Montgomery pass over the members' packed coefficient
+// vectors; a member polynomial that refuses to pack sends that node to
+// the big.Int path.
 func (m *MultiServer) FetchPolys(keys []drbg.NodeKey) ([]NodePoly, error) {
 	per, xs, err := memberCall(m, func(mem MultiMember) ([]NodePoly, error) {
 		answers, err := mem.API.FetchPolys(keys)
@@ -207,8 +270,9 @@ func (m *MultiServer) FetchPolys(keys []drbg.NodeKey) ([]NodePoly, error) {
 	if err != nil {
 		return nil, err
 	}
-	zero := big.NewInt(0)
-	f := m.ring.Field()
+	lag := m.lagrange(xs)
+	ff := m.ring.Fast()
+	rows := make([][]uint64, len(per))
 	out := make([]NodePoly, len(keys))
 	for i, key := range keys {
 		nch := per[0][i].NumChildren
@@ -221,21 +285,51 @@ func (m *MultiServer) FetchPolys(keys []drbg.NodeKey) ([]NodePoly, error) {
 				maxLen = l
 			}
 		}
-		coeffs := make([]*big.Int, maxLen)
-		shares := make([]shamir.Share, len(per))
-		for c := 0; c < maxLen; c++ {
+		if lag != nil {
+			packed := true
 			for j := range per {
-				shares[j] = shamir.Share{X: xs[j], Y: per[j][i].Poly.Coeff(c)}
+				row, ok := per[j][i].Poly.Uint64Coeffs(rows[j][:0])
+				if !ok {
+					packed = false
+					break
+				}
+				ff.ReduceVec(row, row)
+				rows[j] = row
 			}
-			v, err := shamir.InterpolateAt(f, shares, zero, m.k)
-			if err != nil {
-				return nil, fmt.Errorf("core: combining polynomial of %s: %w", key, err)
+			if packed {
+				dst := make([]uint64, maxLen)
+				lag.CombineVec(dst, rows)
+				out[i] = NodePoly{Key: key, Poly: poly.NewUint64(dst), NumChildren: nch}
+				continue
 			}
-			coeffs[c] = v
 		}
-		out[i] = NodePoly{Key: key, Poly: poly.New(coeffs...), NumChildren: nch}
+		p, err := m.combinePolyBig(key, per, xs, i, maxLen)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = NodePoly{Key: key, Poly: p, NumChildren: nch}
 	}
 	return out, nil
+}
+
+// combinePolyBig is the big.Int coefficient-wise reconstruction of one
+// node's share polynomial — the fallback and ablation path.
+func (m *MultiServer) combinePolyBig(key drbg.NodeKey, per [][]NodePoly, xs []uint32, i, maxLen int) (poly.Poly, error) {
+	zero := big.NewInt(0)
+	f := m.ring.Field()
+	coeffs := make([]*big.Int, maxLen)
+	shares := make([]shamir.Share, len(per))
+	for c := 0; c < maxLen; c++ {
+		for j := range per {
+			shares[j] = shamir.Share{X: xs[j], Y: per[j][i].Poly.Coeff(c)}
+		}
+		v, err := shamir.InterpolateAt(f, shares, zero, m.k)
+		if err != nil {
+			return poly.Poly{}, fmt.Errorf("core: combining polynomial of %s: %w", key, err)
+		}
+		coeffs[c] = v
+	}
+	return poly.New(coeffs...), nil
 }
 
 // Prune implements ServerAPI: advisory, so it is fanned out to every

@@ -284,3 +284,123 @@ func TestParallelQueryParity(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiServerCombineDifferential pins the fastfield Lagrange combiner
+// to the big.Int interpolation ablation (BigCombine): identical EvalNodes
+// values and FetchPolys polynomials over the whole tree.
+func TestMultiServerCombineDifferential(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{1, 1}, {2, 3}, {3, 4}, {4, 4}} {
+		s := buildMultiStack(t, tc.k, tc.n, 50)
+		fast, err := core.NewMultiServer(s.ring, tc.k, s.members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := core.NewMultiServer(s.ring, tc.k, s.members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow.BigCombine = true
+
+		var keys []drbg.NodeKey
+		s.single.Tree().Walk(func(key drbg.NodeKey, _ *sharing.Node) bool {
+			keys = append(keys, key)
+			return true
+		})
+		points := []*big.Int{big.NewInt(2), big.NewInt(3), big.NewInt(17)}
+
+		fe, err := fast.EvalNodes(keys, points)
+		if err != nil {
+			t.Fatalf("k=%d n=%d: fast EvalNodes: %v", tc.k, tc.n, err)
+		}
+		se, err := slow.EvalNodes(keys, points)
+		if err != nil {
+			t.Fatalf("k=%d n=%d: big EvalNodes: %v", tc.k, tc.n, err)
+		}
+		for i := range keys {
+			for pi := range points {
+				if fe[i].Values[pi].Cmp(se[i].Values[pi]) != 0 {
+					t.Fatalf("k=%d n=%d key %s point %d: fast %v, big %v",
+						tc.k, tc.n, keys[i], pi, fe[i].Values[pi], se[i].Values[pi])
+				}
+			}
+		}
+
+		fp, err := fast.FetchPolys(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := slow.FetchPolys(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range keys {
+			if !fp[i].Poly.Equal(sp[i].Poly) {
+				t.Fatalf("k=%d n=%d key %s: fast/big FetchPolys polynomials differ", tc.k, tc.n, keys[i])
+			}
+		}
+	}
+}
+
+// TestMultiServerCombineFallsBackWithoutFastPath: without the word-sized
+// fast path the combiner must transparently run on shamir interpolation
+// and still agree with the single-server reference. The whole stack is
+// built over a dedicated SetFast(false) ring — the toggle is not safe
+// concurrently with straggler member goroutines, so the test never flips
+// a live ring.
+func TestMultiServerCombineFallsBackWithoutFastPath(t *testing.T) {
+	fp := ring.MustFp(257)
+	fp.SetFast(false)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 30, MaxFanout: 4, Vocab: 10, Seed: 42})
+	m, err := mapping.New(fp.MaxTag(), []byte("slow-combine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := polyenc.Encode(fp, doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := testSeed(9)
+	singleTree, err := sharing.Split(enc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := server.NewLocal(fp, singleTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := sharing.MultiSplit(enc, seed, 2, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]core.MultiMember, len(shares))
+	for i, sh := range shares {
+		srv, err := server.NewLocal(fp, sh.Tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = core.MultiMember{X: sh.X, API: srv}
+	}
+	ms, err := core.NewMultiServer(fp, 2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []drbg.NodeKey
+	singleTree.Walk(func(key drbg.NodeKey, _ *sharing.Node) bool {
+		keys = append(keys, key)
+		return true
+	})
+	points := []*big.Int{big.NewInt(5)}
+	got, err := ms.EvalNodes(keys, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.EvalNodes(keys, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if got[i].Values[0].Cmp(want[i].Values[0]) != 0 {
+			t.Fatalf("key %s: fallback combine %v, single-server %v", keys[i], got[i].Values[0], want[i].Values[0])
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"strconv"
 	"strings"
@@ -65,6 +66,12 @@ func (s Seed) String() string { return hex.EncodeToString(s[:]) }
 type Generator struct {
 	k [sha256.Size]byte
 	v [sha256.Size]byte
+	// mac is the HMAC keyed with k, reused (via Reset) across the many
+	// v = HMAC(k, v) chain steps of a bulk Read: rebuilding the keyed
+	// state per block used to dominate share-pad generation. Lazily
+	// rebuilt whenever k changes. The output stream is bit-identical to
+	// the one-HMAC-per-call construction.
+	mac hash.Hash
 }
 
 // New instantiates a generator from seed and an optional personalization
@@ -80,7 +87,11 @@ func New(seed Seed, personalization []byte) *Generator {
 }
 
 func (g *Generator) hmacK(parts ...[]byte) [sha256.Size]byte {
-	m := hmac.New(sha256.New, g.k[:])
+	if g.mac == nil {
+		g.mac = hmac.New(sha256.New, g.k[:])
+	}
+	m := g.mac
+	m.Reset()
 	for _, p := range parts {
 		m.Write(p)
 	}
@@ -92,11 +103,13 @@ func (g *Generator) hmacK(parts ...[]byte) [sha256.Size]byte {
 // update is the HMAC_DRBG state-update function.
 func (g *Generator) update(data []byte) {
 	g.k = g.hmacK(g.v[:], []byte{0x00}, data)
+	g.mac = nil // k changed: rebuild the keyed state on next use
 	g.v = g.hmacK(g.v[:])
 	if len(data) == 0 {
 		return
 	}
 	g.k = g.hmacK(g.v[:], []byte{0x01}, data)
+	g.mac = nil
 	g.v = g.hmacK(g.v[:])
 }
 

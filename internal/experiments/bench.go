@@ -1,12 +1,21 @@
 package experiments
 
 import (
+	crand "crypto/rand"
+	"crypto/sha256"
 	"fmt"
 	"io"
+	"math/big"
 
 	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/polyenc"
 	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/sharing"
 	"sssearch/internal/workload"
+	"sssearch/internal/xmltree"
 )
 
 // BenchTarget is one tracked hot-path measurement: the named closures are
@@ -29,6 +38,16 @@ type BenchTarget struct {
 //   - lookupFp1000Hit: a //t3 lookup over a 1000-node random tree in
 //     F_257 with a seed-only client — the protocol's end-to-end hot path,
 //     mirroring BenchmarkLookupFp1000Hit.
+//   - outsourceFp: the write-path mirror of lookupFp1000Hit — the full
+//     encode→split outsourcing pipeline (packed parallel fast path, as
+//     sssearch.Outsource runs it) over the same 1000-node F_257 document,
+//     mirroring BenchmarkOutsourceFp1000.
+//   - multiCombine: the k-of-n read path — MultiServer EvalNodes over
+//     every node at 4 points plus a 64-node FetchPolys batch against a
+//     3-of-4 deployment of in-process Locals. Member evaluations are
+//     cache-hot after the first iteration, so the number isolates the
+//     Shamir combine (fastfield Lagrange basis vs the old per-point
+//     big.Int interpolation), mirroring BenchmarkMultiCombine.
 func BenchTargets() ([]BenchTarget, error) {
 	var targets []BenchTarget
 	for _, id := range []string{"fig5", "fig6"} {
@@ -60,5 +79,125 @@ func BenchTargets() ([]BenchTarget, error) {
 			return err
 		},
 	})
+
+	targets = append(targets, BenchTarget{
+		Name: "outsourceFp",
+		Fn:   func() error { return OutsourceFpOnce(doc, false) },
+	})
+
+	combine, err := NewMultiCombineWorkload(false)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name: "multiCombine",
+		Fn:   combine.Run,
+	})
 	return targets, nil
+}
+
+// OutsourceFpDoc builds the write-path workload document: the same
+// 1000-node F_257 corpus as the lookupFp1000Hit read-path target, so the
+// BENCH_N.json trajectory covers both halves of the protocol over one
+// document. Also driven by BenchmarkOutsourceFp1000*.
+func OutsourceFpDoc() *xmltree.Node {
+	return workload.RandomTree(workload.TreeConfig{Nodes: 1000, MaxFanout: 4, Vocab: 20, Seed: 1234})
+}
+
+// OutsourceFpOnce runs one full outsourcing pass over doc. sequential
+// false is the production fast path exactly as sssearch.Outsource runs
+// it (fresh ring and mapping, PackedOnly parallel encode, packed
+// parallel split); sequential true is the retained big.Int-boundary
+// reference pipeline (boundary-crossing encode + SplitSequential).
+func OutsourceFpOnce(doc *xmltree.Node, sequential bool) error {
+	fp := ring.MustFp(257)
+	m, err := mapping.New(fp.MaxTag(), []byte("bench-outsource-fp"))
+	if err != nil {
+		return err
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-outsource-fp")))
+	if sequential {
+		enc, err := polyenc.Encode(fp, doc, m)
+		if err != nil {
+			return err
+		}
+		_, err = sharing.SplitSequential(enc, seed)
+		return err
+	}
+	enc, err := polyenc.EncodeWithOpts(fp, doc, m, polyenc.Opts{PackedOnly: true})
+	if err != nil {
+		return err
+	}
+	_, err = sharing.Split(enc, seed)
+	return err
+}
+
+// MultiCombineWorkload is the shared k-of-n combine fixture behind the
+// multiCombine bench target and BenchmarkMultiCombine*: a 3-of-4
+// deployment of in-process Locals over a 300-node F_257 document. After
+// the first Run the member evaluations are cache-hot, so repeated Runs
+// measure the Shamir combine itself.
+type MultiCombineWorkload struct {
+	ms     *core.MultiServer
+	keys   []drbg.NodeKey
+	fetch  []drbg.NodeKey
+	points []*big.Int
+}
+
+// NewMultiCombineWorkload assembles the fixture. bigCombine true selects
+// the per-point big.Int interpolation ablation.
+func NewMultiCombineWorkload(bigCombine bool) (*MultiCombineWorkload, error) {
+	fp := ring.MustFp(257)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 300, MaxFanout: 4, Vocab: 12, Seed: 77})
+	m, err := mapping.New(fp.MaxTag(), []byte("bench-multi-combine"))
+	if err != nil {
+		return nil, err
+	}
+	enc, err := polyenc.Encode(fp, doc, m)
+	if err != nil {
+		return nil, err
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-multi-combine")))
+	shares, err := sharing.MultiSplit(enc, seed, 3, 4, crand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]core.MultiMember, len(shares))
+	for i, s := range shares {
+		srv, err := server.NewLocal(fp, s.Tree)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = core.MultiMember{X: s.X, API: srv}
+	}
+	ms, err := core.NewMultiServer(fp, 3, members)
+	if err != nil {
+		return nil, err
+	}
+	ms.BigCombine = bigCombine
+	var keys []drbg.NodeKey
+	enc.Walk(func(key drbg.NodeKey, _ *polyenc.Node) bool {
+		keys = append(keys, key)
+		return true
+	})
+	fetch := keys
+	if len(fetch) > 64 {
+		fetch = fetch[:64]
+	}
+	return &MultiCombineWorkload{
+		ms:     ms,
+		keys:   keys,
+		fetch:  fetch,
+		points: []*big.Int{big.NewInt(2), big.NewInt(3), big.NewInt(5), big.NewInt(7)},
+	}, nil
+}
+
+// Run performs one combine iteration: EvalNodes over every node at the
+// four points plus a 64-node FetchPolys batch.
+func (w *MultiCombineWorkload) Run() error {
+	if _, err := w.ms.EvalNodes(w.keys, w.points); err != nil {
+		return err
+	}
+	_, err := w.ms.FetchPolys(w.fetch)
+	return err
 }

@@ -1,0 +1,108 @@
+package fastfield
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Lagrange is a precomputed Lagrange-interpolation-at-zero basis over a
+// fixed set of share points: λ_j = ∏_{i≠j} x_i/(x_i − x_j) mod p, kept in
+// the Montgomery domain so combining a share vector costs one MRed and
+// one modular add per share.
+//
+// Reconstruction at zero is the k-of-n combiner of the paper's §4.2
+// multi-server extension: f(0) = Σ_j λ_j·y_j for any k shares (x_j, y_j).
+// Because the λ_j depend only on the (xs, k) set — not on the shared
+// values — one basis serves every node, every query point and every
+// polynomial coefficient of a combine batch. Precompute once per answer
+// set, then batch-combine whole value/coefficient vectors with CombineVec.
+type Lagrange struct {
+	f   *Field
+	lam []uint64 // λ_j in the Montgomery domain
+}
+
+// LagrangeAtZero precomputes the interpolation-at-zero basis for the
+// share points xs. Points are reduced mod p and must be nonzero and
+// pairwise distinct after reduction (a zero point would place a share at
+// the secret itself; colliding points make the system singular).
+func (f *Field) LagrangeAtZero(xs []uint64) (*Lagrange, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("fastfield: empty share point set")
+	}
+	xr := make([]uint64, len(xs))
+	for i, x := range xs {
+		v := f.Reduce(x)
+		if v == 0 {
+			return nil, fmt.Errorf("fastfield: share point %d ≡ 0 (mod %d)", x, f.p)
+		}
+		xr[i] = v
+	}
+	// nums[j] = ∏_{i≠j} x_i and dens[j] = ∏_{i≠j} (x_i − x_j); one batch
+	// inversion covers every denominator.
+	nums := make([]uint64, len(xr))
+	dens := make([]uint64, len(xr))
+	for j, xj := range xr {
+		num, den := f.one, f.one // Montgomery form of 1
+		for i, xi := range xr {
+			if i == j {
+				continue
+			}
+			d := f.Sub(xi, xj)
+			if d == 0 {
+				return nil, fmt.Errorf("fastfield: share points %d and %d coincide (mod %d)", xs[j], xs[i], f.p)
+			}
+			num = f.MRed(num, f.MForm(xi))
+			den = f.MRed(den, f.MForm(d))
+		}
+		nums[j] = f.MRed(num, 1)
+		dens[j] = f.MRed(den, 1)
+	}
+	f.BatchInv(dens, dens)
+	lam := make([]uint64, len(xr))
+	for j := range lam {
+		lam[j] = f.MForm(f.Mul(nums[j], dens[j]))
+	}
+	return &Lagrange{f: f, lam: lam}, nil
+}
+
+// K returns the number of share points the basis was built over.
+func (l *Lagrange) K() int { return len(l.lam) }
+
+// Combine returns Σ_j λ_j·ys[j] mod p — the value at zero of the unique
+// degree-<k polynomial through the shares. ys must align with the xs the
+// basis was built from; values need not be canonical (any uint64 is
+// reduced correctly by the Montgomery product).
+func (l *Lagrange) Combine(ys []uint64) uint64 {
+	if len(ys) != len(l.lam) {
+		panic("fastfield: Combine share count mismatch")
+	}
+	var acc uint64
+	for j, y := range ys {
+		acc = l.f.Add(acc, l.f.MRed(y, l.lam[j]))
+	}
+	return acc
+}
+
+// CombineVec batch-combines whole share vectors: dst[i] = Σ_j
+// λ_j·rows[j][i]. rows[j] is the j-th share point's value vector (node
+// evaluations across query points, or polynomial coefficients); rows
+// shorter than dst are zero-padded on the right, so coefficient vectors
+// of differing trimmed lengths combine directly. One Montgomery pass over
+// the rows, no allocations. Every row must fit dst.
+func (l *Lagrange) CombineVec(dst []uint64, rows [][]uint64) {
+	if len(rows) != len(l.lam) {
+		panic("fastfield: CombineVec share count mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, row := range rows {
+		if len(row) > len(dst) {
+			panic("fastfield: CombineVec row longer than destination")
+		}
+		lam := l.lam[j]
+		for i, v := range row {
+			dst[i] = l.f.Add(dst[i], l.f.MRed(v, lam))
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package fastfield_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"sssearch/internal/fastfield"
+	"sssearch/internal/field"
+	"sssearch/internal/shamir"
+)
+
+// TestLagrangeMatchesShamirInterpolate pins the word-sized combiner to the
+// big.Int reference: for random share sets over several moduli, Combine
+// must equal shamir.InterpolateAt at zero.
+func TestLagrangeMatchesShamirInterpolate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range []uint64{257, 1009, 65537, (1 << 61) - 1} {
+		ff, err := fastfield.New(p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		bf, err := field.New(new(big.Int).SetUint64(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			k := 1 + rng.Intn(6)
+			// Distinct nonzero small points (the deployment shape: X = 1..n).
+			perm := rng.Perm(40)
+			xs := make([]uint64, k)
+			ys := make([]uint64, k)
+			shares := make([]shamir.Share, k)
+			for j := 0; j < k; j++ {
+				xs[j] = uint64(perm[j] + 1)
+				ys[j] = rng.Uint64() % p
+				shares[j] = shamir.Share{X: uint32(xs[j]), Y: new(big.Int).SetUint64(ys[j])}
+			}
+			lag, err := ff.LagrangeAtZero(xs)
+			if err != nil {
+				t.Fatalf("p=%d k=%d: %v", p, k, err)
+			}
+			got := lag.Combine(ys)
+			want, err := shamir.InterpolateAt(bf, shares, big.NewInt(0), k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if new(big.Int).SetUint64(got).Cmp(want) != 0 {
+				t.Fatalf("p=%d k=%d xs=%v ys=%v: fast %d, big.Int %s", p, k, xs, ys, got, want)
+			}
+		}
+	}
+}
+
+// TestLagrangeReconstructsShamirSecret round-trips through the real Shamir
+// scheme: Split a secret, combine any k shares with the fast basis.
+func TestLagrangeReconstructsShamirSecret(t *testing.T) {
+	const p = 1009
+	ff, err := fastfield.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := field.New(big.NewInt(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		k, n := 2+rng.Intn(3), 5
+		scheme, err := shamir.NewScheme(bf, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secret := int64(rng.Intn(p))
+		shares, err := scheme.Split(big.NewInt(secret), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every k-subset starting at a random offset must reconstruct.
+		off := rng.Intn(n - k + 1)
+		xs := make([]uint64, k)
+		ys := make([]uint64, k)
+		for j := 0; j < k; j++ {
+			xs[j] = uint64(shares[off+j].X)
+			ys[j] = shares[off+j].Y.Uint64()
+		}
+		lag, err := ff.LagrangeAtZero(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := lag.Combine(ys); got != uint64(secret) {
+			t.Fatalf("k=%d off=%d: combined %d, want %d", k, off, got, secret)
+		}
+	}
+}
+
+// TestLagrangeCombineVec checks the batch path against scalar Combine,
+// including the zero-padding of short rows.
+func TestLagrangeCombineVec(t *testing.T) {
+	const p = 257
+	ff, err := fastfield.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag, err := ff.LagrangeAtZero([]uint64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]uint64{
+		{5, 10, 15, 20},
+		{7, 14},  // short: columns 2, 3 read as zero
+		{1, 256}, // short, with a boundary value
+	}
+	dst := make([]uint64, 4)
+	lag.CombineVec(dst, rows)
+	for i := range dst {
+		col := make([]uint64, len(rows))
+		for j, row := range rows {
+			if i < len(row) {
+				col[j] = row[i]
+			}
+		}
+		if want := lag.Combine(col); dst[i] != want {
+			t.Fatalf("column %d: CombineVec %d, Combine %d", i, dst[i], want)
+		}
+	}
+}
+
+// TestLagrangeNonCanonicalInputs: points and values above p must reduce,
+// matching the canonical computation.
+func TestLagrangeNonCanonicalInputs(t *testing.T) {
+	const p = 257
+	ff, err := fastfield.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := ff.LagrangeAtZero([]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := ff.LagrangeAtZero([]uint64{1 + p, 2 + 3*p, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := []uint64{100, 200, 255}
+	big := []uint64{100 + p, 200 + 7*p, 255 + 2*p}
+	if a, b := canon.Combine(ys), shifted.Combine(big); a != b {
+		t.Fatalf("non-canonical combine %d, canonical %d", b, a)
+	}
+}
+
+func TestLagrangeRejectsDegeneratePoints(t *testing.T) {
+	const p = 257
+	ff, err := fastfield.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.LagrangeAtZero(nil); err == nil {
+		t.Error("empty point set accepted")
+	}
+	if _, err := ff.LagrangeAtZero([]uint64{1, p}); err == nil {
+		t.Error("point ≡ 0 accepted")
+	}
+	if _, err := ff.LagrangeAtZero([]uint64{3, 3}); err == nil {
+		t.Error("duplicate points accepted")
+	}
+	if _, err := ff.LagrangeAtZero([]uint64{2, 2 + p}); err == nil {
+		t.Error("points colliding mod p accepted")
+	}
+}

@@ -26,6 +26,8 @@ type Counters struct {
 	messagesRcvd   atomic.Int64
 	evalCacheHits  atomic.Int64 // server eval-cache hits (node×point reused)
 	evalCacheMiss  atomic.Int64 // server eval-cache misses (Horner passes run)
+	padCacheHits   atomic.Int64 // client pad-cache hits (share pads reused)
+	padCacheMiss   atomic.Int64 // client pad-cache misses (DRBG regenerations)
 }
 
 // Add* methods increment the corresponding counter.
@@ -45,6 +47,8 @@ func (c *Counters) AddMessageSent()         { c.messagesSent.Add(1) }
 func (c *Counters) AddMessageReceived()     { c.messagesRcvd.Add(1) }
 func (c *Counters) AddEvalCacheHits(n int)  { c.evalCacheHits.Add(int64(n)) }
 func (c *Counters) AddEvalCacheMiss(n int)  { c.evalCacheMiss.Add(int64(n)) }
+func (c *Counters) AddPadCacheHits(n int)   { c.padCacheHits.Add(int64(n)) }
+func (c *Counters) AddPadCacheMiss(n int)   { c.padCacheMiss.Add(int64(n)) }
 
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
@@ -63,6 +67,8 @@ type Snapshot struct {
 	MessagesRcvd   int64
 	EvalCacheHits  int64
 	EvalCacheMiss  int64
+	PadCacheHits   int64
+	PadCacheMiss   int64
 }
 
 // Snapshot captures the current counter values.
@@ -83,6 +89,8 @@ func (c *Counters) Snapshot() Snapshot {
 		MessagesRcvd:   c.messagesRcvd.Load(),
 		EvalCacheHits:  c.evalCacheHits.Load(),
 		EvalCacheMiss:  c.evalCacheMiss.Load(),
+		PadCacheHits:   c.padCacheHits.Load(),
+		PadCacheMiss:   c.padCacheMiss.Load(),
 	}
 }
 
@@ -103,6 +111,8 @@ func (c *Counters) Reset() {
 	c.messagesRcvd.Store(0)
 	c.evalCacheHits.Store(0)
 	c.evalCacheMiss.Store(0)
+	c.padCacheHits.Store(0)
+	c.padCacheMiss.Store(0)
 }
 
 // Sub returns the delta s - prev, for per-query deltas over a shared
@@ -124,13 +134,15 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		MessagesRcvd:   s.MessagesRcvd - prev.MessagesRcvd,
 		EvalCacheHits:  s.EvalCacheHits - prev.EvalCacheHits,
 		EvalCacheMiss:  s.EvalCacheMiss - prev.EvalCacheMiss,
+		PadCacheHits:   s.PadCacheHits - prev.PadCacheHits,
+		PadCacheMiss:   s.PadCacheMiss - prev.PadCacheMiss,
 	}
 }
 
 // String renders a compact one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d",
+	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d",
 		s.NodesEvaluated, s.ValuesMoved, s.PolysFetched, s.PolyBytesMoved,
 		s.Rounds, s.NodesVisited, s.NodesPruned, s.TagsRecovered, s.VerifyFailures,
-		s.EvalCacheHits, s.EvalCacheMiss)
+		s.EvalCacheHits, s.EvalCacheMiss, s.PadCacheHits, s.PadCacheMiss)
 }

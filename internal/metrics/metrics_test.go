@@ -83,3 +83,24 @@ func TestStringFormat(t *testing.T) {
 		t.Errorf("String() = %q", out)
 	}
 }
+
+func TestPadCacheCounters(t *testing.T) {
+	c := &Counters{}
+	c.AddPadCacheHits(3)
+	c.AddPadCacheMiss(2)
+	s := c.Snapshot()
+	if s.PadCacheHits != 3 || s.PadCacheMiss != 2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	delta := s.Sub(Snapshot{PadCacheHits: 1, PadCacheMiss: 1})
+	if delta.PadCacheHits != 2 || delta.PadCacheMiss != 1 {
+		t.Errorf("delta = %+v", delta)
+	}
+	if out := s.String(); !strings.Contains(out, "padHit=3") || !strings.Contains(out, "padMiss=2") {
+		t.Errorf("String() missing pad counters: %s", out)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s.PadCacheHits != 0 || s.PadCacheMiss != 0 {
+		t.Errorf("reset snapshot = %+v", s)
+	}
+}

@@ -1,0 +1,90 @@
+// Package parwalk provides the bounded worker pool behind the outsourcing
+// pipeline's parallel tree walks (polyenc encode, sharing split).
+//
+// The pool implements subtree-level work stealing in its simplest sound
+// form: a caller offers each subtree to the pool, and the subtree runs on
+// a fresh goroutine when a worker slot is free or inline on the calling
+// goroutine otherwise. Inline execution guarantees progress with zero
+// slots (Parallelism 1 degenerates to a plain sequential walk with no
+// goroutines and no channel traffic), and means a blocked parent can never
+// deadlock waiting for descendants: a subtree that cannot get a slot runs
+// on the goroutine that offered it.
+//
+// Determinism is the caller's contract, not the pool's: tree walks built
+// on Do must derive every node's output from the node itself (e.g. a
+// per-node DRBG stream keyed by the node path) and write results into
+// pre-assigned slots, so the completion order never shows in the output.
+package parwalk
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded work-stealing pool for one tree walk. Create one per
+// walk with New; it must not be reused after Wait returns.
+type Pool struct {
+	// sem holds one token per extra worker (the walking goroutine itself
+	// is the first worker, so capacity is parallelism-1).
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	failed atomic.Bool
+
+	mu  sync.Mutex
+	err error
+}
+
+// New builds a pool running at most parallelism concurrent tasks.
+// parallelism <= 0 selects runtime.GOMAXPROCS(0); 1 makes every Do call
+// run inline (sequential walk).
+func New(parallelism int) *Pool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, parallelism-1)}
+}
+
+// Do runs f on a pool goroutine when a worker slot is free, or inline on
+// the calling goroutine otherwise. Inline calls complete before Do
+// returns; spawned calls are awaited by Wait.
+func (p *Pool) Do(f func()) {
+	select {
+	case p.sem <- struct{}{}:
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer func() { <-p.sem }()
+			f()
+		}()
+	default:
+		f()
+	}
+}
+
+// Fail records err as the walk's result (first error wins) and flips
+// Failed so in-flight subtrees can stop descending. A nil err is ignored.
+func (p *Pool) Fail(err error) {
+	if err == nil {
+		return
+	}
+	p.failed.Store(true)
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Failed reports whether any task has failed; walks check it to prune
+// work after an error.
+func (p *Pool) Failed() bool { return p.failed.Load() }
+
+// Wait blocks until every spawned task has finished and returns the first
+// recorded error.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

@@ -1,0 +1,71 @@
+package parwalk
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsEveryTask: all tasks complete before Wait returns, at every
+// parallelism (including the degenerate inline-only pool).
+func TestPoolRunsEveryTask(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 8} {
+		p := New(par)
+		var ran atomic.Int64
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			ran.Add(1)
+			if depth == 0 {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				d := depth - 1
+				p.Do(func() { spawn(d) })
+			}
+		}
+		spawn(5) // 1 + 3 + 9 + 27 + 81 + 243 tasks
+		if err := p.Wait(); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if got := ran.Load(); got != 364 {
+			t.Fatalf("par=%d: ran %d tasks, want 364", par, got)
+		}
+	}
+}
+
+// TestPoolFirstErrorWins: Fail keeps the first error, Failed flips, and
+// Wait surfaces it after all spawned tasks drain.
+func TestPoolFirstErrorWins(t *testing.T) {
+	p := New(4)
+	first := errors.New("first")
+	p.Fail(nil) // ignored
+	if p.Failed() {
+		t.Fatal("nil error marked the pool failed")
+	}
+	p.Fail(first)
+	p.Fail(errors.New("second"))
+	if !p.Failed() {
+		t.Fatal("Failed() false after Fail")
+	}
+	if err := p.Wait(); !errors.Is(err, first) {
+		t.Fatalf("Wait() = %v, want the first error", err)
+	}
+}
+
+// TestPoolInlineUnderContention: with every slot taken, Do must run the
+// task inline rather than block — the no-deadlock guarantee.
+func TestPoolInlineUnderContention(t *testing.T) {
+	p := New(2) // one background slot
+	release := make(chan struct{})
+	p.Do(func() { <-release }) // occupies the slot (or runs inline and finishes — then the next Do spawns, same property)
+	done := make(chan struct{})
+	go func() {
+		p.Do(func() {}) // must not block even with the slot busy
+		close(done)
+	}()
+	<-done
+	close(release)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"math/bits"
 	"strings"
 )
 
@@ -69,10 +70,30 @@ func FromInt64(coeffs ...int64) Poly {
 // NewUint64 builds a polynomial from uint64 coefficients in ascending
 // degree order — the boundary conversion out of the packed word-sized
 // representation (package fastfield).
+//
+// On 64-bit platforms the coefficients share three backing arrays (words,
+// big.Int headers, pointer slice) instead of one heap object per
+// coefficient: this conversion sits on the outsourcing hot path, where
+// per-coefficient boxing used to dominate the whole pipeline. Each
+// coefficient's word slice is capped at one word, so the usual copy-on-
+// write big.Int arithmetic can never scribble over a neighbour.
 func NewUint64(coeffs []uint64) Poly {
+	if bits.UintSize < 64 {
+		c := make([]*big.Int, len(coeffs))
+		for i, v := range coeffs {
+			c[i] = new(big.Int).SetUint64(v)
+		}
+		return Poly{c: c}.trim()
+	}
+	words := make([]big.Word, len(coeffs))
+	ints := make([]big.Int, len(coeffs))
 	c := make([]*big.Int, len(coeffs))
 	for i, v := range coeffs {
-		c[i] = new(big.Int).SetUint64(v)
+		if v != 0 {
+			words[i] = big.Word(v)
+			ints[i].SetBits(words[i : i+1 : i+1])
+		}
+		c[i] = &ints[i]
 	}
 	return Poly{c: c}.trim()
 }

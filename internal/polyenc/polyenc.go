@@ -13,9 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"sssearch/internal/drbg"
+	"sssearch/internal/fastfield"
 	"sssearch/internal/mapping"
+	"sssearch/internal/parwalk"
 	"sssearch/internal/poly"
 	"sssearch/internal/ring"
 	"sssearch/internal/xmltree"
@@ -25,8 +28,26 @@ import (
 type Node struct {
 	// Poly is the node's polynomial, a canonical ring representative.
 	Poly poly.Poly
+	// Packed, when non-nil, is the word-sized mirror of Poly (canonical
+	// []uint64 coefficients, ascending degree, trailing zeros trimmed).
+	// The packed fast-path encode fills it so downstream consumers —
+	// sharing.Split above all — never re-pack; trees built through the
+	// big.Int path or by hand leave it nil. Shared read-only.
+	Packed []uint64
 	// Children mirror the XML element order.
 	Children []*Node
+}
+
+// Polynomial returns the node's polynomial in the big.Int boundary
+// representation, materializing it from the packed mirror when a
+// PackedOnly encode skipped the boxing. Readers that may be handed a
+// PackedOnly tree (sharing's big.Int split paths, tree-wide tag
+// recovery) must use this instead of reading Poly directly.
+func (n *Node) Polynomial() poly.Poly {
+	if n.Poly.IsZero() && n.Packed != nil {
+		return poly.NewUint64(n.Packed)
+	}
+	return n.Poly
 }
 
 // Tree is the polynomial image of an XML document.
@@ -56,6 +77,20 @@ type Opts struct {
 	// a tag equal to p−1 makes node polynomials able to vanish identically,
 	// silently destroying Theorem 1's uniqueness.
 	AllowTagOverflow bool
+	// Parallelism bounds the worker pool of the packed fast-path encode
+	// walk: 0 selects runtime.GOMAXPROCS, 1 forces a sequential walk.
+	// The encoding is identical at every setting — tag values are
+	// assigned in a deterministic sequential pre-pass and the product
+	// arithmetic is exact — so this is purely a throughput knob. The
+	// big.Int path (IntQuotient, SetFast(false)) ignores it.
+	Parallelism int
+	// PackedOnly makes the fast-path encode skip materializing Node.Poly
+	// and carry Node.Packed alone — for pipelines (Outsource above all)
+	// that hand the tree straight to sharing.Split and never read the
+	// big.Int boundary representation. Readers that need Poly go through
+	// Node.Polynomial(), which re-boxes on demand. Ignored on the
+	// big.Int path, which always fills Poly.
+	PackedOnly bool
 }
 
 // Encode translates doc into a polynomial tree over r, assigning mapping
@@ -70,11 +105,111 @@ func EncodeWithOpts(r ring.Ring, doc *xmltree.Node, m *mapping.Map, o Opts) (*Tr
 	if doc == nil {
 		return nil, errors.New("polyenc: nil document")
 	}
+	if fp, ok := r.(*ring.FpCyclotomic); ok && fp.Fast() != nil {
+		return encodePacked(fp, doc, m, o)
+	}
 	root, err := encodeNode(r, doc, m, o)
 	if err != nil {
 		return nil, err
 	}
 	return &Tree{Ring: r, Root: root}, nil
+}
+
+// encodePacked is the word-sized encode: node polynomials are built
+// bottom-up as packed []uint64 products (one MulPacked per factor, no
+// big.Int crossings inside the walk) and subtrees are encoded in parallel
+// on a bounded pool. Two phases keep it byte-compatible with the
+// sequential big.Int encode:
+//
+//  1. a sequential pre-pass assigns tag values in exactly the order the
+//     recursive encode would (children before parent) — mapping.Assign
+//     resolves draw collisions first-come-first-served, so the visit
+//     order is part of the mapping's determinism contract;
+//  2. a parallel product pass multiplies the packed factors. Ring
+//     arithmetic is exact, so the result is schedule-independent.
+func encodePacked(fp *ring.FpCyclotomic, doc *xmltree.Node, m *mapping.Map, o Opts) (*Tree, error) {
+	e := &packedEncoder{
+		fp:         fp,
+		ff:         fp.Fast(),
+		vals:       make(map[*xmltree.Node]uint64),
+		pool:       parwalk.New(o.Parallelism),
+		packedOnly: o.PackedOnly,
+	}
+	if err := e.assignTags(doc, m, o); err != nil {
+		return nil, err
+	}
+	root := &Node{}
+	e.walk(doc, root)
+	e.pool.Wait() // infallible walk: only exact arithmetic after the pre-pass
+	return &Tree{Ring: fp, Root: root}, nil
+}
+
+type packedEncoder struct {
+	fp         *ring.FpCyclotomic
+	ff         *fastfield.Field
+	vals       map[*xmltree.Node]uint64 // read-only during the parallel pass
+	pool       *parwalk.Pool
+	packedOnly bool
+}
+
+// assignTags replays the sequential encode's postorder Assign calls.
+func (e *packedEncoder) assignTags(n *xmltree.Node, m *mapping.Map, o Opts) error {
+	for _, c := range n.Children {
+		if err := e.assignTags(c, m, o); err != nil {
+			return err
+		}
+	}
+	tag, err := m.Assign(n.Tag)
+	if err != nil {
+		return fmt.Errorf("polyenc: encoding %q: %w", n.PathString(), err)
+	}
+	if maxTag := e.fp.MaxTag(); !o.AllowTagOverflow && maxTag != nil && tag.Cmp(maxTag) > 0 {
+		return fmt.Errorf("polyenc: tag %q maps to %s, outside the ring's safe domain [1,%s] (Lemma 3)",
+			n.Tag, tag, maxTag)
+	}
+	e.vals[n] = e.ff.ReduceBig(tag)
+	return nil
+}
+
+func (e *packedEncoder) walk(x *xmltree.Node, out *Node) {
+	linear := []uint64{e.ff.Neg(e.vals[x]), 1}
+	if len(x.Children) == 0 {
+		out.Packed = linear
+		if !e.packedOnly {
+			out.Poly = e.fp.Unpack(linear)
+		}
+		return
+	}
+	out.Children = make([]*Node, len(x.Children))
+	var wg sync.WaitGroup
+	for i, c := range x.Children {
+		c, child := c, &Node{} // pre-1.22 loop-var capture
+		out.Children[i] = child
+		wg.Add(1)
+		e.pool.Do(func() {
+			defer wg.Done()
+			e.walk(c, child)
+		})
+	}
+	wg.Wait()
+	prod := out.Children[0].Packed
+	for _, c := range out.Children[1:] {
+		prod = trimPacked(e.fp.MulPacked(prod, c.Packed))
+	}
+	out.Packed = trimPacked(e.fp.MulPacked(linear, prod))
+	if !e.packedOnly {
+		out.Poly = e.fp.Unpack(out.Packed)
+	}
+}
+
+// trimPacked drops trailing zero coefficients so subtree products carry
+// their true degree into the next multiplication.
+func trimPacked(v []uint64) []uint64 {
+	n := len(v)
+	for n > 0 && v[n-1] == 0 {
+		n--
+	}
+	return v[:n:n]
 }
 
 func encodeNode(r ring.Ring, n *xmltree.Node, m *mapping.Map, o Opts) (*Node, error) {
@@ -163,7 +298,7 @@ func (t *Tree) Lookup(key drbg.NodeKey) (*Node, error) {
 func (t *Tree) MaxCoeffBits() int {
 	maxBits := 0
 	t.Walk(func(_ drbg.NodeKey, n *Node) bool {
-		if b := n.Poly.MaxCoeffBitLen(); b > maxBits {
+		if b := n.Polynomial().MaxCoeffBitLen(); b > maxBits {
 			maxBits = b
 		}
 		return true
@@ -323,9 +458,9 @@ func (t *Tree) RecoverAllTags() (map[string]*big.Int, error) {
 	t.Walk(func(key drbg.NodeKey, n *Node) bool {
 		children := make([]poly.Poly, len(n.Children))
 		for i, c := range n.Children {
-			children[i] = c.Poly
+			children[i] = c.Polynomial()
 		}
-		v, err := RecoverTag(t.Ring, n.Poly, children)
+		v, err := RecoverTag(t.Ring, n.Polynomial(), children)
 		if err != nil {
 			firstErr = fmt.Errorf("polyenc: node %s: %w", key, err)
 			return false

@@ -74,7 +74,12 @@ func NewLocal(r ring.Ring, tree *sharing.Tree) (*Local, error) {
 		s.fp = fp
 		s.packed = make(map[*sharing.Node][]uint64)
 		tree.Walk(func(_ drbg.NodeKey, n *sharing.Node) bool {
-			if vec, ok := fp.Pack(n.Poly); ok {
+			// The packed split leaves a canonical word mirror on every
+			// node; only trees loaded from disk or built through the
+			// big.Int path still need packing here.
+			if n.Packed != nil {
+				s.packed[n] = n.Packed
+			} else if vec, ok := fp.Pack(n.Poly); ok {
 				s.packed[n] = vec
 			}
 			return true
@@ -122,6 +127,7 @@ func (s *Local) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEv
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		values := make([]*big.Int, len(points))
+		np := node.Polynomial()
 		for j, p := range points {
 			bk := bigEvalKey{node: node, x: p.String()}
 			if v, ok := s.bigCache.Get(bk); ok {
@@ -129,7 +135,7 @@ func (s *Local) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEv
 				values[j] = v
 				continue
 			}
-			v, err := s.ring.Eval(node.Poly, p)
+			v, err := s.ring.Eval(np, p)
 			if err != nil {
 				return nil, fmt.Errorf("server: evaluating %s at %s: %w", k, p, err)
 			}
@@ -194,8 +200,9 @@ func (s *Local) evalNodesFast(keys []drbg.NodeKey, points []*big.Int) ([]core.No
 			} else {
 				// Node polynomial does not pack (foreign big coefficients):
 				// evaluate through the ring, still caching the results.
+				np := node.Polynomial()
 				for _, j := range missIdx {
-					v, err := s.ring.Eval(node.Poly, points[j])
+					v, err := s.ring.Eval(np, points[j])
 					if err != nil {
 						return nil, fmt.Errorf("server: evaluating %s at %s: %w", k, points[j], err)
 					}
@@ -217,7 +224,7 @@ func (s *Local) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
-		out[i] = core.NodePoly{Key: k, Poly: node.Poly, NumChildren: len(node.Children)}
+		out[i] = core.NodePoly{Key: k, Poly: node.Polynomial(), NumChildren: len(node.Children)}
 	}
 	return out, nil
 }

@@ -81,7 +81,7 @@ func TestFetchPolysMatchesTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	node, _ := local.Tree().Lookup(drbg.NodeKey{1})
-	if !r.Equal(answers[0].Poly, node.Poly) {
+	if !r.Equal(answers[0].Poly, node.Polynomial()) {
 		t.Error("fetched polynomial differs from stored")
 	}
 	if answers[0].NumChildren != 1 {

@@ -33,7 +33,7 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 			return
 		}
 		buf = binary.AppendUvarint(buf, uint64(len(n.Children)))
-		buf, err = n.Poly.AppendBinary(buf)
+		buf, err = n.Polynomial().AppendBinary(buf)
 		if err != nil {
 			return
 		}

@@ -74,8 +74,9 @@ func multiSplitNode(r *ring.FpCyclotomic, scheme *shamir.Scheme, n *Node, rng io
 	for j := range parts {
 		parts[j] = make([]*big.Int, bound)
 	}
+	np := n.Polynomial()
 	for i := 0; i < bound; i++ {
-		shares, err := scheme.Split(n.Poly.Coeff(i), rng)
+		shares, err := scheme.Split(np.Coeff(i), rng)
 		if err != nil {
 			return nil, err
 		}
@@ -106,8 +107,24 @@ type ServerEval struct {
 }
 
 // CombineServerEvals reconstructs f_rest(a) from >= k scalar server
-// evaluations via Lagrange interpolation at zero.
+// evaluations via Lagrange interpolation at zero. Fast-path rings combine
+// on fastfield words; the big.Int interpolation remains the fallback for
+// wide moduli (and the behavioral reference — both paths are
+// differentially tested against each other).
 func CombineServerEvals(r *ring.FpCyclotomic, evals []ServerEval, k int) (*big.Int, error) {
+	if ff := r.Fast(); ff != nil && len(evals) >= k {
+		xs := make([]uint64, len(evals))
+		ys := make([]uint64, len(evals))
+		for i, e := range evals {
+			xs[i] = uint64(e.X)
+			ys[i] = ff.ReduceBig(e.Value)
+		}
+		if lag, err := ff.LagrangeAtZero(xs); err == nil {
+			return new(big.Int).SetUint64(lag.Combine(ys)), nil
+		}
+		// Degenerate point sets fall through to the big.Int path for its
+		// established error reporting.
+	}
 	shares := make([]shamir.Share, len(evals))
 	for i, e := range evals {
 		shares[i] = shamir.Share{X: e.X, Y: e.Value}

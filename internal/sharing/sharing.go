@@ -17,6 +17,8 @@ import (
 
 	"sssearch/internal/drbg"
 	"sssearch/internal/lru"
+	"sssearch/internal/metrics"
+	"sssearch/internal/parwalk"
 	"sssearch/internal/poly"
 	"sssearch/internal/polyenc"
 	"sssearch/internal/ring"
@@ -33,10 +35,37 @@ import (
 // domain-separates the two streams instead of letting them silently mix.
 const ShareLabel = "sss/client-share/v2"
 
-// Node is one node of a share tree.
+// Node is one node of a share tree. Exactly one of Poly and Packed is
+// authoritative: trees built through the big.Int path (unmarshal,
+// Materialize, MultiSplit, hand-rolled fixtures) carry Poly; trees from
+// the packed split carry Packed and materialize Poly on demand through
+// Polynomial(). Readers that cannot know the tree's provenance must go
+// through Polynomial().
 type Node struct {
-	Poly     poly.Poly
+	// Poly is the big.Int boundary representation of the share
+	// polynomial; the zero value on packed trees (see Polynomial).
+	Poly poly.Poly
+	// Packed, when non-nil, is the canonical word-sized share polynomial
+	// ([]uint64 coefficients, full ring length, ascending degree) left
+	// behind by the packed split so server.Local can index share
+	// polynomials without re-packing and the split never boxes
+	// coefficients it may never serve. Serialization reads it through
+	// Polynomial; unmarshaled trees re-pack lazily. Shared read-only.
+	Packed   []uint64
 	Children []*Node
+}
+
+// Polynomial returns the node's share polynomial in the big.Int boundary
+// representation, materializing it from the packed mirror when that is
+// the authoritative form. The materialization is stateless (safe under
+// concurrent readers, no caching): hot paths work on Packed and never
+// call this; cold paths (marshal, polynomial fetches, reconstruction)
+// pay one boxing pass per call.
+func (n *Node) Polynomial() poly.Poly {
+	if n.Packed != nil {
+		return poly.NewUint64(n.Packed)
+	}
+	return n.Poly
 }
 
 // Tree is a share tree: one polynomial per document node, mirroring the
@@ -85,35 +114,156 @@ func (t *Tree) Lookup(key drbg.NodeKey) (*Node, error) {
 	return cur, nil
 }
 
+// SplitOpts tunes Split.
+type SplitOpts struct {
+	// Parallelism bounds the worker pool of the tree walk: 0 selects
+	// runtime.GOMAXPROCS, 1 forces a sequential walk. The output tree is
+	// byte-identical at every setting — each node's pad is derived from
+	// its own path-keyed DRBG stream, so no schedule-dependent state
+	// exists to leak into the result.
+	Parallelism int
+}
+
 // Split derives the deterministic client share for every node of enc from
 // seed and returns the server tree (original − client). The client needs to
 // keep only the seed; SeedClient regenerates its shares on demand.
+//
+// On rings with the word-sized fast path the walk runs packed — pads are
+// drawn straight into []uint64 vectors, the subtraction is one word pass,
+// and Node.Packed carries the result so server.NewLocal never re-packs —
+// and subtrees are split in parallel on a bounded pool. SplitSequential is
+// the retained big.Int-boundary reference; both produce identical trees.
 func Split(enc *polyenc.Tree, seed drbg.Seed) (*Tree, error) {
+	return SplitWithOpts(enc, seed, SplitOpts{})
+}
+
+// SplitWithOpts is Split with an explicit parallelism bound.
+func SplitWithOpts(enc *polyenc.Tree, seed drbg.Seed, o SplitOpts) (*Tree, error) {
+	if enc == nil || enc.Root == nil {
+		return nil, errors.New("sharing: nil encoded tree")
+	}
+	s := &splitter{
+		r:    enc.Ring,
+		d:    drbg.NewDeriver(seed, ShareLabel),
+		pool: parwalk.New(o.Parallelism),
+	}
+	if fp, ok := enc.Ring.(*ring.FpCyclotomic); ok && fp.Fast() != nil {
+		s.fp = fp
+	}
+	root := &Node{}
+	s.walk(enc.Root, drbg.NodeKey{}, root)
+	if err := s.pool.Wait(); err != nil {
+		return nil, err
+	}
+	return &Tree{Root: root}, nil
+}
+
+// SplitSequential is the sequential big.Int-boundary reference
+// implementation of Split (the pre-parallel behavior, one generic ring op
+// per node). It is retained as the differential-test anchor and the
+// before side of the outsourcing benchmarks; production callers use
+// Split. Both derive identical pads — the per-node DRBG streams do not
+// depend on the walk — so the trees match byte for byte.
+func SplitSequential(enc *polyenc.Tree, seed drbg.Seed) (*Tree, error) {
 	if enc == nil || enc.Root == nil {
 		return nil, errors.New("sharing: nil encoded tree")
 	}
 	d := drbg.NewDeriver(seed, ShareLabel)
-	root, err := splitNode(enc.Ring, enc.Root, drbg.NodeKey{}, d)
+	root, err := splitNodeRef(enc.Ring, enc.Root, drbg.NodeKey{}, d)
 	if err != nil {
 		return nil, err
 	}
 	return &Tree{Root: root}, nil
 }
 
-func splitNode(r ring.Ring, n *polyenc.Node, key drbg.NodeKey, d *drbg.Deriver) (*Node, error) {
+func splitNodeRef(r ring.Ring, n *polyenc.Node, key drbg.NodeKey, d *drbg.Deriver) (*Node, error) {
 	pad, err := r.Rand(d.ForNode(key))
 	if err != nil {
 		return nil, fmt.Errorf("sharing: node %s: %w", key, err)
 	}
-	out := &Node{Poly: r.Sub(n.Poly, pad)}
+	out := &Node{Poly: r.Sub(n.Polynomial(), pad)}
 	for i, c := range n.Children {
-		sc, err := splitNode(r, c, key.Child(uint32(i)), d)
+		sc, err := splitNodeRef(r, c, key.Child(uint32(i)), d)
 		if err != nil {
 			return nil, err
 		}
 		out.Children = append(out.Children, sc)
 	}
 	return out, nil
+}
+
+// splitter is one parallel packed split run.
+type splitter struct {
+	r    ring.Ring
+	fp   *ring.FpCyclotomic // non-nil on the word-sized fast path
+	d    *drbg.Deriver
+	pool *parwalk.Pool
+}
+
+func (s *splitter) walk(n *polyenc.Node, key drbg.NodeKey, out *Node) {
+	if s.pool.Failed() {
+		return
+	}
+	if err := s.fill(n, key, out); err != nil {
+		s.pool.Fail(fmt.Errorf("sharing: node %s: %w", key, err))
+		return
+	}
+	if len(n.Children) == 0 {
+		return
+	}
+	out.Children = make([]*Node, len(n.Children))
+	for i, c := range n.Children {
+		c, child := c, &Node{} // pre-1.22 loop-var capture
+		ck := key.Child(uint32(i))
+		out.Children[i] = child
+		s.pool.Do(func() { s.walk(c, ck, child) })
+	}
+}
+
+// fill computes one node's server share: enc − pad. The packed path draws
+// the pad into a word vector and subtracts in place; nodes that do not
+// pack (foreign coefficients) and non-fast rings take the generic ring
+// ops, consuming the identical DRBG stream.
+func (s *splitter) fill(n *polyenc.Node, key drbg.NodeKey, out *Node) error {
+	if s.fp != nil {
+		if encP, ok := s.packedOf(n); ok {
+			vec := make([]uint64, s.fp.DegreeBound())
+			if err := s.fp.RandPacked(s.d.ForNode(key), vec); err != nil {
+				return err
+			}
+			ff := s.fp.Fast()
+			for i := range vec {
+				var e uint64
+				if i < len(encP) {
+					e = encP[i]
+				}
+				vec[i] = ff.Sub(e, vec[i])
+			}
+			out.Packed = vec
+			return nil
+		}
+	}
+	pad, err := s.r.Rand(s.d.ForNode(key))
+	if err != nil {
+		return err
+	}
+	// Polynomial() (not Poly) so a PackedOnly-encoded tree still splits
+	// correctly when the ring's fast path is off at split time.
+	out.Poly = s.r.Sub(n.Polynomial(), pad)
+	return nil
+}
+
+// packedOf returns the node's canonical packed coefficients, preferring
+// the mirror the packed encode left behind.
+func (s *splitter) packedOf(n *polyenc.Node) ([]uint64, bool) {
+	if n.Packed != nil {
+		return n.Packed, true
+	}
+	vec, ok := s.fp.Pack(n.Poly)
+	if !ok || len(vec) > s.fp.DegreeBound() {
+		return nil, false
+	}
+	return vec, true
 }
 
 // DefaultShareCacheNodes bounds the seed-only client's packed-share LRU:
@@ -139,16 +289,32 @@ type SeedClient struct {
 	// cache maps node-key strings to packed share pads. Cached vectors
 	// are shared and must never be mutated.
 	cache *lru.Cache[string, []uint64]
+	// counters receives the pad-cache hit/miss tallies (the client-side
+	// mirror of server.Local's eval-cache counters).
+	counters *metrics.Counters
 }
 
 // NewSeedClient builds the seed-only client view.
 func NewSeedClient(r ring.Ring, seed drbg.Seed) *SeedClient {
-	c := &SeedClient{r: r, d: drbg.NewDeriver(seed, ShareLabel)}
+	c := &SeedClient{r: r, d: drbg.NewDeriver(seed, ShareLabel), counters: &metrics.Counters{}}
 	if fp, ok := r.(*ring.FpCyclotomic); ok && fp.Fast() != nil {
 		c.fp = fp
 		c.cache = lru.New[string, []uint64](DefaultShareCacheNodes)
 	}
 	return c
+}
+
+// Counters exposes the client-side metric counters (pad-cache hits and
+// misses).
+func (c *SeedClient) Counters() *metrics.Counters { return c.counters }
+
+// SetCounters redirects the pad-cache tallies into a shared counter set
+// (the query engine passes its own so per-query snapshots include pad
+// regeneration work). A nil argument is ignored.
+func (c *SeedClient) SetCounters(m *metrics.Counters) {
+	if m != nil {
+		c.counters = m
+	}
 }
 
 // SetShareCacheNodes re-bounds the packed-share cache to at most n node
@@ -168,8 +334,10 @@ func (c *SeedClient) Ring() ring.Ring { return c.r }
 func (c *SeedClient) packedShare(key drbg.NodeKey) ([]uint64, error) {
 	ks := key.String()
 	if v, ok := c.cache.Get(ks); ok {
+		c.counters.AddPadCacheHits(1)
 		return v, nil
 	}
+	c.counters.AddPadCacheMiss(1)
 	vec := make([]uint64, c.fp.DegreeBound())
 	if err := c.fp.RandPacked(c.d.ForNode(key), vec); err != nil {
 		return nil, fmt.Errorf("sharing: node %s: %w", key, err)
@@ -310,7 +478,7 @@ func Reconstruct(r ring.Ring, client, server *Tree) (*polyenc.Tree, error) {
 			return nil, fmt.Errorf("sharing: shape mismatch at %s: %d vs %d children",
 				key, len(c.Children), len(s.Children))
 		}
-		out := &polyenc.Node{Poly: r.Add(c.Poly, s.Poly)}
+		out := &polyenc.Node{Poly: r.Add(c.Polynomial(), s.Polynomial())}
 		for i := range c.Children {
 			mc, err := merge(c.Children[i], s.Children[i], key.Child(uint32(i)))
 			if err != nil {

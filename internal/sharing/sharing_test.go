@@ -132,7 +132,7 @@ func TestSeedClientMatchesSplit(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !r.Equal(r.Add(cs, sn.Poly), n.Poly) {
+			if !r.Equal(r.Add(cs, sn.Polynomial()), n.Poly) {
 				t.Fatalf("%s node %s: shares do not sum to original", r.Name(), key)
 			}
 			return true
@@ -162,7 +162,7 @@ func TestEvalShareAdditivity(t *testing.T) {
 			t.Fatal(err)
 		}
 		sn, _ := server.Lookup(key)
-		sv, err := r.Eval(sn.Poly, a)
+		sv, err := r.Eval(sn.Polynomial(), a)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -77,7 +77,9 @@ func NewStaticSource(r ring.Ring, tree *Tree) (*StaticSource, error) {
 		s.fp = fp
 		s.packed = make(map[*Node][]uint64)
 		tree.Walk(func(_ drbg.NodeKey, n *Node) bool {
-			if vec, ok := fp.Pack(n.Poly); ok {
+			if n.Packed != nil {
+				s.packed[n] = n.Packed
+			} else if vec, ok := fp.Pack(n.Poly); ok {
 				s.packed[n] = vec
 			}
 			return true
@@ -92,7 +94,7 @@ func (s *StaticSource) Share(key drbg.NodeKey) (poly.Poly, error) {
 	if err != nil {
 		return poly.Poly{}, err
 	}
-	return n.Poly, nil
+	return n.Polynomial(), nil
 }
 
 // EvalShare implements ShareSource.
@@ -128,8 +130,9 @@ func (s *StaticSource) EvalShares(key drbg.NodeKey, points []*big.Int) ([]*big.I
 		return evalPackedMany(s.fp, vec, points)
 	}
 	out := make([]*big.Int, len(points))
+	np := n.Polynomial()
 	for i, p := range points {
-		if out[i], err = s.r.Eval(n.Poly, p); err != nil {
+		if out[i], err = s.r.Eval(np, p); err != nil {
 			return nil, err
 		}
 	}

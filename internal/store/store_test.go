@@ -184,11 +184,11 @@ func TestQueryAfterReload(t *testing.T) {
 	a := big.NewInt(2)
 	n1, _ := tree.Lookup(drbg.NodeKey{0})
 	n2, _ := tree2.Lookup(drbg.NodeKey{0})
-	v1, err := r.Eval(n1.Poly, a)
+	v1, err := r.Eval(n1.Polynomial(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := r2.Eval(n2.Poly, a)
+	v2, err := r2.Eval(n2.Polynomial(), a)
 	if err != nil {
 		t.Fatal(err)
 	}

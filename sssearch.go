@@ -79,6 +79,11 @@ type Config struct {
 	Secret []byte
 	// Seed fixes the client share seed; zero value means "generate fresh".
 	Seed drbg.Seed
+	// Parallelism bounds the worker pool of the outsourcing pipeline's
+	// tree walks (encode and split). 0 selects runtime.GOMAXPROCS, 1
+	// forces sequential walks. The produced bundle is byte-identical at
+	// every setting.
+	Parallelism int
 }
 
 // ClientKey is the client's complete secret material: the share seed, the
@@ -141,11 +146,17 @@ func Outsource(doc *Document, cfg Config) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	enc, err := polyenc.Encode(r, doc, m)
+	// The encoded tree feeds straight into Split and is then discarded, so
+	// the fast-path encode skips the big.Int boundary representation
+	// entirely (PackedOnly); the big.Int rings ignore both options.
+	enc, err := polyenc.EncodeWithOpts(r, doc, m, polyenc.Opts{
+		Parallelism: cfg.Parallelism,
+		PackedOnly:  true,
+	})
 	if err != nil {
 		return nil, err
 	}
-	tree, err := sharing.Split(enc, seed)
+	tree, err := sharing.SplitWithOpts(enc, seed, sharing.SplitOpts{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
