@@ -484,3 +484,39 @@ func BenchmarkMultiCombine(b *testing.B) { benchmarkMultiCombine(b, false) }
 // BenchmarkMultiCombineBigInt is the per-point big.Int interpolation
 // ablation (the pre-fastfield combiner).
 func BenchmarkMultiCombineBigInt(b *testing.B) { benchmarkMultiCombine(b, true) }
+
+// --- sharded deployment benchmarks -------------------------------------------
+
+// BenchmarkShardQuery4 routes the lookupFp1000Hit workload across a
+// 4-shard partitioned deployment of guarded in-process Locals — the
+// sss-bench `shardQuery` target. Compare with BenchmarkLookupFp1000Hit
+// to read off the scatter/gather overhead.
+func BenchmarkShardQuery4(b *testing.B) {
+	w, err := experiments.NewShardQueryWorkload(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardOutsource4 is the sharded write path (encode → split →
+// partition into 4 shard trees) — the sss-bench `shardOutsource` target.
+func BenchmarkShardOutsource4(b *testing.B) {
+	doc := experiments.OutsourceFpDoc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.ShardOutsourceOnce(doc, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardExperiment smoke-runs the `shard` experiment table.
+func BenchmarkShardExperiment(b *testing.B) { runExperiment(b, "shard", true) }

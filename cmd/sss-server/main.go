@@ -5,11 +5,23 @@
 // Usage:
 //
 //	sss-server -store server.sss -listen 127.0.0.1:7070
+//
+// Sharded deployments: a shard store produced by Bundle.Shard embeds its
+// shard id and routing manifest and is auto-detected, so each daemon of a
+// partitioned deployment is started the same way:
+//
+//	sss-server -store shard0.sss -listen 127.0.0.1:7070
+//
+// Alternatively a WHOLE-tree store can be served as one logical shard of
+// a manifest (partitioned routing over complete replicas):
+//
+//	sss-server -store server.sss -shard-manifest routing.ssm -shard-id 1
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -20,28 +32,70 @@ import (
 )
 
 func main() {
-	storePath := flag.String("store", "server.sss", "server share store file")
+	storePath := flag.String("store", "server.sss", "server share store file (whole-tree or shard store)")
 	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
 	quiet := flag.Bool("quiet", false, "suppress connection logging")
+	manifestPath := flag.String("shard-manifest", "", "serve a whole-tree store as one shard of this routing manifest")
+	shardID := flag.Int("shard-id", -1, "shard id within -shard-manifest")
 	flag.Parse()
 
-	st, err := sssearch.LoadServerStore(*storePath)
-	if err != nil {
-		log.Fatalf("sss-server: loading store: %v", err)
-	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("sss-server: listen: %v", err)
 	}
-	fmt.Printf("sss-server: serving %s (%s, %d nodes) on %s\n",
-		*storePath, st.RingName(), st.NodeCount(), l.Addr())
+
+	var daemon *sssearch.Daemon
+	switch {
+	case *manifestPath != "":
+		// Whole-tree store, logically fenced to one manifest range.
+		if *shardID < 0 {
+			log.Fatal("sss-server: -shard-manifest requires -shard-id")
+		}
+		man, err := sssearch.LoadShardManifest(*manifestPath)
+		if err != nil {
+			log.Fatalf("sss-server: loading manifest: %v", err)
+		}
+		st, err := sssearch.LoadServerStore(*storePath)
+		if err != nil {
+			log.Fatalf("sss-server: loading store: %v", err)
+		}
+		fmt.Printf("sss-server: serving %s (%s, %d nodes) as shard %d/%d on %s\n",
+			*storePath, st.RingName(), st.NodeCount(), *shardID, man.NumShards(), l.Addr())
+		daemon, err = st.ServeShardTCP(l, man, *shardID)
+		if err != nil {
+			log.Fatalf("sss-server: %v", err)
+		}
+	case isShardStore(*storePath):
+		// Shard store: id + manifest travel in the file.
+		st, err := sssearch.LoadShardStore(*storePath)
+		if err != nil {
+			log.Fatalf("sss-server: loading shard store: %v", err)
+		}
+		if *shardID >= 0 && *shardID != st.ID() {
+			log.Fatalf("sss-server: -shard-id %d contradicts store's embedded shard id %d", *shardID, st.ID())
+		}
+		fmt.Printf("sss-server: serving %s (%s) as shard %d/%d, %d owned nodes, on %s\n",
+			*storePath, st.RingName(), st.ID(), st.Manifest().NumShards(), st.OwnedNodes(), l.Addr())
+		daemon, err = st.ServeTCP(l)
+		if err != nil {
+			log.Fatalf("sss-server: %v", err)
+		}
+	default:
+		st, err := sssearch.LoadServerStore(*storePath)
+		if err != nil {
+			log.Fatalf("sss-server: loading store: %v", err)
+		}
+		fmt.Printf("sss-server: serving %s (%s, %d nodes) on %s\n",
+			*storePath, st.RingName(), st.NodeCount(), l.Addr())
+		daemon, err = st.ServeTCP(l)
+		if err != nil {
+			log.Fatalf("sss-server: %v", err)
+		}
+	}
 	if !*quiet {
 		fmt.Println("sss-server: the store contains only additive shares; queries arrive as opaque points")
 	}
-	daemon, err := st.ServeTCP(l)
-	if err != nil {
-		log.Fatalf("sss-server: %v", err)
-	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -49,4 +103,18 @@ func main() {
 	if err := daemon.Close(); err != nil {
 		log.Printf("sss-server: close: %v", err)
 	}
+}
+
+// isShardStore sniffs the file magic without fully parsing the store.
+func isShardStore(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return sssearch.IsShardStoreFile(magic[:])
 }

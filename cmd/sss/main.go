@@ -5,7 +5,8 @@
 // Usage:
 //
 //	sss encode  -in doc.xml -store server.sss -key client.key [-ring z|fp] [-p 257] [-r 1,0,1]
-//	sss query   -key client.key (-store server.sss | -addr host:port) [-verify none|resolve|full] [-stats] XPATH
+//	sss shard   -store server.sss -n 3 [-out dir]
+//	sss query   -key client.key (-store server.sss | -addr host:port | -manifest routing.ssm -addrs a,b,c) [-verify none|resolve|full] [-stats] XPATH
 //	sss inspect (-store server.sss | -key client.key)
 //	sss figures
 package main
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -30,6 +32,8 @@ func main() {
 	switch os.Args[1] {
 	case "encode":
 		err = cmdEncode(os.Args[2:])
+	case "shard":
+		err = cmdShard(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "inspect":
@@ -54,7 +58,8 @@ func usage() {
 
 commands:
   encode   translate an XML document into a server share store + client key
-  query    run an XPath query against a store (local or remote)
+  shard    partition a server store into per-daemon shard stores + routing manifest
+  query    run an XPath query against a store (local, remote, or sharded)
   inspect  describe a store or client key
   figures  reproduce the paper's figures 1-6`)
 }
@@ -111,11 +116,44 @@ func cmdEncode(args []string) error {
 	return nil
 }
 
+func cmdShard(args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	storePath := fs.String("store", "server.sss", "input server share store")
+	n := fs.Int("n", 2, "number of shards")
+	out := fs.String("out", ".", "output directory for shardN.sss + routing.ssm")
+	fs.Parse(args)
+	st, err := sssearch.LoadServerStore(*storePath)
+	if err != nil {
+		return err
+	}
+	sb, err := st.Shard(*n)
+	if err != nil {
+		return err
+	}
+	manPath := filepath.Join(*out, "routing.ssm")
+	if err := sb.Manifest.Save(manPath); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d nodes → %d shards\n", *storePath, st.NodeCount(), *n)
+	for i, shardStore := range sb.Stores {
+		path := filepath.Join(*out, fmt.Sprintf("shard%d.sss", i))
+		if err := shardStore.Save(path); err != nil {
+			return err
+		}
+		fmt.Printf("  %s: shard %d, %d owned nodes, %d bytes\n",
+			path, i, shardStore.OwnedNodes(), shardStore.ByteSize())
+	}
+	fmt.Printf("  %s: routing manifest (give to the client alongside its key)\n", manPath)
+	return nil
+}
+
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	keyPath := fs.String("key", "client.key", "client key file")
 	storePath := fs.String("store", "", "local server store file")
 	addr := fs.String("addr", "", "remote server address (host:port)")
+	manifestPath := fs.String("manifest", "", "routing manifest of a sharded deployment")
+	addrs := fs.String("addrs", "", "comma-separated shard addresses (with -manifest, one per shard)")
 	verify := fs.String("verify", "resolve", "verification level: none|resolve|full")
 	stats := fs.Bool("stats", false, "print protocol statistics")
 	docPath := fs.String("doc", "", "optional plaintext document for path display")
@@ -130,6 +168,17 @@ func cmdQuery(args []string) error {
 	}
 	var sess *sssearch.Session
 	switch {
+	case *manifestPath != "":
+		var man *sssearch.ShardManifest
+		man, err = sssearch.LoadShardManifest(*manifestPath)
+		if err != nil {
+			return err
+		}
+		list := strings.Split(*addrs, ",")
+		if *addrs == "" || len(list) != man.NumShards() {
+			return fmt.Errorf("query: -manifest needs -addrs with %d comma-separated addresses", man.NumShards())
+		}
+		sess, err = key.DialSharded(man, list...)
 	case *addr != "":
 		sess, err = key.Dial(*addr)
 	case *storePath != "":
@@ -139,7 +188,7 @@ func cmdQuery(args []string) error {
 			sess, err = key.ConnectLocal(st)
 		}
 	default:
-		return fmt.Errorf("query: need -store or -addr")
+		return fmt.Errorf("query: need -store, -addr, or -manifest + -addrs")
 	}
 	if err != nil {
 		return err

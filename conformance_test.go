@@ -16,6 +16,7 @@ import (
 	"sssearch/internal/drbg"
 	"sssearch/internal/ring"
 	"sssearch/internal/server"
+	"sssearch/internal/shard"
 	"sssearch/internal/sharing"
 	"sssearch/internal/wire"
 )
@@ -117,6 +118,99 @@ func TestConformanceMultiServer(t *testing.T) {
 			})
 		})
 	}
+}
+
+// TestConformanceShardRouter registers the scatter/gather shard.Router
+// with the suite: the fixture tree is partitioned into 2 and 4 shards of
+// guarded in-process Locals, on both rings — the routed deployment must
+// be indistinguishable from the single store it was cut from.
+func TestConformanceShardRouter(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+		ring   func() ring.Ring
+	}{
+		{"Fp_2shards", 2, func() ring.Ring { return ring.MustFp(257) }},
+		{"Fp_4shards", 4, func() ring.Ring { return ring.MustFp(257) }},
+		{"Z_2shards", 2, func() ring.Ring { return ring.MustIntQuotient(1, 0, 1) }},
+		{"Z_4shards", 4, func() ring.Ring { return ring.MustIntQuotient(1, 0, 1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			apitest.Run(t, tc.ring(), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+				trees, man, err := shard.Partition(f.ServerTree, tc.shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				backends := make([]core.ServerAPI, len(trees))
+				for s, st := range trees {
+					local, err := server.NewLocal(f.Ring, st)
+					if err != nil {
+						t.Fatal(err)
+					}
+					guard, err := shard.NewGuard(f.Ring, local, man, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					backends[s] = guard
+				}
+				router, err := shard.NewRouter(man, backends)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return router
+			})
+		})
+	}
+}
+
+// TestConformanceShardMultiServer registers the 2-D composition:
+// the document is Shamir-shared 2-of-3 (MultiSplit), every member tree
+// is partitioned under ONE shared manifest (the plan is shape-driven and
+// all member trees mirror the document shape), and each shard's backend
+// is a k-of-n MultiServer over that shard's member slices. Partition and
+// replication must commute with the protocol.
+func TestConformanceShardMultiServer(t *testing.T) {
+	const shards, k, n = 2, 2, 3
+	apitest.Run(t, ring.MustFp(257), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+		fp := f.Ring.(*ring.FpCyclotomic)
+		shares, err := sharing.MultiSplit(f.Encoded, f.Seed, k, n, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		man, err := shard.Plan(shares[0].Tree, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// perMember[j][s] is member j's slice of shard s.
+		perMember := make([][]*sharing.Tree, n)
+		for j, s := range shares {
+			perMember[j], err = shard.PartitionWithManifest(s.Tree, man)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		backends := make([]core.ServerAPI, shards)
+		for s := 0; s < shards; s++ {
+			members := make([]core.MultiMember, n)
+			for j := 0; j < n; j++ {
+				local, err := server.NewLocal(fp, perMember[j][s])
+				if err != nil {
+					t.Fatal(err)
+				}
+				members[j] = core.MultiMember{X: shares[j].X, API: local}
+			}
+			ms, err := core.NewMultiServer(fp, k, members)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backends[s] = ms
+		}
+		router, err := shard.NewRouter(man, backends)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return router
+	})
 }
 
 func TestConformanceRemote(t *testing.T) {

@@ -30,7 +30,42 @@
 //	fmt.Println(res.Paths(doc))             // [/customers/client]
 //
 // The same ClientKey drives remote sessions over TCP (see ServeTCP/Dial)
-// and k-of-n multi-server deployments (package internal/sharing).
+// and every multi-daemon topology below.
+//
+// # Deployment topologies
+//
+// One ClientKey queries any of five server-side shapes; the engine and
+// the answers are identical across all of them:
+//
+//   - Single: one daemon holds the whole share tree
+//     (Bundle.Connect in-process, ServerStore.ServeTCP + ClientKey.Dial
+//     over TCP).
+//   - Pool: one daemon, several pipelined connections — concurrent
+//     searches spread across sockets instead of serialising
+//     (ClientKey.DialPool).
+//   - Replicated (k-of-n): the tree is Shamir-shared across n daemons
+//     with threshold k (Bundle.MultiShare + ClientKey.DialMulti); any k
+//     answer queries, fewer than k learn nothing even colluding. Adds
+//     robustness and read throughput, not capacity — every daemon still
+//     stores a full-size tree.
+//   - Sharded: the tree is partitioned by NodeKey-prefix ranges across N
+//     daemons (Bundle.Shard + ClientKey.DialSharded). A small public
+//     manifest maps key ranges to shards; the client scatters each
+//     evaluation wave to the owning shards concurrently and gathers the
+//     answers in request order. Each daemon stores ~1/N of the
+//     polynomials and rejects out-of-range keys, so documents larger
+//     than any single host stay servable. Per-shard request and fan-out
+//     counters are on Session.ShardCounters.
+//   - Sharded × replicated: both at once — partition first, then back
+//     every shard with its own k-of-n replica group
+//     (ServerStore.ShardWith over MultiShare member stores +
+//     ClientKey.DialShardedReplicated). The partition plan is purely
+//     shape-driven, so one manifest fits every Shamir member tree.
+//
+// Run the storage/latency comparison with:
+//
+//	go run ./cmd/sss-bench -exp shard
+//	go run ./examples/sharded
 //
 // # Concurrency
 //

@@ -48,6 +48,13 @@ type BenchTarget struct {
 //     cache-hot after the first iteration, so the number isolates the
 //     Shamir combine (fastfield Lagrange basis vs the old per-point
 //     big.Int interpolation), mirroring BenchmarkMultiCombine.
+//   - shardQuery: lookupFp1000Hit routed across a 4-shard partitioned
+//     deployment of guarded in-process Locals — the scatter/gather
+//     overhead against the identical unsharded number, mirroring
+//     BenchmarkShardQuery4.
+//   - shardOutsource: the sharded write path — encode → split →
+//     partition into 4 shard trees over the same document, mirroring
+//     BenchmarkShardOutsource4.
 func BenchTargets() ([]BenchTarget, error) {
 	var targets []BenchTarget
 	for _, id := range []string{"fig5", "fig6"} {
@@ -92,6 +99,20 @@ func BenchTargets() ([]BenchTarget, error) {
 	targets = append(targets, BenchTarget{
 		Name: "multiCombine",
 		Fn:   combine.Run,
+	})
+
+	shardQ, err := NewShardQueryWorkload(4)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name: "shardQuery",
+		Fn:   shardQ.Run,
+	})
+
+	targets = append(targets, BenchTarget{
+		Name: "shardOutsource",
+		Fn:   func() error { return ShardOutsourceOnce(doc, 4) },
 	})
 	return targets, nil
 }

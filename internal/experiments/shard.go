@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"time"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/shard"
+	"sssearch/internal/sharing"
+	"sssearch/internal/workload"
+	"sssearch/internal/xmltree"
+)
+
+func init() {
+	register(Experiment{
+		ID: "shard", Ref: "tree partitioning (capacity scaling)",
+		Title: "sharded share tree: per-daemon storage vs routed query cost",
+		Run:   runShard,
+	})
+}
+
+// runShard measures the capacity story of tree partitioning: the same
+// query workload against one daemon holding the whole tree and against
+// 2/4-shard deployments (simulated round trip per backend call), with
+// the per-daemon storage split and the routing fan-out the client paid.
+// The answer sets must be identical everywhere — partitioning is an
+// infrastructure change, not a semantic one.
+func runShard(w io.Writer, cfg Config) error {
+	nodes, queries, rtt := 400, 8, 2*time.Millisecond
+	if cfg.Quick {
+		nodes, queries, rtt = 120, 3, 1*time.Millisecond
+	}
+	fp := ring.MustFp(257)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: nodes, MaxFanout: 4, Vocab: 10, Seed: 58})
+	m, err := mapping.New(fp.MaxTag(), []byte("shard-exp"))
+	if err != nil {
+		return err
+	}
+	enc, err := polyenc.Encode(fp, doc, m)
+	if err != nil {
+		return err
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("shard-exp")))
+	tree, err := sharing.Split(enc, seed)
+	if err != nil {
+		return err
+	}
+
+	run := func(api core.ServerAPI) (time.Duration, int, error) {
+		eng := core.NewEngine(fp, seed, m, api, nil)
+		matches := 0
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			res, err := eng.Lookup(fmt.Sprintf("t%d", q%10), core.Opts{Verify: core.VerifyResolve})
+			if err != nil {
+				return 0, 0, err
+			}
+			matches += len(res.Matches)
+		}
+		return time.Since(start), matches, nil
+	}
+
+	single, err := server.NewLocal(fp, tree)
+	if err != nil {
+		return err
+	}
+	baseElapsed, baseMatches, err := run(rttAPI{inner: single, rtt: rtt})
+	if err != nil {
+		return err
+	}
+	baseMS := float64(baseElapsed.Microseconds()) / 1000 / float64(queries)
+
+	t := &Table{Headers: []string{"daemons", "max nodes/daemon", "storage split", "ms/query", "avg fan-out"}}
+	t.Add(1, tree.Count(), "100%", fmt.Sprintf("%.1f", baseMS), "1.00")
+	for _, n := range []int{2, 4} {
+		trees, man, err := shard.Partition(tree, n)
+		if err != nil {
+			return err
+		}
+		backends := make([]core.ServerAPI, n)
+		split := ""
+		maxOwned := 0
+		for s, st := range trees {
+			owned := shard.OwnedNodes(tree, man, s)
+			if owned > maxOwned {
+				maxOwned = owned
+			}
+			if s > 0 {
+				split += "/"
+			}
+			split += fmt.Sprintf("%d%%", owned*100/tree.Count())
+			local, err := server.NewLocal(fp, st)
+			if err != nil {
+				return err
+			}
+			g, err := shard.NewGuard(fp, local, man, s)
+			if err != nil {
+				return err
+			}
+			backends[s] = rttAPI{inner: g, rtt: rtt}
+		}
+		router, err := shard.NewRouter(man, backends)
+		if err != nil {
+			return err
+		}
+		elapsed, matches, err := run(router)
+		if err != nil {
+			return err
+		}
+		if matches != baseMatches {
+			return fmt.Errorf("sharding changed results: %d vs %d matches", matches, baseMatches)
+		}
+		snap := router.Counters().Snapshot()
+		ms := float64(elapsed.Microseconds()) / 1000 / float64(queries)
+		t.Add(n, maxOwned, split, fmt.Sprintf("%.1f", ms), fmt.Sprintf("%.2f", snap.AvgFanout()))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "(simulated %s RTT per backend call; per-daemon storage shrinks ~linearly while the routed query pays only the shards its wave actually touches, concurrently)\n", rtt)
+	return nil
+}
+
+// ShardQueryWorkload is the read-path bench fixture behind the
+// shardQuery target and BenchmarkShardQuery4: the lookupFp1000Hit
+// workload (1000-node F_257 document, //t3, seed-only client) routed
+// across guarded in-process shard Locals — so the number isolates the
+// scatter/gather overhead against the identical unsharded measurement.
+type ShardQueryWorkload struct {
+	eng *core.Engine
+}
+
+// NewShardQueryWorkload partitions the standard 1000-node document into
+// the given number of shards and wires a routed engine over them.
+func NewShardQueryWorkload(shards int) (*ShardQueryWorkload, error) {
+	fp := ring.MustFp(257)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 1000, MaxFanout: 4, Vocab: 20, Seed: 1234})
+	m, err := mapping.New(fp.MaxTag(), []byte("bench-shard-query"))
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := m.Value("t3"); !ok {
+		if _, err := m.Assign("t3"); err != nil {
+			return nil, err
+		}
+	}
+	enc, err := polyenc.EncodeWithOpts(fp, doc, m, polyenc.Opts{PackedOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-shard-query")))
+	tree, err := sharing.Split(enc, seed)
+	if err != nil {
+		return nil, err
+	}
+	trees, man, err := shard.Partition(tree, shards)
+	if err != nil {
+		return nil, err
+	}
+	backends := make([]core.ServerAPI, len(trees))
+	for s, st := range trees {
+		local, err := server.NewLocal(fp, st)
+		if err != nil {
+			return nil, err
+		}
+		if backends[s], err = shard.NewGuard(fp, local, man, s); err != nil {
+			return nil, err
+		}
+	}
+	router, err := shard.NewRouter(man, backends)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardQueryWorkload{eng: core.NewEngine(fp, seed, m, router, nil)}, nil
+}
+
+// Run performs one routed //t3 lookup.
+func (w *ShardQueryWorkload) Run() error {
+	_, err := w.eng.Lookup("t3", core.Opts{Verify: core.VerifyResolve})
+	return err
+}
+
+// ShardOutsourceOnce runs the full sharded write path over doc: packed
+// parallel encode → split → partition into the given number of shard
+// trees (the Bundle.Shard pipeline as a data owner runs it).
+func ShardOutsourceOnce(doc *xmltree.Node, shards int) error {
+	fp := ring.MustFp(257)
+	m, err := mapping.New(fp.MaxTag(), []byte("bench-shard-outsource"))
+	if err != nil {
+		return err
+	}
+	enc, err := polyenc.EncodeWithOpts(fp, doc, m, polyenc.Opts{PackedOnly: true})
+	if err != nil {
+		return err
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-shard-outsource")))
+	tree, err := sharing.Split(enc, seed)
+	if err != nil {
+		return err
+	}
+	_, _, err = shard.Partition(tree, shards)
+	return err
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestShardCounters(t *testing.T) {
+	c := NewShardCounters(4)
+	if got := c.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	c.RecordBatch([]int{0})
+	c.RecordBatch([]int{1, 3})
+	c.RecordBatch(nil) // empty batches are not recorded
+	s := c.Snapshot()
+	if s.Batches != 2 {
+		t.Errorf("Batches = %d, want 2", s.Batches)
+	}
+	if s.Fanout != 3 {
+		t.Errorf("Fanout = %d, want 3", s.Fanout)
+	}
+	if want := []int64{1, 1, 0, 1}; len(s.Requests) != len(want) {
+		t.Fatalf("Requests = %v, want %v", s.Requests, want)
+	} else {
+		for i := range want {
+			if s.Requests[i] != want[i] {
+				t.Errorf("Requests[%d] = %d, want %d", i, s.Requests[i], want[i])
+			}
+		}
+	}
+	if got := s.AvgFanout(); got != 1.5 {
+		t.Errorf("AvgFanout = %v, want 1.5", got)
+	}
+	if str := s.String(); !strings.Contains(str, "batches=2") {
+		t.Errorf("String() = %q", str)
+	}
+	// Out-of-range shard ids must not panic (counted in fan-out only).
+	c.RecordBatch([]int{-1, 99})
+}
+
+func TestShardCountersNilAndZero(t *testing.T) {
+	var c *ShardCounters
+	c.RecordBatch([]int{0}) // no-op, no panic
+	if c.Shards() != 0 {
+		t.Error("nil Shards() != 0")
+	}
+	s := c.Snapshot()
+	if s.Batches != 0 || s.AvgFanout() != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	if NewShardCounters(0).Shards() != 1 {
+		t.Error("NewShardCounters(0) should clamp to 1 shard")
+	}
+}
+
+func TestShardCountersConcurrent(t *testing.T) {
+	c := NewShardCounters(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.RecordBatch([]int{0, 1})
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Batches != 800 || s.Fanout != 1600 || s.Requests[0] != 800 || s.Requests[1] != 800 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}

@@ -8,8 +8,19 @@ import (
 	"net"
 	"sync"
 
+	"sssearch/internal/core"
+	"sssearch/internal/ring"
 	"sssearch/internal/wire"
 )
+
+// Store is what a Daemon serves: the query API plus the public ring
+// parameters announced in the handshake. Local implements it directly;
+// wrappers (shard guards, tamper harnesses with a ring accessor) can
+// stand in for it.
+type Store interface {
+	core.ServerAPI
+	Ring() ring.Ring
+}
 
 // DefaultWorkers is the per-connection bound on concurrently executing
 // requests for pipelined (protocol v2) sessions. Handlers spend time in
@@ -27,7 +38,7 @@ const DefaultWorkers = 8
 // out-of-order completion — so a single connection carries many in-flight
 // requests.
 type Daemon struct {
-	local  *Local
+	local  Store
 	logger *log.Logger
 
 	// Workers bounds concurrently executing requests per pipelined
@@ -40,9 +51,9 @@ type Daemon struct {
 	wg       sync.WaitGroup
 }
 
-// NewDaemon wraps a Local store for network serving. logger may be nil
-// (logging disabled).
-func NewDaemon(local *Local, logger *log.Logger) *Daemon {
+// NewDaemon wraps a store (a Local, or any guarded/wrapped Store) for
+// network serving. logger may be nil (logging disabled).
+func NewDaemon(local Store, logger *log.Logger) *Daemon {
 	return &Daemon{local: local, logger: logger}
 }
 

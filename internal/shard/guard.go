@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"fmt"
+	"math/big"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/ring"
+)
+
+// Guard is the server-side ownership fence of a sharded deployment. A
+// shard's tree keeps the full document shape (so NodeKey navigation works
+// unchanged), with foreign nodes holding zero polynomials — answering for
+// one of those would silently corrupt a query, so the Guard rejects every
+// evaluation or fetch of a key outside the shard's manifest ranges
+// instead of letting the zero share leak out as a real value.
+//
+// It implements core.ServerAPI (plus Ring, so server.Daemon can announce
+// parameters) over any inner API. Safe for concurrent use if the inner
+// API is.
+type Guard struct {
+	inner core.ServerAPI
+	ring  ring.Ring
+	man   *Manifest
+	id    int
+}
+
+// NewGuard fences inner behind the manifest ranges of shard id.
+func NewGuard(r ring.Ring, inner core.ServerAPI, man *Manifest, id int) (*Guard, error) {
+	if r == nil || inner == nil {
+		return nil, fmt.Errorf("shard: nil ring or inner API")
+	}
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= man.Shards {
+		return nil, fmt.Errorf("shard: shard id %d out of range [0, %d)", id, man.Shards)
+	}
+	return &Guard{inner: inner, ring: r, man: man, id: id}, nil
+}
+
+// Ring returns the (public) ring parameters, for the daemon handshake.
+func (g *Guard) Ring() ring.Ring { return g.ring }
+
+// ID returns the guarded shard's id.
+func (g *Guard) ID() int { return g.id }
+
+// Manifest returns the deployment manifest the guard enforces.
+func (g *Guard) Manifest() *Manifest { return g.man }
+
+// check rejects any key outside the shard's ranges.
+func (g *Guard) check(keys []drbg.NodeKey) error {
+	for _, k := range keys {
+		if owner := g.man.Owner(k); owner != g.id {
+			return fmt.Errorf("%w: %s belongs to shard %d, this is shard %d", ErrNotOwned, k, owner, g.id)
+		}
+	}
+	return nil
+}
+
+// EvalNodes implements core.ServerAPI.
+func (g *Guard) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	if err := g.check(keys); err != nil {
+		return nil, err
+	}
+	return g.inner.EvalNodes(keys, points)
+}
+
+// FetchPolys implements core.ServerAPI.
+func (g *Guard) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	if err := g.check(keys); err != nil {
+		return nil, err
+	}
+	return g.inner.FetchPolys(keys)
+}
+
+// Prune implements core.ServerAPI. Prune is advisory and a pruned
+// subtree may span several shards (the Router broadcasts it to every
+// intersecting one), so the guard keeps any key whose subtree intersects
+// this shard's ranges and silently drops the rest rather than rejecting.
+func (g *Guard) Prune(keys []drbg.NodeKey) error {
+	kept := keys[:0:0]
+	for _, k := range keys {
+		for _, s := range g.man.SubtreeShards(k) {
+			if s == g.id {
+				kept = append(kept, k)
+				break
+			}
+		}
+	}
+	return g.inner.Prune(kept)
+}
+
+var _ core.ServerAPI = (*Guard)(nil)

@@ -42,16 +42,33 @@ func MultiSplit(enc *polyenc.Tree, seed drbg.Seed, k, n int, rng io.Reader) ([]S
 	if enc == nil || enc.Root == nil {
 		return nil, errors.New("sharing: nil encoded tree")
 	}
-	fpRing, ok := enc.Ring.(*ring.FpCyclotomic)
-	if !ok {
+	// Reject non-field rings before paying for the split.
+	if _, ok := enc.Ring.(*ring.FpCyclotomic); !ok {
 		return nil, fmt.Errorf("sharing: multi-server mode requires the F_p ring, got %s", enc.Ring.Name())
 	}
-	scheme, err := shamir.NewScheme(fpRing.Field(), k, n)
+	// First compute the single-server tree (client pad removed), then
+	// Shamir-share it.
+	rest, err := Split(enc, seed)
 	if err != nil {
 		return nil, err
 	}
-	// First compute the single-server tree (client pad removed).
-	rest, err := Split(enc, seed)
+	return MultiShare(enc.Ring, rest, k, n, rng)
+}
+
+// MultiShare Shamir-shares an existing single-server share tree (the
+// "rest" part left by Split) across n servers with threshold k — the
+// second half of MultiSplit, usable when the encoded tree is gone and
+// only the outsourced server store remains. Server j's share point is
+// X = j+1 in the returned order.
+func MultiShare(r ring.Ring, rest *Tree, k, n int, rng io.Reader) ([]ServerShare, error) {
+	if rest == nil || rest.Root == nil {
+		return nil, errors.New("sharing: nil share tree")
+	}
+	fpRing, ok := r.(*ring.FpCyclotomic)
+	if !ok {
+		return nil, fmt.Errorf("sharing: multi-server mode requires the F_p ring, got %s", r.Name())
+	}
+	scheme, err := shamir.NewScheme(fpRing.Field(), k, n)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,134 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/shard"
+	"sssearch/internal/sharing"
+	"sssearch/internal/workload"
+)
+
+func shardFixture(t *testing.T) (ring.Ring, []*sharing.Tree, *shard.Manifest) {
+	t.Helper()
+	r := ring.MustFp(257)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 60, MaxFanout: 3, Vocab: 6, Seed: 7})
+	m, err := mapping.New(r.MaxTag(), []byte("store-shard-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := polyenc.Encode(r, doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed drbg.Seed
+	seed[0] = 0x11
+	tree, err := sharing.Split(enc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, man, err := shard.Partition(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, trees, man
+}
+
+func TestShardStoreRoundTrip(t *testing.T) {
+	r, trees, man := shardFixture(t)
+	path := filepath.Join(t.TempDir(), "shard1.sss")
+	if err := SaveShard(path, r, trees[1], man, 1); err != nil {
+		t.Fatal(err)
+	}
+	gr, gt, gm, id, err := LoadShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("shard id = %d, want 1", id)
+	}
+	if gr.Name() != r.Name() {
+		t.Errorf("ring = %s, want %s", gr.Name(), r.Name())
+	}
+	if gm.Shards != man.Shards || !reflect.DeepEqual(gm.Entries, man.Entries) {
+		t.Errorf("manifest mismatch: %+v vs %+v", gm.Entries, man.Entries)
+	}
+	wantBytes, _ := trees[1].MarshalBinary()
+	gotBytes, _ := gt.MarshalBinary()
+	if !reflect.DeepEqual(wantBytes, gotBytes) {
+		t.Error("tree round trip differs")
+	}
+}
+
+func TestShardStoreCorruptionAndSniff(t *testing.T) {
+	r, trees, man := shardFixture(t)
+	path := filepath.Join(t.TempDir(), "shard0.sss")
+	if err := SaveShard(path, r, trees[0], man, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsShardStore(data) {
+		t.Error("sniff failed on a shard store")
+	}
+	// A regular server store is not sniffed as a shard store.
+	serverPath := filepath.Join(t.TempDir(), "server.sss")
+	if err := SaveServer(serverPath, r, trees[0]); err != nil {
+		t.Fatal(err)
+	}
+	serverData, err := os.ReadFile(serverPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsShardStore(serverData) {
+		t.Error("server store sniffed as shard store")
+	}
+	// Bit flips anywhere must fail the checksum.
+	for _, i := range []int{1, len(data) / 2, len(data) - 2} {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x40
+		if _, _, _, _, err := ReadShard(corrupt); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("flip at %d: err = %v, want ErrBadFormat", i, err)
+		}
+	}
+	// An id outside the embedded manifest is rejected.
+	if err := SaveShard(path, r, trees[0], man, 9); err == nil {
+		t.Error("out-of-manifest shard id accepted")
+	}
+}
+
+func TestManifestFileRoundTrip(t *testing.T) {
+	_, _, man := shardFixture(t)
+	path := filepath.Join(t.TempDir(), "routing.ssm")
+	if err := SaveManifest(path, man); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != man.Shards || !reflect.DeepEqual(got.Entries, man.Entries) {
+		t.Errorf("manifest mismatch: %+v vs %+v", got.Entries, man.Entries)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	if _, err := ReadManifest(corrupt); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("corrupt manifest err = %v, want ErrBadFormat", err)
+	}
+	if _, err := ReadManifest(serverMagic); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("wrong magic err = %v, want ErrBadFormat", err)
+	}
+}

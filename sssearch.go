@@ -1,6 +1,7 @@
 package sssearch
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"sssearch/internal/polyenc"
 	"sssearch/internal/ring"
 	"sssearch/internal/server"
+	"sssearch/internal/shard"
 	"sssearch/internal/sharing"
 	"sssearch/internal/store"
 	"sssearch/internal/xmltree"
@@ -230,13 +232,177 @@ type Daemon struct{ d *server.Daemon }
 // Close stops the daemon and waits for in-flight connections.
 func (d *Daemon) Close() error { return d.d.Close() }
 
+// --- sharding ---------------------------------------------------------------
+
+// ShardStats is the routing-cost snapshot of a sharded session: backend
+// calls per shard and cross-shard fan-out per routed batch.
+type ShardStats = metrics.ShardSnapshot
+
+// ShardManifest is the public routing table of a sharded deployment: it
+// records which shard owns which NodeKey-prefix range of the share tree.
+// It contains no secrets (it mirrors tree shape, which the server learns
+// anyway) and is all a client needs — besides its ClientKey — to route
+// queries to the right daemons.
+type ShardManifest struct{ m *shard.Manifest }
+
+// NumShards returns the number of shards in the deployment.
+func (m *ShardManifest) NumShards() int { return m.m.Shards }
+
+// Save writes the manifest to a file.
+func (m *ShardManifest) Save(path string) error { return store.SaveManifest(path, m.m) }
+
+// LoadShardManifest reads a routing manifest from a file.
+func LoadShardManifest(path string) (*ShardManifest, error) {
+	man, err := store.LoadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardManifest{m: man}, nil
+}
+
+// ShardStore is one shard's server-side slice of a partitioned share
+// tree: the full tree shape with only the owned ranges' polynomials,
+// plus the manifest and shard id its daemon enforces. Like ServerStore
+// it contains no secrets.
+type ShardStore struct {
+	ring ring.Ring
+	tree *sharing.Tree
+	man  *shard.Manifest
+	id   int
+}
+
+// ID returns the shard's position in the manifest.
+func (s *ShardStore) ID() int { return s.id }
+
+// Manifest returns the deployment's routing manifest.
+func (s *ShardStore) Manifest() *ShardManifest { return &ShardManifest{m: s.man} }
+
+// OwnedNodes reports how many share polynomials this shard actually
+// stores (its tree keeps the whole shape, but foreign nodes are empty).
+func (s *ShardStore) OwnedNodes() int { return shard.OwnedNodes(s.tree, s.man, s.id) }
+
+// ByteSize reports the serialized size of the shard's tree.
+func (s *ShardStore) ByteSize() int { return s.tree.ByteSize() }
+
+// RingName describes the store's ring.
+func (s *ShardStore) RingName() string { return s.ring.Name() }
+
+// Save writes the shard store to a file.
+func (s *ShardStore) Save(path string) error {
+	return store.SaveShard(path, s.ring, s.tree, s.man, s.id)
+}
+
+// LoadShardStore reads a shard store from a file.
+func LoadShardStore(path string) (*ShardStore, error) {
+	r, tree, man, id, err := store.LoadShard(path)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardStore{ring: r, tree: tree, man: man, id: id}, nil
+}
+
+// IsShardStoreFile reports whether data is a shard store (as opposed to
+// a whole-tree server store) — the sniff sss-server uses to auto-detect
+// what it was handed.
+func IsShardStoreFile(data []byte) bool { return store.IsShardStore(data) }
+
+// serveGuardedTCP starts a daemon over a guarded Local: the shared body
+// of ShardStore.ServeTCP and ServerStore.ServeShardTCP.
+func serveGuardedTCP(l net.Listener, r ring.Ring, tree *sharing.Tree, man *shard.Manifest, id int) (*Daemon, error) {
+	local, err := server.NewLocal(r, tree)
+	if err != nil {
+		return nil, err
+	}
+	guard, err := shard.NewGuard(r, local, man, id)
+	if err != nil {
+		return nil, err
+	}
+	d := server.NewDaemon(guard, nil)
+	go func() { _ = d.Serve(l) }()
+	return &Daemon{d: d}, nil
+}
+
+// ServeTCP serves the shard on the listener. The daemon answers only for
+// node keys inside the shard's manifest ranges; anything else is
+// rejected rather than answered with the empty foreign share.
+func (s *ShardStore) ServeTCP(l net.Listener) (*Daemon, error) {
+	return serveGuardedTCP(l, s.ring, s.tree, s.man, s.id)
+}
+
+// ShardedBundle is the server-side output of Bundle.Shard: one store per
+// shard plus the manifest the client routes with.
+type ShardedBundle struct {
+	Manifest *ShardManifest
+	Stores   []*ShardStore
+}
+
+// Shard partitions the server store's share tree across n shards by
+// NodeKey-prefix ranges (deterministic, balanced by node count). The
+// union of the shards is exactly the original store; queries through a
+// routed session return byte-identical results.
+func (s *ServerStore) Shard(n int) (*ShardedBundle, error) {
+	man, err := shard.Plan(s.tree, n)
+	if err != nil {
+		return nil, err
+	}
+	return s.ShardWith(&ShardManifest{m: man})
+}
+
+// ShardWith partitions the store under an existing manifest — the
+// building block of 2-D deployments: Shamir-share first (MultiShare),
+// then partition every member store with ONE shared manifest (all member
+// trees mirror the document shape, so one plan fits all).
+func (s *ServerStore) ShardWith(man *ShardManifest) (*ShardedBundle, error) {
+	trees, err := shard.PartitionWithManifest(s.tree, man.m)
+	if err != nil {
+		return nil, err
+	}
+	out := &ShardedBundle{Manifest: man, Stores: make([]*ShardStore, len(trees))}
+	for i, t := range trees {
+		out.Stores[i] = &ShardStore{ring: s.ring, tree: t, man: man.m, id: i}
+	}
+	return out, nil
+}
+
+// Shard partitions the bundle's server store across n daemons; the
+// client key is unchanged (sharding is server-side only).
+func (b *Bundle) Shard(n int) (*ShardedBundle, error) { return b.Server.Shard(n) }
+
+// MultiShare Shamir-shares the server store across n stores with
+// reconstruction threshold k (the paper's §4.2 k-of-n extension):
+// store i must be served as the member with share point X = i+1 —
+// DialMulti assumes that order. Requires the F_p ring. Any k stores
+// reconstruct the original; fewer than k learn nothing, even colluding.
+func (b *Bundle) MultiShare(k, n int) ([]*ServerStore, error) {
+	shares, err := sharing.MultiShare(b.Server.ring, b.Server.tree, k, n, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ServerStore, len(shares))
+	for i, s := range shares {
+		out[i] = &ServerStore{ring: b.Server.ring, tree: s.Tree}
+	}
+	return out, nil
+}
+
+// ServeShardTCP serves a whole-tree store as one shard of a sharded
+// deployment: the daemon holds everything but answers only for the
+// manifest ranges of shard id. This is the cmd/sss-server
+// -shard-manifest path — logical partitioning over physically complete
+// replicas (useful for cache locality and load spreading without
+// re-splitting stores).
+func (s *ServerStore) ServeShardTCP(l net.Listener, man *ShardManifest, id int) (*Daemon, error) {
+	return serveGuardedTCP(l, s.ring, s.tree, man.m, id)
+}
+
 // --- querying ---------------------------------------------------------------
 
 // Session is a connected query client.
 type Session struct {
 	engine   *core.Engine
 	counters *metrics.Counters
-	remote   *client.Remote // nil for in-process sessions
+	closers  []io.Closer   // every connection the session owns (empty in-process)
+	router   *shard.Router // non-nil for sharded sessions
 }
 
 // Connect opens an in-process session: client and server in one address
@@ -261,7 +427,7 @@ func (k *ClientKey) Dial(addr string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess, err := k.newSessionWithCounters(remote, remote, counters)
+	sess, err := k.newSessionWithCounters(remote, []io.Closer{remote}, counters)
 	if err != nil {
 		remote.Close()
 		return nil, err
@@ -269,25 +435,211 @@ func (k *ClientKey) Dial(addr string) (*Session, error) {
 	return sess, nil
 }
 
-func (k *ClientKey) newSession(api core.ServerAPI, remote *client.Remote) (*Session, error) {
-	return k.newSessionWithCounters(api, remote, &metrics.Counters{})
+// DialPool opens a TCP session backed by a fixed-size pool of pipelined
+// connections to one share server — concurrent searches on the session
+// spread across the pool instead of serialising behind one socket.
+func (k *ClientKey) DialPool(addr string, size int) (*Session, error) {
+	counters := &metrics.Counters{}
+	pool, err := client.DialPool(addr, size, counters)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := k.newSessionWithCounters(pool, []io.Closer{pool}, counters)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return sess, nil
 }
 
-func (k *ClientKey) newSessionWithCounters(api core.ServerAPI, remote *client.Remote, counters *metrics.Counters) (*Session, error) {
+// DialMulti opens a session against a k-of-n Shamir deployment (see
+// Bundle.MultiShare): addrs[i] must serve the store with share point
+// X = i+1 — the order MultiShare returned them in. threshold is k; the
+// session answers queries as long as any k servers do.
+func (k *ClientKey) DialMulti(threshold int, addrs ...string) (*Session, error) {
+	r, err := ring.FromParams(k.state.Params)
+	if err != nil {
+		return nil, err
+	}
+	fp, ok := r.(*ring.FpCyclotomic)
+	if !ok {
+		return nil, fmt.Errorf("sssearch: multi-server sessions require the F_p ring, got %s", r.Name())
+	}
+	counters := &metrics.Counters{}
+	members := make([]core.MultiMember, 0, len(addrs))
+	var closers []io.Closer
+	fail := func(err error) (*Session, error) {
+		for _, c := range closers {
+			c.Close()
+		}
+		return nil, err
+	}
+	for i, addr := range addrs {
+		remote, err := client.Dial(addr, counters)
+		if err != nil {
+			return fail(err)
+		}
+		closers = append(closers, remote)
+		members = append(members, core.MultiMember{X: uint32(i + 1), API: remote})
+	}
+	ms, err := core.NewMultiServer(fp, threshold, members)
+	if err != nil {
+		return fail(err)
+	}
+	sess, err := k.newSessionWithCounters(ms, closers, counters)
+	if err != nil {
+		return fail(err)
+	}
+	return sess, nil
+}
+
+// ConnectSharded opens an in-process session over a sharded bundle: one
+// guarded Local per shard behind a scatter/gather router — the
+// single-process mirror of a DialSharded deployment, used by tests and
+// the differential harness.
+func (k *ClientKey) ConnectSharded(sb *ShardedBundle) (*Session, error) {
+	backends := make([]core.ServerAPI, len(sb.Stores))
+	for i, st := range sb.Stores {
+		local, err := server.NewLocal(st.ring, st.tree)
+		if err != nil {
+			return nil, err
+		}
+		guard, err := shard.NewGuard(st.ring, local, st.man, st.id)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = guard
+	}
+	router, err := shard.NewRouter(sb.Manifest.m, backends)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := k.newSession(router, nil)
+	if err != nil {
+		return nil, err
+	}
+	sess.router = router
+	return sess, nil
+}
+
+// DialSharded opens a session against a tree-partitioned deployment:
+// addrs[i] must serve shard i of the manifest. Queries are scattered to
+// the owning shards over pipelined connections and gathered back in
+// request order; the search semantics are identical to a single-server
+// session.
+func (k *ClientKey) DialSharded(man *ShardManifest, addrs ...string) (*Session, error) {
+	if len(addrs) != man.NumShards() {
+		return nil, fmt.Errorf("sssearch: %d addresses for %d shards", len(addrs), man.NumShards())
+	}
+	counters := &metrics.Counters{}
+	backends := make([]core.ServerAPI, 0, len(addrs))
+	var closers []io.Closer
+	fail := func(err error) (*Session, error) {
+		for _, c := range closers {
+			c.Close()
+		}
+		return nil, err
+	}
+	for i, addr := range addrs {
+		remote, err := client.Dial(addr, counters)
+		if err != nil {
+			return fail(fmt.Errorf("sssearch: shard %d: %w", i, err))
+		}
+		closers = append(closers, remote)
+		backends = append(backends, remote)
+	}
+	router, err := shard.NewRouter(man.m, backends)
+	if err != nil {
+		return fail(err)
+	}
+	sess, err := k.newSessionWithCounters(router, closers, counters)
+	if err != nil {
+		return fail(err)
+	}
+	sess.router = router
+	return sess, nil
+}
+
+// DialShardedReplicated opens a session against a 2-D (partition ×
+// replica) deployment: groups[i] lists the addresses of shard i's
+// Shamir replica group, each serving one member store (share point
+// X = position+1, the MultiShare order); any threshold of them answer
+// for the shard. Requires the F_p ring.
+func (k *ClientKey) DialShardedReplicated(man *ShardManifest, threshold int, groups ...[]string) (*Session, error) {
+	if len(groups) != man.NumShards() {
+		return nil, fmt.Errorf("sssearch: %d replica groups for %d shards", len(groups), man.NumShards())
+	}
+	r, err := ring.FromParams(k.state.Params)
+	if err != nil {
+		return nil, err
+	}
+	fp, ok := r.(*ring.FpCyclotomic)
+	if !ok {
+		return nil, fmt.Errorf("sssearch: replicated shards require the F_p ring, got %s", r.Name())
+	}
+	counters := &metrics.Counters{}
+	backends := make([]core.ServerAPI, 0, len(groups))
+	var closers []io.Closer
+	fail := func(err error) (*Session, error) {
+		for _, c := range closers {
+			c.Close()
+		}
+		return nil, err
+	}
+	for s, group := range groups {
+		members := make([]core.MultiMember, 0, len(group))
+		for j, addr := range group {
+			remote, err := client.Dial(addr, counters)
+			if err != nil {
+				return fail(fmt.Errorf("sssearch: shard %d replica %d: %w", s, j, err))
+			}
+			closers = append(closers, remote)
+			members = append(members, core.MultiMember{X: uint32(j + 1), API: remote})
+		}
+		ms, err := core.NewMultiServer(fp, threshold, members)
+		if err != nil {
+			return fail(fmt.Errorf("sssearch: shard %d: %w", s, err))
+		}
+		backends = append(backends, ms)
+	}
+	router, err := shard.NewRouter(man.m, backends)
+	if err != nil {
+		return fail(err)
+	}
+	sess, err := k.newSessionWithCounters(router, closers, counters)
+	if err != nil {
+		return fail(err)
+	}
+	sess.router = router
+	return sess, nil
+}
+
+func (k *ClientKey) newSession(api core.ServerAPI, closers []io.Closer) (*Session, error) {
+	return k.newSessionWithCounters(api, closers, &metrics.Counters{})
+}
+
+func (k *ClientKey) newSessionWithCounters(api core.ServerAPI, closers []io.Closer, counters *metrics.Counters) (*Session, error) {
 	r, err := ring.FromParams(k.state.Params)
 	if err != nil {
 		return nil, err
 	}
 	eng := core.NewEngine(r, k.state.Seed, k.state.Mapping, api, counters)
-	return &Session{engine: eng, counters: counters, remote: remote}, nil
+	return &Session{engine: eng, counters: counters, closers: closers}, nil
 }
 
-// Close releases the session (closes the network connection if any).
+// Close releases the session, closing every network connection it owns —
+// a single remote, all pooled connections, every multi-server member and
+// every shard of a routed session alike. The first error is returned,
+// but all connections are closed regardless.
 func (s *Session) Close() error {
-	if s.remote != nil {
-		return s.remote.Close()
+	var first error
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	s.closers = nil
+	return first
 }
 
 // SearchOption tunes a single search.
@@ -352,6 +704,16 @@ func (s *Session) Search(expr string, opts ...SearchOption) (*SearchResult, erro
 
 // Counters exposes the session's cumulative protocol counters.
 func (s *Session) Counters() Stats { return s.counters.Snapshot() }
+
+// ShardCounters exposes the routing tallies of a sharded session
+// (per-shard backend calls, cross-shard fan-out per batch). ok is false
+// for unsharded sessions.
+func (s *Session) ShardCounters() (stats ShardStats, ok bool) {
+	if s.router == nil {
+		return ShardStats{}, false
+	}
+	return s.router.Counters().Snapshot(), true
+}
 
 // EvaluatePlaintext runs the same XPath expression against a plaintext
 // document — the correctness oracle and the "no encryption" baseline.
