@@ -520,3 +520,64 @@ func BenchmarkShardOutsource4(b *testing.B) {
 
 // BenchmarkShardExperiment smoke-runs the `shard` experiment table.
 func BenchmarkShardExperiment(b *testing.B) { runExperiment(b, "shard", true) }
+
+// BenchmarkCoalesceQuery16 is the sss-bench `coalesceQuery` target: one
+// iteration runs 16 concurrent seed-only sessions, all chasing the same
+// rotating hot key, through ONE coalescing store — the cross-session
+// aggregate-throughput hot path. Compare with
+// BenchmarkCoalesceQuery16Uncoalesced (the PR 4 serving path) for the
+// shared-pass effect.
+func BenchmarkCoalesceQuery16(b *testing.B) { benchmarkCoalesceQuery(b, true) }
+
+// BenchmarkCoalesceQuery16Uncoalesced is the same 16-session workload
+// against the bare shared Local — the uncoalesced baseline.
+func BenchmarkCoalesceQuery16Uncoalesced(b *testing.B) { benchmarkCoalesceQuery(b, false) }
+
+func benchmarkCoalesceQuery(b *testing.B, coalesced bool) {
+	w, err := experiments.NewCoalesceQueryWorkload(16, coalesced)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Run(); err != nil { // warm caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoalesceServe16 measures the serving path at 16 sessions
+// through a real loopback daemon with the full batched+coalesced stack
+// (client.Batcher over a pooled connection, coalesce.Server behind the
+// daemon); BenchmarkCoalesceServe16Baseline is the same wave workload on
+// the PR 4 path (16 independent connections, bare store). One iteration
+// is one 16-session hot evaluation wave round.
+func BenchmarkCoalesceServe16(b *testing.B) {
+	benchmarkCoalesceServe(b, experiments.ServeBatched)
+}
+
+func BenchmarkCoalesceServe16Baseline(b *testing.B) {
+	benchmarkCoalesceServe(b, experiments.ServeBaseline)
+}
+
+func benchmarkCoalesceServe(b *testing.B, mode experiments.ServeMode) {
+	w, err := experiments.NewCoalesceServeWorkload(16, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

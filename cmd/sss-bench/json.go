@@ -15,10 +15,16 @@ import (
 // so consumers diffing the perf trajectory across PRs rely on the field
 // names staying put.
 type benchReport struct {
-	Schema  string        `json:"schema"`
-	GoOS    string        `json:"goos"`
-	GoArch  string        `json:"goarch"`
-	Results []benchResult `json:"results"`
+	Schema string `json:"schema"`
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	// GoMaxProcs and NumCPU pin the host parallelism the numbers were
+	// taken at, so BENCH_*.json trajectories are comparable across hosts
+	// (the parallel walks and the coalescer behave very differently at
+	// GOMAXPROCS=1 vs a many-core box).
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numcpu"`
+	Results    []benchResult `json:"results"`
 }
 
 type benchResult struct {
@@ -37,9 +43,11 @@ func runJSONBench(path string) error {
 		return err
 	}
 	report := benchReport{
-		Schema: "sss-bench/v1",
-		GoOS:   runtime.GOOS,
-		GoArch: runtime.GOARCH,
+		Schema:     "sss-bench/v1",
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	for _, t := range targets {
 		t := t

@@ -37,7 +37,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress connection logging")
 	manifestPath := flag.String("shard-manifest", "", "serve a whole-tree store as one shard of this routing manifest")
 	shardID := flag.Int("shard-id", -1, "shard id within -shard-manifest")
+	coalesceFlag := flag.Bool("coalesce", true, "merge concurrent queries from all connections into shared deduplicated evaluation passes")
 	flag.Parse()
+	opts := sssearch.ServeOpts{DisableCoalesce: !*coalesceFlag}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -61,7 +63,7 @@ func main() {
 		}
 		fmt.Printf("sss-server: serving %s (%s, %d nodes) as shard %d/%d on %s\n",
 			*storePath, st.RingName(), st.NodeCount(), *shardID, man.NumShards(), l.Addr())
-		daemon, err = st.ServeShardTCP(l, man, *shardID)
+		daemon, err = st.ServeShardTCPOpts(l, man, *shardID, opts)
 		if err != nil {
 			log.Fatalf("sss-server: %v", err)
 		}
@@ -76,7 +78,7 @@ func main() {
 		}
 		fmt.Printf("sss-server: serving %s (%s) as shard %d/%d, %d owned nodes, on %s\n",
 			*storePath, st.RingName(), st.ID(), st.Manifest().NumShards(), st.OwnedNodes(), l.Addr())
-		daemon, err = st.ServeTCP(l)
+		daemon, err = st.ServeTCPOpts(l, opts)
 		if err != nil {
 			log.Fatalf("sss-server: %v", err)
 		}
@@ -87,7 +89,7 @@ func main() {
 		}
 		fmt.Printf("sss-server: serving %s (%s, %d nodes) on %s\n",
 			*storePath, st.RingName(), st.NodeCount(), l.Addr())
-		daemon, err = st.ServeTCP(l)
+		daemon, err = st.ServeTCPOpts(l, opts)
 		if err != nil {
 			log.Fatalf("sss-server: %v", err)
 		}

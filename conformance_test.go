@@ -12,6 +12,7 @@ import (
 
 	"sssearch/internal/apitest"
 	"sssearch/internal/client"
+	"sssearch/internal/coalesce"
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/ring"
@@ -137,27 +138,7 @@ func TestConformanceShardRouter(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			apitest.Run(t, tc.ring(), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
-				trees, man, err := shard.Partition(f.ServerTree, tc.shards)
-				if err != nil {
-					t.Fatal(err)
-				}
-				backends := make([]core.ServerAPI, len(trees))
-				for s, st := range trees {
-					local, err := server.NewLocal(f.Ring, st)
-					if err != nil {
-						t.Fatal(err)
-					}
-					guard, err := shard.NewGuard(f.Ring, local, man, s)
-					if err != nil {
-						t.Fatal(err)
-					}
-					backends[s] = guard
-				}
-				router, err := shard.NewRouter(man, backends)
-				if err != nil {
-					t.Fatal(err)
-				}
-				return router
+				return newShardRouter(t, f, tc.shards)
 			})
 		})
 	}
@@ -210,6 +191,106 @@ func TestConformanceShardMultiServer(t *testing.T) {
 			t.Fatal(err)
 		}
 		return router
+	})
+}
+
+// newShardRouter partitions the fixture tree into guarded in-process
+// Locals behind a scatter/gather Router (shared by the router and
+// coalescer conformance tables).
+func newShardRouter(t *testing.T, f *apitest.Fixture, shards int) *shard.Router {
+	t.Helper()
+	trees, man, err := shard.Partition(f.ServerTree, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := make([]core.ServerAPI, len(trees))
+	for s, st := range trees {
+		local, err := server.NewLocal(f.Ring, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		guard, err := shard.NewGuard(f.Ring, local, man, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[s] = guard
+	}
+	router, err := shard.NewRouter(man, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router
+}
+
+// TestConformanceCoalesce pins the cross-session request coalescer to
+// the ServerAPI contract: over the plain in-process store on both rings,
+// and composed over a 2-shard guarded Router — merged passes must be
+// indistinguishable from per-request serving, including error semantics
+// (unknown keys must fail only their own request).
+func TestConformanceCoalesce(t *testing.T) {
+	t.Run("Fp", func(t *testing.T) {
+		apitest.Run(t, ring.MustFp(257), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			return coalesce.New(f.Reference, nil)
+		})
+	})
+	t.Run("Z", func(t *testing.T) {
+		apitest.Run(t, ring.MustIntQuotient(1, 0, 1), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			return coalesce.New(f.Reference, nil)
+		})
+	})
+	t.Run("Over2ShardRouter", func(t *testing.T) {
+		apitest.Run(t, ring.MustFp(257), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			return coalesce.New(newShardRouter(t, f, 2), nil)
+		})
+	})
+	t.Run("Z_Over2ShardRouter", func(t *testing.T) {
+		apitest.Run(t, ring.MustIntQuotient(1, 0, 1), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			return coalesce.New(newShardRouter(t, f, 2), nil)
+		})
+	})
+}
+
+// TestConformanceBatcher pins the client-side micro-batcher: over a
+// pipelined remote session and over a pooled connection set, both
+// against a coalescing daemon — the full batched serving stack.
+func TestConformanceBatcher(t *testing.T) {
+	startCoalescingDaemon := func(t *testing.T, f *apitest.Fixture) string {
+		t.Helper()
+		d := server.NewDaemon(coalesce.New(f.Reference, nil), nil)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = d.Serve(l)
+		}()
+		t.Cleanup(func() {
+			d.Close()
+			<-done
+		})
+		return l.Addr().String()
+	}
+	t.Run("OverRemote", func(t *testing.T) {
+		apitest.Run(t, ring.MustFp(257), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			r, err := client.Dial(startCoalescingDaemon(t, f), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { r.Close() })
+			return client.NewBatcher(r, nil)
+		})
+	})
+	t.Run("OverPool", func(t *testing.T) {
+		apitest.Run(t, ring.MustIntQuotient(1, 0, 1), func(t *testing.T, f *apitest.Fixture) core.ServerAPI {
+			p, err := client.DialPool(startCoalescingDaemon(t, f), 2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { p.Close() })
+			return client.NewBatcher(p, nil)
+		})
 	})
 }
 

@@ -92,6 +92,69 @@
 // Every core.ServerAPI implementation is held to one contract by the
 // conformance suite in internal/apitest.
 //
+// # Cross-session coalescing
+//
+// Concurrent sessions asking about the same hot subtree used to pay one
+// full evaluation pass each. Two transparent layers now merge that work
+// (answers stay byte-identical; both are pinned to the ServerAPI
+// contract by the conformance suite):
+//
+//   - Server side, coalesce.Server sits between the daemon's worker pool
+//     and the store (a plain Local, a shard.Guard, a Router — anything).
+//     It drains whatever Eval frames are queued across ALL connections,
+//     merges point-compatible requests into one deduplicated pass in
+//     front of the eval LRU (identical hot waves take a map-free fast
+//     path), and shares the resulting values singleflight-style — one
+//     evaluation, one cache fill, every waiting session answered. A
+//     failed merged pass replays each request alone, so error semantics
+//     are exactly per-request. Serving helpers enable it by default
+//     (ServeOpts.DisableCoalesce and `sss-server -coalesce=false` turn
+//     it off for ablations).
+//   - Client side, client.Batcher adds transparent micro-batching to a
+//     Remote or Pool: evaluation calls issued while a round trip is in
+//     flight merge into the next wire request (flush on size or
+//     first-await — a lone query never waits on a batching window).
+//     ClientKey.DialPool sessions batch automatically, so a gateway
+//     multiplexing many user sessions over one pool sends ~one frame
+//     per concurrent wave.
+//
+// Coalescing tallies (shared passes, absorbed requests, deduplicated
+// evaluations) appear in every Stats snapshot next to the cache pairs.
+// Measure the effect with:
+//
+//	go run ./cmd/sss-bench -exp coalesce
+//	go test -bench 'BenchmarkCoalesce' -benchtime 20x .
+//
+// On the reference host the full batched+coalesced serving stack moves
+// ~3× the hot evaluation waves per second of the per-session path at 16
+// concurrent sessions (BENCH_5.json tracks the `coalesceQuery` target).
+//
+// # Concurrency & batching knobs
+//
+// The serving stack exposes a small set of tuning points; defaults suit
+// a mid-size deployment and every knob degrades gracefully to the
+// sequential path:
+//
+//   - core.Opts.Parallelism — splits each per-query evaluation wave
+//     into concurrent batches (0 = GOMAXPROCS).
+//   - Outsource Config.Parallelism — worker bound of the encode/split
+//     tree walks on the write path (byte-identical at every setting).
+//   - ClientKey.DialPool size — pipelined connections per session;
+//     concurrent searches spread across sockets.
+//   - server.Daemon.Workers — concurrently executing requests per
+//     pipelined connection (default server.DefaultWorkers).
+//   - coalesce.Server.MaxBatchKeys / client.Batcher.MaxBatchKeys —
+//     distinct keys per merged pass or wire request; larger drains
+//     split into consecutive passes (defaults 8192 / 4096).
+//   - server.Local.SetEvalCacheEntries — bound of the server's
+//     (node, point) eval LRU (default server.DefaultEvalCacheEntries,
+//     ~64 Ki entries).
+//   - sharing.SeedClient.SetShareCacheNodes — bound of the client's
+//     packed pad LRU (default sharing.DefaultShareCacheNodes).
+//   - wire buffer pooling is automatic: frame payloads are built in and
+//     recycled through a sync.Pool, and each frame is written with a
+//     single Write call.
+//
 // # Fast path
 //
 // All F_p hot-path arithmetic runs on a word-sized engine

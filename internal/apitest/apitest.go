@@ -9,7 +9,9 @@
 package apitest
 
 import (
+	"fmt"
 	"math/big"
+	"sync"
 	"testing"
 
 	"sssearch/internal/core"
@@ -102,6 +104,33 @@ func (f *Fixture) UnknownKey() drbg.NodeKey {
 // Maker builds the ServerAPI under test over the fixture's share tree.
 // Use t.Cleanup for teardown (daemons, connections).
 type Maker func(t *testing.T, f *Fixture) core.ServerAPI
+
+// CompareEvals checks an answer set against a reference: same length,
+// aligned keys, matching child counts and per-point values. It returns
+// the first discrepancy as an error (nil when identical), so concurrent
+// callers can collect failures without touching testing.T.
+func CompareEvals(got, want []core.NodeEval) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key.String() != want[i].Key.String() {
+			return fmt.Errorf("answer %d under key %s, want %s (answers must align with request order)", i, got[i].Key, want[i].Key)
+		}
+		if got[i].NumChildren != want[i].NumChildren {
+			return fmt.Errorf("%s: %d children, want %d", want[i].Key, got[i].NumChildren, want[i].NumChildren)
+		}
+		if len(got[i].Values) != len(want[i].Values) {
+			return fmt.Errorf("%s: %d values, want %d", want[i].Key, len(got[i].Values), len(want[i].Values))
+		}
+		for j := range want[i].Values {
+			if got[i].Values[j].Cmp(want[i].Values[j]) != 0 {
+				return fmt.Errorf("%s at point %d: %v, want %v", want[i].Key, j, got[i].Values[j], want[i].Values[j])
+			}
+		}
+	}
+	return nil
+}
 
 // Run executes the full conformance table against the implementation
 // produced by mk over ring r.
@@ -218,6 +247,50 @@ func Run(t *testing.T, r ring.Ring, mk Maker) {
 	t.Run("FetchUnknownKey", func(t *testing.T) {
 		if _, err := api.FetchPolys([]drbg.NodeKey{f.UnknownKey()}); err == nil {
 			t.Fatal("unknown key must be an error")
+		}
+	})
+
+	t.Run("ConcurrentEvalIdentical", func(t *testing.T) {
+		// The ServerAPI contract requires concurrent safety, and batching
+		// or coalescing wrappers must return byte-identical answers under
+		// contention: 8 goroutines hammer overlapping key windows (some
+		// identical, some offset, so both the shared-pass and the
+		// mixed-merge paths fire) and every answer must match the
+		// reference.
+		const goroutines, iters = 8, 4
+		offsets := []int{0, 0, 1, 2} // several goroutines share each window
+		wants := make([][]core.NodeEval, len(offsets))
+		for i, off := range offsets {
+			w, err := f.Reference.EvalNodes(f.Keys[off:], f.Points)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants[i] = w
+		}
+		errs := make(chan error, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				oi := g % len(offsets)
+				keys, want := f.Keys[offsets[oi]:], wants[oi]
+				for i := 0; i < iters; i++ {
+					got, err := api.EvalNodes(keys, f.Points)
+					if err == nil {
+						err = CompareEvals(got, want)
+					}
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d: %w", g, err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			t.Fatal(err)
 		}
 	})
 

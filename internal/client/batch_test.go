@@ -1,0 +1,130 @@
+package client_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"sssearch/internal/apitest"
+	"sssearch/internal/client"
+	"sssearch/internal/drbg"
+	"sssearch/internal/workload"
+)
+
+// TestBatcherMergesConcurrentCalls: concurrent identical waves through a
+// Batcher must collapse into fewer wire requests while every caller
+// still gets reference-identical answers.
+func TestBatcherMergesConcurrentCalls(t *testing.T) {
+	w := buildWorld(t, workload.RandomTree(workload.TreeConfig{Nodes: 80, MaxFanout: 3, Vocab: 8, Seed: 29}))
+	r, err := client.Dial(w.addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b := client.NewBatcher(r, nil)
+
+	points := pts(2)
+	want, err := w.local.EvalNodes(w.keys, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, rounds = 12, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				got, err := b.EvalNodes(w.keys, points)
+				if err == nil {
+					err = apitest.CompareEvals(got, want)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Counters().Snapshot()
+	if snap.CoalescedRequests == 0 || snap.CoalesceDedupHits == 0 {
+		t.Fatalf("batcher never merged: %+v", snap)
+	}
+}
+
+// TestBatcherErrorIsolation: a request with an unknown key merged into a
+// shared flush must fail alone.
+func TestBatcherErrorIsolation(t *testing.T) {
+	w := buildWorld(t, workload.RandomTree(workload.TreeConfig{Nodes: 40, MaxFanout: 3, Vocab: 6, Seed: 31}))
+	r, err := client.Dial(w.addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b := client.NewBatcher(r, nil)
+	points := pts(1)
+	unknown := drbg.NodeKey{1 << 30, 9, 9}
+
+	const goroutines, rounds = 8, 6
+	var wg sync.WaitGroup
+	goodErrs := make(chan error, goroutines*rounds)
+	badErrs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if g == 0 {
+					_, err := b.EvalNodes([]drbg.NodeKey{w.keys[0], unknown}, points)
+					badErrs <- err
+				} else {
+					_, err := b.EvalNodes(w.keys, points)
+					goodErrs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(goodErrs)
+	close(badErrs)
+	for err := range goodErrs {
+		if err != nil {
+			t.Errorf("innocent request failed: %v", err)
+		}
+	}
+	for err := range badErrs {
+		if err == nil {
+			t.Error("unknown-key request succeeded")
+		}
+	}
+}
+
+// TestBatcherCancellation: a caller abandoning its context must get a
+// context error promptly and must not fail other members of its flush.
+func TestBatcherCancellation(t *testing.T) {
+	w := buildWorld(t, workload.RandomTree(workload.TreeConfig{Nodes: 40, MaxFanout: 3, Vocab: 6, Seed: 37}))
+	r, err := client.Dial(w.addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b := client.NewBatcher(r, nil)
+	points := pts(1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.EvalNodesCtx(ctx, w.keys, points); err == nil {
+		t.Fatal("cancelled call succeeded")
+	}
+	// The batcher must still be serviceable afterwards.
+	if _, err := b.EvalNodes(w.keys[:2], points); err != nil {
+		t.Fatalf("call after cancellation failed: %v", err)
+	}
+}

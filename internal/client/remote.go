@@ -234,6 +234,7 @@ func (r *Remote) readLoop() {
 			} else {
 				res = callResult{err: &wire.RemoteError{ID: e.ID, Message: e.Message}}
 			}
+			wire.PutBuf(f.Payload) // decoded; res carries no payload
 		}
 		r.pmu.Lock()
 		ch, ok := r.pending[f.ReqID]
@@ -241,16 +242,21 @@ func (r *Remote) readLoop() {
 		r.pmu.Unlock()
 		if ok {
 			ch <- res // buffered: never blocks the reader
+		} else if res.payload != nil {
+			// Responses with no waiter (cancelled calls) are dropped.
+			wire.PutBuf(res.payload)
 		}
-		// Responses with no waiter (cancelled calls) are dropped.
 	}
 }
 
 // call sends one request and waits for its response, honouring ctx. On a
 // v2 session the request is pipelined; on v1 it holds the connection for
 // a strict round trip (cancellation is only observed between phases).
+// call takes ownership of the (possibly pooled) request payload and
+// recycles it once written; the caller must not touch it afterwards.
 func (r *Remote) call(ctx context.Context, typ wire.MsgType, id uint64, payload []byte) (wire.MsgType, []byte, error) {
 	if err := ctx.Err(); err != nil {
+		wire.PutBuf(payload)
 		return 0, nil, err
 	}
 	if r.version >= wire.Version2 {
@@ -264,11 +270,13 @@ func (r *Remote) callPipelined(ctx context.Context, typ wire.MsgType, id uint64,
 	r.pmu.Lock()
 	if r.closed {
 		r.pmu.Unlock()
+		wire.PutBuf(payload)
 		return 0, nil, ErrClosed
 	}
 	if r.readErr != nil {
 		err := r.readErr
 		r.pmu.Unlock()
+		wire.PutBuf(payload)
 		return 0, nil, err
 	}
 	r.pending[id] = ch
@@ -277,6 +285,7 @@ func (r *Remote) callPipelined(ctx context.Context, typ wire.MsgType, id uint64,
 	r.wmu.Lock()
 	n, err := wire.WriteFramed(r.conn, wire.FramedFrame{Type: typ, ReqID: id, Payload: payload})
 	r.wmu.Unlock()
+	wire.PutBuf(payload) // written (or failed); either way done with it
 	r.counters.AddBytesSent(n)
 	r.counters.AddMessageSent()
 	if err != nil {
@@ -311,12 +320,15 @@ func (r *Remote) callStrict(ctx context.Context, typ wire.MsgType, payload []byt
 	closed := r.closed
 	r.pmu.Unlock()
 	if closed {
+		wire.PutBuf(payload)
 		return 0, nil, ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
+		wire.PutBuf(payload)
 		return 0, nil, err
 	}
 	n, err := wire.WriteFrame(r.conn, wire.Frame{Type: typ, Payload: payload})
+	wire.PutBuf(payload)
 	r.counters.AddBytesSent(n)
 	r.counters.AddMessageSent()
 	if err != nil {
@@ -330,6 +342,7 @@ func (r *Remote) callStrict(ctx context.Context, typ wire.MsgType, payload []byt
 	}
 	if resp.Type == wire.MsgError {
 		e, derr := wire.DecodeError(resp.Payload)
+		wire.PutBuf(resp.Payload)
 		if derr != nil {
 			return 0, nil, derr
 		}
@@ -345,10 +358,11 @@ func (r *Remote) id() uint64 {
 // EvalNodesCtx is EvalNodes with context cancellation.
 func (r *Remote) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
 	id := r.id()
-	typ, payload, err := r.call(ctx, wire.MsgEval, id, wire.EncodeEvalReq(wire.EvalReq{ID: id, Keys: keys, Points: points}))
+	typ, payload, err := r.call(ctx, wire.MsgEval, id, wire.AppendEvalReq(wire.GetBuf(), wire.EvalReq{ID: id, Keys: keys, Points: points}))
 	if err != nil {
 		return nil, err
 	}
+	defer wire.PutBuf(payload) // decoders copy everything out
 	if typ != wire.MsgEvalResp {
 		return nil, fmt.Errorf("client: unexpected reply %s to Eval", typ)
 	}
@@ -365,10 +379,11 @@ func (r *Remote) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points [
 // FetchPolysCtx is FetchPolys with context cancellation.
 func (r *Remote) FetchPolysCtx(ctx context.Context, keys []drbg.NodeKey) ([]core.NodePoly, error) {
 	id := r.id()
-	typ, payload, err := r.call(ctx, wire.MsgFetch, id, wire.EncodeFetchReq(wire.FetchReq{ID: id, Keys: keys}))
+	typ, payload, err := r.call(ctx, wire.MsgFetch, id, wire.AppendFetchReq(wire.GetBuf(), wire.FetchReq{ID: id, Keys: keys}))
 	if err != nil {
 		return nil, err
 	}
+	defer wire.PutBuf(payload)
 	if typ != wire.MsgFetchResp {
 		return nil, fmt.Errorf("client: unexpected reply %s to Fetch", typ)
 	}
@@ -385,10 +400,11 @@ func (r *Remote) FetchPolysCtx(ctx context.Context, keys []drbg.NodeKey) ([]core
 // PruneCtx is Prune with context cancellation.
 func (r *Remote) PruneCtx(ctx context.Context, keys []drbg.NodeKey) error {
 	id := r.id()
-	typ, payload, err := r.call(ctx, wire.MsgPrune, id, wire.EncodePruneReq(wire.PruneReq{ID: id, Keys: keys}))
+	typ, payload, err := r.call(ctx, wire.MsgPrune, id, wire.AppendPruneReq(wire.GetBuf(), wire.PruneReq{ID: id, Keys: keys}))
 	if err != nil {
 		return err
 	}
+	defer wire.PutBuf(payload)
 	if typ != wire.MsgAck {
 		return fmt.Errorf("client: unexpected reply %s to Prune", typ)
 	}

@@ -1,0 +1,330 @@
+package coalesce
+
+import (
+	"context"
+	"math/big"
+	"runtime"
+	"sync"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/metrics"
+	"sssearch/internal/wire"
+)
+
+// EvalFunc is the evaluation primitive a Merger drives. The server-side
+// coalescer ignores ctx (in-process stores are not cancellable); the
+// client-side batcher threads it to the wire call.
+type EvalFunc func(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error)
+
+// Merger is the shared request-merging engine behind coalesce.Server and
+// client.Batcher: it queues concurrent evaluation requests per
+// point-vector signature, drains each signature on its own goroutine
+// (independent groups never serialise behind one another — heterogeneous
+// traffic keeps the concurrency of the unmerged path), merges each
+// drained group into deduplicated passes, and distributes shared
+// results. Safe for concurrent use.
+type Merger struct {
+	eval     EvalFunc
+	counters *metrics.Counters
+	// maxKeys reads the owner's batch bound at drain time (the owner
+	// exposes it as a settable field).
+	maxKeys func() int
+
+	mu      sync.Mutex
+	pending map[string][]*mergeReq
+	active  map[string]bool
+}
+
+// mergeReq is one queued evaluation request.
+type mergeReq struct {
+	ctx    context.Context
+	keys   []drbg.NodeKey
+	points []*big.Int
+	keySig uint64
+	done   chan mergeDone // buffered(1): drains never block delivering
+}
+
+type mergeDone struct {
+	answers []core.NodeEval
+	err     error
+}
+
+// NewMerger builds a merger over eval. maxKeys is consulted per drain
+// (values <= 0 select DefaultMaxBatchKeys); counters receives the
+// coalescing tallies.
+func NewMerger(eval EvalFunc, counters *metrics.Counters, maxKeys func() int) *Merger {
+	return &Merger{
+		eval:     eval,
+		counters: counters,
+		maxKeys:  maxKeys,
+		pending:  map[string][]*mergeReq{},
+		active:   map[string]bool{},
+	}
+}
+
+// Eval queues the request for its signature's next merged pass and waits
+// for its answers, honouring ctx. A cancelled waiter abandons its slot;
+// the merged pass still completes for the other members.
+func (m *Merger) Eval(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		// Nothing to merge; preserve the inner empty-batch shape.
+		return m.eval(ctx, keys, points)
+	}
+	req := &mergeReq{
+		ctx:    ctx,
+		keys:   keys,
+		points: points,
+		keySig: keysSig(keys), // paid by the caller, off the drain's critical path
+		done:   make(chan mergeDone, 1),
+	}
+	sig := pointSig(points)
+	m.mu.Lock()
+	m.pending[sig] = append(m.pending[sig], req)
+	if !m.active[sig] {
+		m.active[sig] = true
+		go m.drain(sig)
+	}
+	m.mu.Unlock()
+	select {
+	case res := <-req.done:
+		return res.answers, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// drain serves one signature's queue until it is empty, then retires.
+// Requests arriving while a pass is in flight are taken by the next loop
+// iteration — that accumulation window is where cross-session merging
+// comes from. Signatures drain independently and concurrently.
+func (m *Merger) drain(sig string) {
+	for {
+		// Yield once before grabbing the queue: callers that are already
+		// runnable (other sessions mid-enqueue — on a single-P runtime the
+		// spawned drain goroutine would otherwise run BEFORE them) get to
+		// append first, so the pass merges everything actually concurrent.
+		// This is a scheduling fence, not a timer — a lone query pays one
+		// Gosched, never a batching window.
+		runtime.Gosched()
+		m.mu.Lock()
+		group := m.pending[sig]
+		delete(m.pending, sig)
+		if len(group) == 0 {
+			delete(m.active, sig)
+			m.mu.Unlock()
+			return
+		}
+		m.mu.Unlock()
+		m.processGroup(group)
+	}
+}
+
+// processGroup answers one drained, point-compatible group.
+func (m *Merger) processGroup(group []*mergeReq) {
+	if len(group) == 1 {
+		// Lone request: straight through under its own ctx, no merge
+		// bookkeeping.
+		r := group[0]
+		answers, err := m.eval(r.ctx, r.keys, r.points)
+		r.done <- mergeDone{answers: answers, err: err}
+		return
+	}
+
+	// Hot-wave fast path: concurrent sessions walking the same subtree
+	// ask for the SAME key vector. One shared pass, no per-key
+	// bookkeeping at all — each request gets a shallow copy of the
+	// answer slice (values alias, read-only per the ServerAPI contract).
+	first := group[0]
+	identical := true
+	for _, r := range group[1:] {
+		// The fingerprint is a prefilter; equality is always verified.
+		if r.keySig != first.keySig || !sameKeys(r.keys, first.keys) {
+			identical = false
+			break
+		}
+	}
+
+	total := 0
+	for _, r := range group {
+		total += len(r.keys)
+	}
+	var (
+		merged []drbg.NodeKey
+		index  map[string]int // only built on the mixed path
+	)
+	if identical {
+		merged = first.keys
+	} else {
+		// Mixed key sets: one slot per distinct key across the group.
+		index = make(map[string]int, total)
+		merged = make([]drbg.NodeKey, 0, total)
+		var kb []byte
+		for _, r := range group {
+			for _, k := range r.keys {
+				kb = appendKeyBytes(kb[:0], k)
+				if _, ok := index[string(kb)]; !ok {
+					index[string(kb)] = len(merged)
+					merged = append(merged, k)
+				}
+			}
+		}
+	}
+
+	answers, passes, mergeErr := m.evalChunked(merged, first.points)
+	if mergeErr != nil {
+		// A poisoned merge (e.g. one session's unknown key) degrades to
+		// the unmerged path: every request replays alone — concurrently,
+		// so one bad request cannot stall the group — and gets exactly
+		// the error, or the answers, it would have gotten anyway. No
+		// coalescing counters tick: nothing was shared.
+		for _, r := range group {
+			go func(r *mergeReq) {
+				a, err := m.eval(r.ctx, r.keys, r.points)
+				r.done <- mergeDone{answers: a, err: err}
+			}(r)
+		}
+		return
+	}
+	m.counters.AddCoalescedBatches(passes)
+	m.counters.AddCoalescedRequests(len(group))
+	m.counters.AddCoalesceDedupHits(total - len(merged))
+
+	if identical {
+		group[0].done <- mergeDone{answers: answers}
+		for _, r := range group[1:] {
+			// Shallow per-request copy: callers own their top-level slice
+			// (a wrapper like server.Tamperer may rewrite entries) while
+			// the evaluated values stay shared.
+			out := make([]core.NodeEval, len(answers))
+			copy(out, answers)
+			r.done <- mergeDone{answers: out}
+		}
+		return
+	}
+
+	// Distribute: each request gets answers aligned with ITS key order,
+	// sharing the merged values (duplicates answer per occurrence).
+	var kb []byte
+	for _, r := range group {
+		out := make([]core.NodeEval, len(r.keys))
+		for i, k := range r.keys {
+			kb = appendKeyBytes(kb[:0], k)
+			a := answers[index[string(kb)]]
+			// Answer under the caller's own key value; values and child
+			// counts are the shared evaluation.
+			out[i] = core.NodeEval{Key: k, Values: a.Values, NumChildren: a.NumChildren}
+		}
+		r.done <- mergeDone{answers: out}
+	}
+}
+
+// evalChunked runs the merged pass, split into concurrent chunks of at
+// most maxKeys keys (the eval target is concurrent-safe by the
+// ServerAPI contract, so an oversized merge keeps its parallelism).
+// Returns the concatenated answers and the number of passes run.
+func (m *Merger) evalChunked(merged []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, int, error) {
+	maxKeys := m.maxKeys()
+	if maxKeys <= 0 {
+		maxKeys = DefaultMaxBatchKeys
+	}
+	if len(merged) <= maxKeys {
+		answers, err := m.eval(context.Background(), merged, points)
+		return answers, 1, err
+	}
+	chunks := (len(merged) + maxKeys - 1) / maxKeys
+	parts := make([][]core.NodeEval, chunks)
+	errs := make([]error, chunks)
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		start := c * maxKeys
+		end := start + maxKeys
+		if end > len(merged) {
+			end = len(merged)
+		}
+		wg.Add(1)
+		go func(c int, keys []drbg.NodeKey) {
+			defer wg.Done()
+			parts[c], errs[c] = m.eval(context.Background(), keys, points)
+		}(c, merged[start:end])
+	}
+	wg.Wait()
+	answers := make([]core.NodeEval, 0, len(merged))
+	for c := 0; c < chunks; c++ {
+		if errs[c] != nil {
+			return nil, 0, errs[c]
+		}
+		answers = append(answers, parts[c]...)
+	}
+	return answers, chunks, nil
+}
+
+// keysSig fingerprints a key vector (FNV-1a over lengths and
+// components). It is a cheap prefilter for the identical-wave fast
+// path — a signature match is ALWAYS confirmed by sameKeys before any
+// aliasing happens, so collisions cost a map build, never correctness.
+func keysSig(keys []drbg.NodeKey) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(len(keys)))
+	for _, k := range keys {
+		mix(uint64(len(k)))
+		for _, c := range k {
+			mix(uint64(c))
+		}
+	}
+	return h
+}
+
+// sameKeys reports whether two key vectors are element-wise identical.
+func sameKeys(a, b []drbg.NodeKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		ka, kb := a[i], b[i]
+		if len(ka) != len(kb) {
+			return false
+		}
+		for j := range ka {
+			if ka[j] != kb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// appendKeyBytes renders a node key as raw map-key bytes (fixed-width
+// components, so distinct keys never collide; cheaper than
+// NodeKey.String on the distribution path).
+func appendKeyBytes(dst []byte, k drbg.NodeKey) []byte {
+	for _, c := range k {
+		dst = append(dst, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return dst
+}
+
+// pointSig renders an order-sensitive signature of a point vector; two
+// requests merge only if they asked for the exact same points in the
+// same order, so answer Values slices align for every member.
+func pointSig(points []*big.Int) string {
+	if len(points) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, 16*len(points))
+	for _, p := range points {
+		b = wire.AppendBig(b, p)
+	}
+	return string(b)
+}

@@ -38,12 +38,18 @@ type NodePoly struct {
 
 // ServerAPI is the full server-side capability the protocol needs. It is
 // implemented in-process by server.Local, remotely by client.Remote (and
-// client.Pool), and across a k-of-n deployment by MultiServer.
+// client.Pool, and the micro-batching client.Batcher over either),
+// across a k-of-n deployment by MultiServer, across a partitioned one by
+// shard.Router, and by the cross-session request coalescer
+// coalesce.Server over any of them.
 //
 // Implementations must be safe for concurrent calls: the engine issues
 // parallel evaluation batches (Opts.Parallelism) and MultiServer fans out
-// from multiple goroutines. The conformance suite in internal/apitest
-// checks the contract below; run it against any new implementation.
+// from multiple goroutines. Answers are read-only once returned —
+// batching layers may hand the same value objects to several concurrent
+// callers. The conformance suite in internal/apitest checks the contract
+// below (including concurrent-call identity); run it against any new
+// implementation.
 type ServerAPI interface {
 	// EvalNodes evaluates the server share of each keyed node at each of
 	// the given points, in order. Unknown keys are an error.

@@ -55,6 +55,11 @@ type BenchTarget struct {
 //   - shardOutsource: the sharded write path — encode → split →
 //     partition into 4 shard trees over the same document, mirroring
 //     BenchmarkShardOutsource4.
+//   - coalesceQuery: the cross-session hot path — 16 concurrent
+//     seed-only sessions all running the //t3 lookup against ONE
+//     coalescing store, so concurrent frames drain into shared
+//     deduplicated evaluation passes (one iteration = one 16-session
+//     round), mirroring BenchmarkCoalesceQuery16.
 func BenchTargets() ([]BenchTarget, error) {
 	var targets []BenchTarget
 	for _, id := range []string{"fig5", "fig6"} {
@@ -113,6 +118,15 @@ func BenchTargets() ([]BenchTarget, error) {
 	targets = append(targets, BenchTarget{
 		Name: "shardOutsource",
 		Fn:   func() error { return ShardOutsourceOnce(doc, 4) },
+	})
+
+	coalQ, err := NewCoalesceQueryWorkload(16, true)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name: "coalesceQuery",
+		Fn:   coalQ.Run,
 	})
 	return targets, nil
 }

@@ -28,6 +28,14 @@ type Counters struct {
 	evalCacheMiss  atomic.Int64 // server eval-cache misses (Horner passes run)
 	padCacheHits   atomic.Int64 // client pad-cache hits (share pads reused)
 	padCacheMiss   atomic.Int64 // client pad-cache misses (DRBG regenerations)
+
+	// Coalescing tallies. The same triple serves both ends of the stack:
+	// the server-side coalesce.Server counts merged inner evaluation
+	// passes, and the client-side client.Batcher counts merged wire
+	// requests — each on its own Counters instance.
+	coalescedBatches  atomic.Int64 // shared passes that served >1 queued request
+	coalescedRequests atomic.Int64 // Eval requests absorbed into shared passes
+	coalesceDedupHits atomic.Int64 // duplicate (node, point-set) evals avoided
 }
 
 // Add* methods increment the corresponding counter.
@@ -50,6 +58,10 @@ func (c *Counters) AddEvalCacheMiss(n int)  { c.evalCacheMiss.Add(int64(n)) }
 func (c *Counters) AddPadCacheHits(n int)   { c.padCacheHits.Add(int64(n)) }
 func (c *Counters) AddPadCacheMiss(n int)   { c.padCacheMiss.Add(int64(n)) }
 
+func (c *Counters) AddCoalescedBatches(n int)  { c.coalescedBatches.Add(int64(n)) }
+func (c *Counters) AddCoalescedRequests(n int) { c.coalescedRequests.Add(int64(n)) }
+func (c *Counters) AddCoalesceDedupHits(n int) { c.coalesceDedupHits.Add(int64(n)) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	NodesEvaluated int64
@@ -69,6 +81,10 @@ type Snapshot struct {
 	EvalCacheMiss  int64
 	PadCacheHits   int64
 	PadCacheMiss   int64
+
+	CoalescedBatches  int64
+	CoalescedRequests int64
+	CoalesceDedupHits int64
 }
 
 // Snapshot captures the current counter values.
@@ -91,6 +107,10 @@ func (c *Counters) Snapshot() Snapshot {
 		EvalCacheMiss:  c.evalCacheMiss.Load(),
 		PadCacheHits:   c.padCacheHits.Load(),
 		PadCacheMiss:   c.padCacheMiss.Load(),
+
+		CoalescedBatches:  c.coalescedBatches.Load(),
+		CoalescedRequests: c.coalescedRequests.Load(),
+		CoalesceDedupHits: c.coalesceDedupHits.Load(),
 	}
 }
 
@@ -113,6 +133,9 @@ func (c *Counters) Reset() {
 	c.evalCacheMiss.Store(0)
 	c.padCacheHits.Store(0)
 	c.padCacheMiss.Store(0)
+	c.coalescedBatches.Store(0)
+	c.coalescedRequests.Store(0)
+	c.coalesceDedupHits.Store(0)
 }
 
 // Sub returns the delta s - prev, for per-query deltas over a shared
@@ -136,13 +159,18 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		EvalCacheMiss:  s.EvalCacheMiss - prev.EvalCacheMiss,
 		PadCacheHits:   s.PadCacheHits - prev.PadCacheHits,
 		PadCacheMiss:   s.PadCacheMiss - prev.PadCacheMiss,
+
+		CoalescedBatches:  s.CoalescedBatches - prev.CoalescedBatches,
+		CoalescedRequests: s.CoalescedRequests - prev.CoalescedRequests,
+		CoalesceDedupHits: s.CoalesceDedupHits - prev.CoalesceDedupHits,
 	}
 }
 
 // String renders a compact one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d",
+	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d coalBatch=%d coalReq=%d coalDedup=%d",
 		s.NodesEvaluated, s.ValuesMoved, s.PolysFetched, s.PolyBytesMoved,
 		s.Rounds, s.NodesVisited, s.NodesPruned, s.TagsRecovered, s.VerifyFailures,
-		s.EvalCacheHits, s.EvalCacheMiss, s.PadCacheHits, s.PadCacheMiss)
+		s.EvalCacheHits, s.EvalCacheMiss, s.PadCacheHits, s.PadCacheMiss,
+		s.CoalescedBatches, s.CoalescedRequests, s.CoalesceDedupHits)
 }

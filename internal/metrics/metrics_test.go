@@ -84,6 +84,28 @@ func TestStringFormat(t *testing.T) {
 	}
 }
 
+func TestCoalesceCounters(t *testing.T) {
+	c := &Counters{}
+	c.AddCoalescedBatches(2)
+	c.AddCoalescedRequests(9)
+	c.AddCoalesceDedupHits(40)
+	s := c.Snapshot()
+	if s.CoalescedBatches != 2 || s.CoalescedRequests != 9 || s.CoalesceDedupHits != 40 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	delta := s.Sub(Snapshot{CoalescedBatches: 1, CoalescedRequests: 4, CoalesceDedupHits: 15})
+	if delta.CoalescedBatches != 1 || delta.CoalescedRequests != 5 || delta.CoalesceDedupHits != 25 {
+		t.Errorf("delta = %+v", delta)
+	}
+	if out := s.String(); !strings.Contains(out, "coalBatch=2") || !strings.Contains(out, "coalDedup=40") {
+		t.Errorf("String() missing coalesce counters: %s", out)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("reset snapshot = %+v", s)
+	}
+}
+
 func TestPadCacheCounters(t *testing.T) {
 	c := &Counters{}
 	c.AddPadCacheHits(3)

@@ -161,11 +161,14 @@ func (d *Daemon) serveStrict(conn io.ReadWriteCloser) error {
 			return nil
 		}
 		typ, payload, err := d.dispatch(f.Type, f.Payload)
+		wire.PutBuf(f.Payload) // request fully decoded by dispatch
 		if err != nil {
 			return err
 		}
-		if _, err := wire.WriteFrame(conn, wire.Frame{Type: typ, Payload: payload}); err != nil {
-			return err
+		_, werr := wire.WriteFrame(conn, wire.Frame{Type: typ, Payload: payload})
+		wire.PutBuf(payload)
+		if werr != nil {
+			return werr
 		}
 	}
 }
@@ -211,16 +214,18 @@ func (d *Daemon) servePipelined(conn io.ReadWriteCloser) error {
 			defer handlers.Done()
 			defer func() { <-sem }()
 			typ, payload, err := d.dispatch(f.Type, f.Payload)
+			wire.PutBuf(f.Payload) // request fully decoded by dispatch
 			if err != nil {
 				// Malformed request: framing is length-prefixed so the
 				// stream stays synchronised — answer with a correlated
 				// error and keep serving.
 				typ = wire.MsgError
-				payload = wire.EncodeError(wire.ErrorMsg{ID: f.ReqID, Message: err.Error()})
+				payload = wire.AppendError(wire.GetBuf(), wire.ErrorMsg{ID: f.ReqID, Message: err.Error()})
 			}
 			wmu.Lock()
 			_, werr := wire.WriteFramed(conn, wire.FramedFrame{Type: typ, ReqID: f.ReqID, Payload: payload})
 			wmu.Unlock()
+			wire.PutBuf(payload)
 			if werr != nil {
 				// A failed (possibly partial) write leaves the stream
 				// unframeable — tear the connection down rather than
@@ -234,10 +239,11 @@ func (d *Daemon) servePipelined(conn io.ReadWriteCloser) error {
 
 // dispatch handles one request, returning the response type and payload.
 // Store errors become MsgError replies rather than connection teardown;
-// undecodable requests are returned as errors.
+// undecodable requests are returned as errors. Response payloads are
+// built on pooled buffers — the serve loops recycle them after writing.
 func (d *Daemon) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
 	fail := func(id uint64, err error) (wire.MsgType, []byte, error) {
-		return wire.MsgError, wire.EncodeError(wire.ErrorMsg{ID: id, Message: err.Error()}), nil
+		return wire.MsgError, wire.AppendError(wire.GetBuf(), wire.ErrorMsg{ID: id, Message: err.Error()}), nil
 	}
 	switch typ {
 	case wire.MsgEval:
@@ -249,7 +255,7 @@ func (d *Daemon) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byt
 		if err != nil {
 			return fail(req.ID, err)
 		}
-		return wire.MsgEvalResp, wire.EncodeEvalResp(wire.EvalResp{ID: req.ID, Answers: answers}), nil
+		return wire.MsgEvalResp, wire.AppendEvalResp(wire.GetBuf(), wire.EvalResp{ID: req.ID, Answers: answers}), nil
 	case wire.MsgFetch:
 		req, err := wire.DecodeFetchReq(payload)
 		if err != nil {
@@ -259,7 +265,7 @@ func (d *Daemon) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byt
 		if err != nil {
 			return fail(req.ID, err)
 		}
-		out, err := wire.EncodeFetchResp(wire.FetchResp{ID: req.ID, Answers: answers})
+		out, err := wire.AppendFetchResp(wire.GetBuf(), wire.FetchResp{ID: req.ID, Answers: answers})
 		if err != nil {
 			return 0, nil, err
 		}
@@ -272,7 +278,7 @@ func (d *Daemon) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byt
 		if err := d.local.Prune(req.Keys); err != nil {
 			return fail(req.ID, err)
 		}
-		return wire.MsgAck, wire.EncodeAck(req.ID), nil
+		return wire.MsgAck, wire.AppendAck(wire.GetBuf(), req.ID), nil
 	default:
 		return 0, nil, fmt.Errorf("server: unexpected frame %s", typ)
 	}

@@ -18,7 +18,10 @@ import (
 //
 // It implements core.ServerAPI (plus Ring, so server.Daemon can announce
 // parameters) over any inner API. Safe for concurrent use if the inner
-// API is.
+// API is. A coalesce.Server composes on either side: wrapped OVER the
+// guard (the sss-server default) merged passes stay inside the shard's
+// ownership fence, since every merged key came from a request this guard
+// would have checked anyway.
 type Guard struct {
 	inner core.ServerAPI
 	ring  ring.Ring

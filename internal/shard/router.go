@@ -136,6 +136,10 @@ func scatter[T any](r *Router, keys []drbg.NodeKey, call func(shard int, sub []d
 }
 
 // EvalNodes implements core.ServerAPI: scatter the batch to the owning
+// shards and gather in request order. A coalesce.Server wrapped over the
+// Router merges concurrent session waves BEFORE the scatter, so each
+// owning shard sees one deduplicated sub-batch per drain instead of one
+// per session (conformance-pinned composition).
 // shards, gather the evaluations in request order.
 func (r *Router) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
 	return scatter(r, keys, func(s int, sub []drbg.NodeKey) ([]core.NodeEval, error) {

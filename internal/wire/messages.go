@@ -72,11 +72,15 @@ type EvalReq struct {
 }
 
 // EncodeEvalReq marshals an EvalReq payload.
-func EncodeEvalReq(r EvalReq) []byte {
-	out := binary.AppendUvarint(nil, r.ID)
-	out = AppendKeys(out, r.Keys)
-	out = AppendBigs(out, r.Points)
-	return out
+func EncodeEvalReq(r EvalReq) []byte { return AppendEvalReq(nil, r) }
+
+// AppendEvalReq marshals an EvalReq payload onto dst (which may be a
+// pooled buffer, see GetBuf).
+func AppendEvalReq(dst []byte, r EvalReq) []byte {
+	dst = binary.AppendUvarint(dst, r.ID)
+	dst = AppendKeys(dst, r.Keys)
+	dst = AppendBigs(dst, r.Points)
+	return dst
 }
 
 // DecodeEvalReq unmarshals an EvalReq payload.
@@ -106,15 +110,18 @@ type EvalResp struct {
 }
 
 // EncodeEvalResp marshals an EvalResp payload.
-func EncodeEvalResp(r EvalResp) []byte {
-	out := binary.AppendUvarint(nil, r.ID)
-	out = binary.AppendUvarint(out, uint64(len(r.Answers)))
+func EncodeEvalResp(r EvalResp) []byte { return AppendEvalResp(nil, r) }
+
+// AppendEvalResp marshals an EvalResp payload onto dst.
+func AppendEvalResp(dst []byte, r EvalResp) []byte {
+	dst = binary.AppendUvarint(dst, r.ID)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Answers)))
 	for _, a := range r.Answers {
-		out = AppendKey(out, a.Key)
-		out = binary.AppendUvarint(out, uint64(a.NumChildren))
-		out = AppendBigs(out, a.Values)
+		dst = AppendKey(dst, a.Key)
+		dst = binary.AppendUvarint(dst, uint64(a.NumChildren))
+		dst = AppendBigs(dst, a.Values)
 	}
-	return out
+	return dst
 }
 
 // DecodeEvalResp unmarshals an EvalResp payload.
@@ -162,9 +169,12 @@ type FetchReq struct {
 }
 
 // EncodeFetchReq marshals a FetchReq payload.
-func EncodeFetchReq(r FetchReq) []byte {
-	out := binary.AppendUvarint(nil, r.ID)
-	return AppendKeys(out, r.Keys)
+func EncodeFetchReq(r FetchReq) []byte { return AppendFetchReq(nil, r) }
+
+// AppendFetchReq marshals a FetchReq payload onto dst.
+func AppendFetchReq(dst []byte, r FetchReq) []byte {
+	dst = binary.AppendUvarint(dst, r.ID)
+	return AppendKeys(dst, r.Keys)
 }
 
 // DecodeFetchReq unmarshals a FetchReq payload.
@@ -190,19 +200,22 @@ type FetchResp struct {
 }
 
 // EncodeFetchResp marshals a FetchResp payload.
-func EncodeFetchResp(r FetchResp) ([]byte, error) {
-	out := binary.AppendUvarint(nil, r.ID)
-	out = binary.AppendUvarint(out, uint64(len(r.Answers)))
+func EncodeFetchResp(r FetchResp) ([]byte, error) { return AppendFetchResp(nil, r) }
+
+// AppendFetchResp marshals a FetchResp payload onto dst.
+func AppendFetchResp(dst []byte, r FetchResp) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, r.ID)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Answers)))
 	var err error
 	for _, a := range r.Answers {
-		out = AppendKey(out, a.Key)
-		out = binary.AppendUvarint(out, uint64(a.NumChildren))
-		out, err = a.Poly.AppendBinary(out)
+		dst = AppendKey(dst, a.Key)
+		dst = binary.AppendUvarint(dst, uint64(a.NumChildren))
+		dst, err = a.Poly.AppendBinary(dst)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodeFetchResp unmarshals a FetchResp payload.
@@ -250,9 +263,12 @@ type PruneReq struct {
 }
 
 // EncodePruneReq marshals a PruneReq payload.
-func EncodePruneReq(r PruneReq) []byte {
-	out := binary.AppendUvarint(nil, r.ID)
-	return AppendKeys(out, r.Keys)
+func EncodePruneReq(r PruneReq) []byte { return AppendPruneReq(nil, r) }
+
+// AppendPruneReq marshals a PruneReq payload onto dst.
+func AppendPruneReq(dst []byte, r PruneReq) []byte {
+	dst = binary.AppendUvarint(dst, r.ID)
+	return AppendKeys(dst, r.Keys)
 }
 
 // DecodePruneReq unmarshals a PruneReq payload.
@@ -272,7 +288,10 @@ func DecodePruneReq(data []byte) (PruneReq, error) {
 }
 
 // EncodeAck marshals an Ack payload.
-func EncodeAck(id uint64) []byte { return binary.AppendUvarint(nil, id) }
+func EncodeAck(id uint64) []byte { return AppendAck(nil, id) }
+
+// AppendAck marshals an Ack payload onto dst.
+func AppendAck(dst []byte, id uint64) []byte { return binary.AppendUvarint(dst, id) }
 
 // DecodeAck unmarshals an Ack payload.
 func DecodeAck(data []byte) (uint64, error) {
@@ -290,9 +309,12 @@ type ErrorMsg struct {
 }
 
 // EncodeError marshals an ErrorMsg payload.
-func EncodeError(e ErrorMsg) []byte {
-	out := binary.AppendUvarint(nil, e.ID)
-	return AppendString(out, e.Message)
+func EncodeError(e ErrorMsg) []byte { return AppendError(nil, e) }
+
+// AppendError marshals an ErrorMsg payload onto dst.
+func AppendError(dst []byte, e ErrorMsg) []byte {
+	dst = binary.AppendUvarint(dst, e.ID)
+	return AppendString(dst, e.Message)
 }
 
 // DecodeError unmarshals an ErrorMsg payload.

@@ -1,0 +1,58 @@
+package wire
+
+import "sync"
+
+// Buffer reuse on the wire path. Frame payloads are short-lived: a
+// request payload is dead once the daemon has decoded and dispatched it,
+// a response payload once the client has decoded it, and an encode
+// buffer once its frame has been written. All payload decoders copy
+// their bytes out (big.Int.SetBytes, string conversion, fresh key
+// slices), so a fully decoded payload buffer can be recycled safely.
+//
+// GetBuf/GetPayload hand out pooled buffers; PutBuf returns one. Putting
+// a buffer back is always optional — an un-Put buffer is simply
+// collected — and the pool refuses buffers above maxPooledBuf so a
+// single jumbo frame cannot pin megabytes.
+
+// maxPooledBuf bounds the capacity of recycled buffers (256 KiB): big
+// enough for every routine Eval/Fetch frame, small enough that the pool
+// stays a few MiB even under heavy pipelining.
+const maxPooledBuf = 256 << 10
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// GetBuf returns an empty pooled buffer for append-style encoding.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// GetPayload returns a pooled buffer of length n for frame payload
+// reads. Oversized requests fall through to a plain allocation.
+func GetPayload(n int) []byte {
+	if n > maxPooledBuf {
+		return make([]byte, n)
+	}
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		// Too small for this frame: recycle it for a future small frame
+		// and let the allocator size this one (it enters the pool on Put).
+		bufPool.Put(bp)
+		return make([]byte, n)
+	}
+	return (*bp)[:n]
+}
+
+// PutBuf returns a buffer to the pool. The caller must not touch b
+// afterwards. Zero-capacity and jumbo buffers are dropped.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

@@ -130,12 +130,40 @@ var (
 	ErrChecksum = errors.New("wire: checksum mismatch")
 )
 
+// writeChunks writes header, payload and CRC tail. Frames that fit a
+// pooled buffer are assembled and written in ONE w.Write call — one
+// syscall and no retained header allocation; oversized frames fall back
+// to chunked writes.
+func writeChunks(w io.Writer, header []byte, payload []byte, tail [4]byte) (int, error) {
+	if len(header)+len(payload)+4 <= maxPooledBuf {
+		buf := GetBuf()
+		buf = append(buf, header...)
+		buf = append(buf, payload...)
+		buf = append(buf, tail[:]...)
+		n, err := w.Write(buf)
+		PutBuf(buf)
+		if err != nil {
+			return n, fmt.Errorf("wire: writing frame: %w", err)
+		}
+		return n, nil
+	}
+	total := 0
+	for _, chunk := range [][]byte{header, payload, tail[:]} {
+		n, err := w.Write(chunk)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("wire: writing frame: %w", err)
+		}
+	}
+	return total, nil
+}
+
 // WriteFrame writes one frame to w. It returns the number of bytes written.
 func WriteFrame(w io.Writer, f Frame) (int, error) {
 	if len(f.Payload) > MaxFrameSize {
 		return 0, ErrFrameTooLarge
 	}
-	header := make([]byte, 7)
+	var header [7]byte
 	binary.BigEndian.PutUint16(header[0:2], Magic)
 	header[2] = byte(f.Type)
 	binary.BigEndian.PutUint32(header[3:7], uint32(len(f.Payload)))
@@ -144,16 +172,7 @@ func WriteFrame(w io.Writer, f Frame) (int, error) {
 	crc.Write(f.Payload)
 	var tail [4]byte
 	binary.BigEndian.PutUint32(tail[:], crc.Sum32())
-
-	total := 0
-	for _, chunk := range [][]byte{header, f.Payload, tail[:]} {
-		n, err := w.Write(chunk)
-		total += n
-		if err != nil {
-			return total, fmt.Errorf("wire: writing frame: %w", err)
-		}
-	}
-	return total, nil
+	return writeChunks(w, header[:], f.Payload, tail)
 }
 
 // ReadFrame reads one legacy frame from r. It returns the frame and the
@@ -181,7 +200,9 @@ func readLegacyBody(r io.Reader) (Frame, int, error) {
 	if length > MaxFrameSize {
 		return Frame{}, 5, ErrFrameTooLarge
 	}
-	payload := make([]byte, length)
+	// Pooled payload: callers that fully decode it may hand it back via
+	// PutBuf; callers that retain it (handshake params) simply never do.
+	payload := GetPayload(int(length))
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Frame{}, 5, fmt.Errorf("wire: reading payload: %w", err)
 	}
@@ -216,7 +237,7 @@ func WriteFramed(w io.Writer, f FramedFrame) (int, error) {
 	if len(f.Payload) > MaxFrameSize {
 		return 0, ErrFrameTooLarge
 	}
-	header := make([]byte, framedHeaderLen)
+	var header [framedHeaderLen]byte
 	binary.BigEndian.PutUint16(header[0:2], FramedMagic)
 	header[2] = byte(f.Type)
 	binary.BigEndian.PutUint64(header[3:11], f.ReqID)
@@ -226,16 +247,7 @@ func WriteFramed(w io.Writer, f FramedFrame) (int, error) {
 	crc.Write(f.Payload)
 	var tail [4]byte
 	binary.BigEndian.PutUint32(tail[:], crc.Sum32())
-
-	total := 0
-	for _, chunk := range [][]byte{header, f.Payload, tail[:]} {
-		n, err := w.Write(chunk)
-		total += n
-		if err != nil {
-			return total, fmt.Errorf("wire: writing framed frame: %w", err)
-		}
-	}
-	return total, nil
+	return writeChunks(w, header[:], f.Payload, tail)
 }
 
 // AnyFrame is the result of ReadAny: a message in either framing. Framed
@@ -269,7 +281,7 @@ func ReadAny(r io.Reader) (AnyFrame, int, error) {
 		if length > MaxFrameSize {
 			return AnyFrame{}, framedHeaderLen, ErrFrameTooLarge
 		}
-		payload := make([]byte, length)
+		payload := GetPayload(int(length))
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return AnyFrame{}, framedHeaderLen, fmt.Errorf("wire: reading payload: %w", err)
 		}

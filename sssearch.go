@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"sssearch/internal/client"
+	"sssearch/internal/coalesce"
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/mapping"
@@ -214,14 +215,38 @@ func (k *ClientKey) Seed() drbg.Seed { return k.state.Seed }
 
 // --- serving ----------------------------------------------------------------
 
+// ServeOpts tunes a daemon started by the Serve* helpers.
+type ServeOpts struct {
+	// DisableCoalesce turns off the cross-session request coalescer in
+	// front of the store. Coalescing is on by default: it is semantically
+	// transparent (byte-identical answers) and merges concurrent Eval
+	// frames from all connections into shared deduplicated evaluation
+	// passes. Disable only for ablations and debugging.
+	DisableCoalesce bool
+}
+
+// wrapStore applies the serving-path wrappers selected by opts.
+func wrapStore(st server.Store, opts ServeOpts) server.Store {
+	if opts.DisableCoalesce {
+		return st
+	}
+	return coalesce.New(st, nil)
+}
+
 // ServeTCP serves the store's share tree on the listener until Close is
-// called on the returned daemon.
+// called on the returned daemon. Concurrent queries from all connections
+// are coalesced into shared evaluation passes (see ServeOpts).
 func (s *ServerStore) ServeTCP(l net.Listener) (*Daemon, error) {
+	return s.ServeTCPOpts(l, ServeOpts{})
+}
+
+// ServeTCPOpts is ServeTCP with explicit serving options.
+func (s *ServerStore) ServeTCPOpts(l net.Listener, opts ServeOpts) (*Daemon, error) {
 	local, err := server.NewLocal(s.ring, s.tree)
 	if err != nil {
 		return nil, err
 	}
-	d := server.NewDaemon(local, nil)
+	d := server.NewDaemon(wrapStore(local, opts), nil)
 	go func() { _ = d.Serve(l) }()
 	return &Daemon{d: d}, nil
 }
@@ -307,8 +332,10 @@ func LoadShardStore(path string) (*ShardStore, error) {
 func IsShardStoreFile(data []byte) bool { return store.IsShardStore(data) }
 
 // serveGuardedTCP starts a daemon over a guarded Local: the shared body
-// of ShardStore.ServeTCP and ServerStore.ServeShardTCP.
-func serveGuardedTCP(l net.Listener, r ring.Ring, tree *sharing.Tree, man *shard.Manifest, id int) (*Daemon, error) {
+// of ShardStore.ServeTCP and ServerStore.ServeShardTCP. The coalescer
+// (unless disabled) wraps the guard, so merged passes stay inside the
+// shard's ownership fence.
+func serveGuardedTCP(l net.Listener, r ring.Ring, tree *sharing.Tree, man *shard.Manifest, id int, opts ServeOpts) (*Daemon, error) {
 	local, err := server.NewLocal(r, tree)
 	if err != nil {
 		return nil, err
@@ -317,7 +344,7 @@ func serveGuardedTCP(l net.Listener, r ring.Ring, tree *sharing.Tree, man *shard
 	if err != nil {
 		return nil, err
 	}
-	d := server.NewDaemon(guard, nil)
+	d := server.NewDaemon(wrapStore(guard, opts), nil)
 	go func() { _ = d.Serve(l) }()
 	return &Daemon{d: d}, nil
 }
@@ -326,7 +353,12 @@ func serveGuardedTCP(l net.Listener, r ring.Ring, tree *sharing.Tree, man *shard
 // node keys inside the shard's manifest ranges; anything else is
 // rejected rather than answered with the empty foreign share.
 func (s *ShardStore) ServeTCP(l net.Listener) (*Daemon, error) {
-	return serveGuardedTCP(l, s.ring, s.tree, s.man, s.id)
+	return s.ServeTCPOpts(l, ServeOpts{})
+}
+
+// ServeTCPOpts is ServeTCP with explicit serving options.
+func (s *ShardStore) ServeTCPOpts(l net.Listener, opts ServeOpts) (*Daemon, error) {
+	return serveGuardedTCP(l, s.ring, s.tree, s.man, s.id, opts)
 }
 
 // ShardedBundle is the server-side output of Bundle.Shard: one store per
@@ -392,7 +424,12 @@ func (b *Bundle) MultiShare(k, n int) ([]*ServerStore, error) {
 // replicas (useful for cache locality and load spreading without
 // re-splitting stores).
 func (s *ServerStore) ServeShardTCP(l net.Listener, man *ShardManifest, id int) (*Daemon, error) {
-	return serveGuardedTCP(l, s.ring, s.tree, man.m, id)
+	return serveGuardedTCP(l, s.ring, s.tree, man.m, id, ServeOpts{})
+}
+
+// ServeShardTCPOpts is ServeShardTCP with explicit serving options.
+func (s *ServerStore) ServeShardTCPOpts(l net.Listener, man *ShardManifest, id int, opts ServeOpts) (*Daemon, error) {
+	return serveGuardedTCP(l, s.ring, s.tree, man.m, id, opts)
 }
 
 // --- querying ---------------------------------------------------------------
@@ -438,13 +475,19 @@ func (k *ClientKey) Dial(addr string) (*Session, error) {
 // DialPool opens a TCP session backed by a fixed-size pool of pipelined
 // connections to one share server — concurrent searches on the session
 // spread across the pool instead of serialising behind one socket.
+// Concurrent evaluation calls are additionally micro-batched: requests
+// issued while a round trip is in flight merge into one deduplicated
+// wire request (flush on size or first-await — a lone query never waits
+// on a batching window). The coalescing tallies appear in
+// Session.Counters next to the wire counters.
 func (k *ClientKey) DialPool(addr string, size int) (*Session, error) {
 	counters := &metrics.Counters{}
 	pool, err := client.DialPool(addr, size, counters)
 	if err != nil {
 		return nil, err
 	}
-	sess, err := k.newSessionWithCounters(pool, []io.Closer{pool}, counters)
+	batched := client.NewBatcher(pool, counters)
+	sess, err := k.newSessionWithCounters(batched, []io.Closer{pool}, counters)
 	if err != nil {
 		pool.Close()
 		return nil, err
