@@ -523,18 +523,58 @@ func BenchmarkShardExperiment(b *testing.B) { runExperiment(b, "shard", true) }
 
 // BenchmarkCoalesceQuery16 is the sss-bench `coalesceQuery` target: one
 // iteration runs 16 concurrent seed-only sessions, all chasing the same
-// rotating hot key, through ONE coalescing store — the cross-session
-// aggregate-throughput hot path. Compare with
-// BenchmarkCoalesceQuery16Uncoalesced (the PR 4 serving path) for the
-// shared-pass effect.
-func BenchmarkCoalesceQuery16(b *testing.B) { benchmarkCoalesceQuery(b, true) }
+// rotating hot key, through ONE coalescing store with a cross-session
+// shared pad cache — the production cross-session aggregate-throughput
+// hot path. Compare with BenchmarkCoalesceQuery16Private (coalesced
+// server, private per-session pad caches — the PR 5 stack) and
+// BenchmarkCoalesceQuery16Uncoalesced (the PR 4 stack) to split the win
+// between the server-side and client-side halves.
+func BenchmarkCoalesceQuery16(b *testing.B) {
+	benchmarkCoalesceQuery(b, experiments.QueryShared)
+}
+
+// BenchmarkCoalesceQuery16Private is the coalesced store with private
+// per-session pad caches — isolates the shared-client-cache effect.
+func BenchmarkCoalesceQuery16Private(b *testing.B) {
+	benchmarkCoalesceQuery(b, experiments.QueryCoalesced)
+}
 
 // BenchmarkCoalesceQuery16Uncoalesced is the same 16-session workload
 // against the bare shared Local — the uncoalesced baseline.
-func BenchmarkCoalesceQuery16Uncoalesced(b *testing.B) { benchmarkCoalesceQuery(b, false) }
+func BenchmarkCoalesceQuery16Uncoalesced(b *testing.B) {
+	benchmarkCoalesceQuery(b, experiments.QueryBaseline)
+}
 
-func benchmarkCoalesceQuery(b *testing.B, coalesced bool) {
-	w, err := experiments.NewCoalesceQueryWorkload(16, coalesced)
+func benchmarkCoalesceQuery(b *testing.B, mode experiments.QueryMode) {
+	w, err := experiments.NewCoalesceQueryWorkload(16, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Run(); err != nil { // warm caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSharedPad16 is the sss-bench `sharedPad` target: 16 seed-only
+// clients of one seed concurrently evaluating their client share on
+// every tree node at the rotating hot point through one SharedPadCache —
+// the isolated client-side share arithmetic one hot 16-session wave
+// costs. BenchmarkSharedPad16Private is the pre-shared-cache ablation
+// (each client its own pad cache, 16× the DRBG + Horner work).
+func BenchmarkSharedPad16(b *testing.B) { benchmarkSharedPad(b, true) }
+
+// BenchmarkSharedPad16Private is the private per-client cache ablation.
+func BenchmarkSharedPad16Private(b *testing.B) { benchmarkSharedPad(b, false) }
+
+func benchmarkSharedPad(b *testing.B, shared bool) {
+	w, err := experiments.NewSharedPadWorkload(16, shared)
 	if err != nil {
 		b.Fatal(err)
 	}

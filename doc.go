@@ -129,6 +129,36 @@
 // ~3× the hot evaluation waves per second of the per-session path at 16
 // concurrent sessions (BENCH_5.json tracks the `coalesceQuery` target).
 //
+// # Client-side caching layers
+//
+// The seed-only client's share work is memoized at three altitudes, from
+// per-session to per-key:
+//
+//   - Pad cache (per session): every SeedClient keeps a bounded LRU of
+//     packed share pads, so hot nodes (the root levels every query
+//     walks) are not re-derived from the HMAC-DRBG on each visit
+//     (sharing.SeedClient.SetShareCacheNodes; padHit/padMiss counters).
+//   - Shared pad cache (per ClientKey): sessions opened from one
+//     ClientKey attach to one sharing.SharedPadCache by default, so N
+//     concurrent sessions of one key pay each pad regeneration once, not
+//     N times. Concurrent misses on one node are collapsed singleflight:
+//     one session runs the DRBG, the rest piggyback on the in-flight
+//     result (sharedHit/sharedMiss/sharedFlight counters).
+//     ClientKey.SetSharedCache(false) opts out; answers are
+//     byte-identical either way.
+//   - Share-eval LRU (per ClientKey): the shared cache also memoizes
+//     whole (node, point-set) multi-point evaluations — the client-side
+//     mirror of the server's eval LRU — so the hot-wave pattern where
+//     every session chases the same rotating key skips the Horner pass
+//     entirely (shareEvalHit/shareEvalMiss counters), also singleflight
+//     under concurrency.
+//
+// All three layers exist only on fast-path F_p rings (pads are packed
+// word vectors) and degrade to plain regeneration elsewhere. Measure the
+// isolated effect with:
+//
+//	go test -bench 'BenchmarkSharedPad16' -benchtime 20x .
+//
 // # Concurrency & batching knobs
 //
 // The serving stack exposes a small set of tuning points; defaults suit
@@ -150,7 +180,11 @@
 //     (node, point) eval LRU (default server.DefaultEvalCacheEntries,
 //     ~64 Ki entries).
 //   - sharing.SeedClient.SetShareCacheNodes — bound of the client's
-//     packed pad LRU (default sharing.DefaultShareCacheNodes).
+//     private packed pad LRU (default sharing.DefaultShareCacheNodes).
+//   - sharing.SharedPadCache.SetBounds / ClientKey.SetSharedCache —
+//     bounds of the cross-session pad and share-eval LRUs (defaults
+//     sharing.DefaultSharedPadNodes, sharing.DefaultShareEvalEntries)
+//     and the per-key opt-out.
 //   - wire buffer pooling is automatic: frame payloads are built in and
 //     recycled through a sync.Pool, and each frame is written with a
 //     single Write call.

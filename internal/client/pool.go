@@ -44,10 +44,15 @@ func DialPool(addr string, size int, counters *metrics.Counters) (*Pool, error) 
 	return p, nil
 }
 
-// NewPool wraps existing sessions (at least one) as a pool.
+// NewPool wraps existing sessions (at least one, all non-nil) as a pool.
 func NewPool(remotes []*Remote) (*Pool, error) {
 	if len(remotes) == 0 {
 		return nil, errors.New("client: empty pool")
+	}
+	for i, r := range remotes {
+		if r == nil {
+			return nil, fmt.Errorf("client: nil remote at pool slot %d", i)
+		}
 	}
 	return &Pool{remotes: append([]*Remote(nil), remotes...)}, nil
 }
@@ -72,9 +77,12 @@ func (p *Pool) Close() error {
 	return first
 }
 
-// pick returns the next session round-robin.
+// pick returns the next session round-robin. The modulo runs in uint64
+// before any int conversion: converting the raw counter first would go
+// negative once it exceeds MaxInt (and on 32-bit platforms after ~2^31
+// calls), indexing out of range.
 func (p *Pool) pick() *Remote {
-	return p.remotes[int(p.next.Add(1)-1)%len(p.remotes)]
+	return p.remotes[(p.next.Add(1)-1)%uint64(len(p.remotes))]
 }
 
 // EvalNodesCtx is EvalNodes with context cancellation.

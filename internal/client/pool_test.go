@@ -1,0 +1,54 @@
+package client
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPoolPickCounterOverflow: the round-robin index must stay in range
+// when the uint64 counter wraps. Converting the counter to int before
+// the modulo went negative past MaxInt (and panicked with an
+// out-of-range index); the fix reduces in uint64 first. The counter is
+// pre-seeded to the wrap boundary so the test crosses it immediately.
+func TestPoolPickCounterOverflow(t *testing.T) {
+	remotes := []*Remote{{}, {}, {}}
+	p := &Pool{remotes: remotes}
+	p.next.Store(math.MaxUint64 - 1)
+	seen := make(map[*Remote]int)
+	for i := 0; i < 3*4; i++ {
+		r := p.pick() // panics on the old int conversion
+		if r == nil {
+			t.Fatal("pick returned nil")
+		}
+		seen[r]++
+	}
+	// Round-robin must keep touching every slot across the wrap. The wrap
+	// itself skews the distribution (2^64 is not a multiple of 3), so
+	// assert coverage, not exact counts.
+	for i, r := range remotes {
+		if seen[r] == 0 {
+			t.Errorf("slot %d never picked across the counter wrap", i)
+		}
+	}
+}
+
+// TestNewPoolRejectsNil: a nil session would crash on first pick; the
+// constructor must reject it with the offending slot.
+func TestNewPoolRejectsNil(t *testing.T) {
+	if _, err := NewPool(nil); err == nil {
+		t.Error("NewPool(nil) succeeded")
+	}
+	if _, err := NewPool([]*Remote{}); err == nil {
+		t.Error("NewPool(empty) succeeded")
+	}
+	if _, err := NewPool([]*Remote{{}, nil, {}}); err == nil {
+		t.Error("NewPool with a nil slot succeeded")
+	}
+	p, err := NewPool([]*Remote{{}, {}})
+	if err != nil {
+		t.Fatalf("NewPool rejected a valid slice: %v", err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", p.Size())
+	}
+}

@@ -57,9 +57,14 @@ type BenchTarget struct {
 //     BenchmarkShardOutsource4.
 //   - coalesceQuery: the cross-session hot path — 16 concurrent
 //     seed-only sessions all running the //t3 lookup against ONE
-//     coalescing store, so concurrent frames drain into shared
-//     deduplicated evaluation passes (one iteration = one 16-session
-//     round), mirroring BenchmarkCoalesceQuery16.
+//     coalescing store with a shared client pad cache, so concurrent
+//     frames drain into shared deduplicated evaluation passes AND the
+//     per-session share regeneration collapses into one (one iteration
+//     = one 16-session round), mirroring BenchmarkCoalesceQuery16.
+//   - sharedPad: the isolated client-side half of that win — 16
+//     seed-only clients of one seed evaluating their share on every
+//     tree node at the rotating hot point through one SharedPadCache,
+//     mirroring BenchmarkSharedPad16.
 func BenchTargets() ([]BenchTarget, error) {
 	var targets []BenchTarget
 	for _, id := range []string{"fig5", "fig6"} {
@@ -120,13 +125,22 @@ func BenchTargets() ([]BenchTarget, error) {
 		Fn:   func() error { return ShardOutsourceOnce(doc, 4) },
 	})
 
-	coalQ, err := NewCoalesceQueryWorkload(16, true)
+	coalQ, err := NewCoalesceQueryWorkload(16, QueryShared)
 	if err != nil {
 		return nil, err
 	}
 	targets = append(targets, BenchTarget{
 		Name: "coalesceQuery",
 		Fn:   coalQ.Run,
+	})
+
+	sharedPad, err := NewSharedPadWorkload(16, true)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name: "sharedPad",
+		Fn:   sharedPad.Run,
 	})
 	return targets, nil
 }

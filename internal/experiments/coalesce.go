@@ -30,6 +30,36 @@ func init() {
 	})
 }
 
+// QueryMode selects the cross-session end-to-end stack under measurement.
+type QueryMode int
+
+const (
+	// QueryBaseline is the PR 4 stack: private per-session pad caches,
+	// bare shared Local (no coalescing).
+	QueryBaseline QueryMode = iota
+	// QueryCoalesced adds the server-side coalescer but keeps private
+	// per-session pad caches — the PR 5 stack, whose end-to-end gain was
+	// diluted by per-session client share arithmetic.
+	QueryCoalesced
+	// QueryShared is the production default since PR 6: coalesced store
+	// plus one cross-session SharedPadCache, so the client-side DRBG and
+	// Horner work is also paid once per wave instead of once per session.
+	QueryShared
+)
+
+func (m QueryMode) String() string {
+	switch m {
+	case QueryBaseline:
+		return "baseline"
+	case QueryCoalesced:
+		return "coalesced"
+	case QueryShared:
+		return "shared"
+	default:
+		return "invalid"
+	}
+}
+
 // CoalesceQueryWorkload is the cross-session read-path fixture behind
 // the coalesceQuery bench target and BenchmarkCoalesceQuery16: a
 // capacity-scale F_257 document queried by N concurrent seed-only
@@ -39,12 +69,18 @@ func init() {
 // every round costs real evaluation passes (at catalog scale the cache
 // cannot absorb the whole vocabulary). PRs 1–4 paid those passes once
 // per session; the coalescer drains the concurrent frames into shared
-// deduplicated passes and pays them once per round.
+// deduplicated passes and pays them once per round; the shared client
+// cache (QueryShared) does the same for the per-session share
+// regeneration and evaluation work that diluted the PR 5 gain.
 type CoalesceQueryWorkload struct {
 	engines []*core.Engine
 	vocab   int
 	round   int
-	coal    *coalesce.Server // nil when uncoalesced (the PR 4 baseline)
+	coal    *coalesce.Server        // nil when uncoalesced (the PR 4 baseline)
+	shared  *sharing.SharedPadCache // non-nil in QueryShared
+	// counters aggregates every session's engine tallies (shared-cache
+	// hits/misses/singleflight included) for the workload report.
+	counters *metrics.Counters
 }
 
 // coalesceDocNodes/coalesceDocVocab size the workload document so that
@@ -108,21 +144,24 @@ func (st *coalesceStore) point(round int) (*big.Int, error) {
 	return v, nil
 }
 
-// NewCoalesceQueryWorkload wires n sessions over one shared store;
-// coalesced false is the uncoalesced shared-Local baseline.
-func NewCoalesceQueryWorkload(n int, coalesced bool) (*CoalesceQueryWorkload, error) {
+// NewCoalesceQueryWorkload wires n sessions over one shared store in the
+// given mode (see QueryMode).
+func NewCoalesceQueryWorkload(n int, mode QueryMode) (*CoalesceQueryWorkload, error) {
 	st, err := newCoalesceStore()
 	if err != nil {
 		return nil, err
 	}
-	w := &CoalesceQueryWorkload{vocab: coalesceDocVocab}
+	w := &CoalesceQueryWorkload{vocab: coalesceDocVocab, counters: &metrics.Counters{}}
 	var api core.ServerAPI = st.local
-	if coalesced {
+	if mode != QueryBaseline {
 		w.coal = coalesce.New(st.local, nil)
 		api = w.coal
 	}
+	if mode == QueryShared {
+		w.shared = sharing.NewSharedPadCache(st.fp, st.seed)
+	}
 	for i := 0; i < n; i++ {
-		w.engines = append(w.engines, core.NewEngine(st.fp, st.seed, st.m, api, nil))
+		w.engines = append(w.engines, core.NewEngineShared(st.fp, st.seed, st.m, api, w.counters, w.shared))
 	}
 	return w, nil
 }
@@ -180,6 +219,104 @@ func (w *CoalesceQueryWorkload) CoalesceStats() metrics.Snapshot {
 	}
 	return w.coal.Counters().Snapshot()
 }
+
+// SharedStats returns the aggregated engine counter snapshot — the
+// shared client-cache tallies (pad hits/misses/singleflight, share-eval
+// hits/misses) live here.
+func (w *CoalesceQueryWorkload) SharedStats() metrics.Snapshot {
+	return w.counters.Snapshot()
+}
+
+// SharedPadWorkload is the fixture behind the sharedPad bench target and
+// BenchmarkSharedPad16: N seed-only clients of ONE seed concurrently
+// evaluating their client share on every node of the capacity-scale tree
+// at the round's rotating hot point — exactly the per-wave client share
+// arithmetic of one hot query, isolated from the server and the protocol.
+// With the shared cache all sessions' DRBG regenerations and Horner
+// passes collapse into one; the private ablation pays them per session.
+type SharedPadWorkload struct {
+	st      *coalesceStore
+	clients []*sharing.SeedClient
+	// counters aggregates all sessions' tallies (hit/miss/singleflight).
+	counters *metrics.Counters
+	round    int
+}
+
+// NewSharedPadWorkload wires n clients over one seed; shared false is the
+// private per-session cache ablation (the pre-PR 6 client).
+func NewSharedPadWorkload(n int, shared bool) (*SharedPadWorkload, error) {
+	st, err := newCoalesceStore()
+	if err != nil {
+		return nil, err
+	}
+	w := &SharedPadWorkload{st: st, counters: &metrics.Counters{}}
+	var sp *sharing.SharedPadCache
+	if shared {
+		sp = sharing.NewSharedPadCache(st.fp, st.seed)
+	}
+	for i := 0; i < n; i++ {
+		var c *sharing.SeedClient
+		if sp != nil {
+			c = sp.NewClient()
+		} else {
+			c = sharing.NewSeedClient(st.fp, st.seed)
+		}
+		c.SetCounters(w.counters)
+		w.clients = append(w.clients, c)
+	}
+	return w, nil
+}
+
+// run performs one aggregate round: every client concurrently evaluates
+// its share on every tree node at the round's hot point. Returns the
+// total value count (a cheap integrity probe).
+func (w *SharedPadWorkload) run() (int, error) {
+	pt, err := w.st.point(w.round)
+	if err != nil {
+		return 0, err
+	}
+	w.round++
+	points := []*big.Int{pt}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		values int
+		first  error
+	)
+	for _, c := range w.clients {
+		wg.Add(1)
+		go func(c *sharing.SeedClient) {
+			defer wg.Done()
+			n := 0
+			for _, key := range w.st.keys {
+				vals, err := c.EvalShares(key, points)
+				if err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				n += len(vals)
+			}
+			mu.Lock()
+			values += n
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	return values, first
+}
+
+// Run is the bench-target iteration (errors only).
+func (w *SharedPadWorkload) Run() error {
+	_, err := w.run()
+	return err
+}
+
+// Stats returns the aggregated client-cache snapshot.
+func (w *SharedPadWorkload) Stats() metrics.Snapshot { return w.counters.Snapshot() }
 
 // ServeMode selects the serving stack under measurement.
 type ServeMode int
@@ -389,14 +526,14 @@ func runCoalesce(w io.Writer, cfg Config) error {
 	serveTable.Render(w)
 
 	fmt.Fprintf(w, "\nend to end: full //tag lookups by in-process engine sessions sharing one store\n")
-	queryTable := &Table{Headers: []string{"sessions", "baseline q/s", "coalesced q/s", "speedup", "dedup evals/query"}}
+	queryTable := &Table{Headers: []string{"sessions", "baseline q/s", "coalesced q/s", "speedup", "shared q/s", "speedup", "dedup evals/query", "pad regen saved", "horner saved"}}
 	for _, n := range sessionCounts {
 		if err := runQueryRow(queryTable, n, queryRounds); err != nil {
 			return err
 		}
 	}
 	queryTable.Render(w)
-	fmt.Fprintf(w, "(hot key rotates over a %d-tag vocabulary so the node×point working set overflows the eval LRU — the capacity regime; every session asks for the SAME key at the same moment and the coalescer drains the concurrent frames into one deduplicated pass. End-to-end gains are diluted by per-session client share arithmetic, which no server-side change can merge.)\n", coalesceDocVocab)
+	fmt.Fprintf(w, "(hot key rotates over a %d-tag vocabulary so the node×point working set overflows the eval LRU — the capacity regime; every session asks for the SAME key at the same moment and the coalescer drains the concurrent frames into one deduplicated pass. Coalescing alone is diluted by per-session client share arithmetic; the shared column adds the cross-session pad cache, which merges that client work too — 'pad regen saved' counts DRBG regenerations absorbed by the shared pad LRU + singleflight, 'horner saved' the share evaluations answered from the shared eval LRU.)\n", coalesceDocVocab)
 	return nil
 }
 
@@ -451,43 +588,57 @@ func runServeRow(t *Table, n, rounds int) error {
 }
 
 func runQueryRow(t *Table, n, rounds int) error {
-	base, err := NewCoalesceQueryWorkload(n, false)
-	if err != nil {
-		return err
-	}
-	coal, err := NewCoalesceQueryWorkload(n, true)
-	if err != nil {
-		return err
-	}
-	baseMatches, err := base.run()
-	if err != nil {
-		return err
-	}
-	coalMatches, err := coal.run()
-	if err != nil {
-		return err
-	}
-	if baseMatches != coalMatches {
-		return fmt.Errorf("coalescing changed results: %d vs %d matches", coalMatches, baseMatches)
-	}
-	elapsedBase, err := timeRounds(base, rounds)
-	if err != nil {
-		return err
-	}
-	pre := coal.CoalesceStats()
-	elapsedCoal, err := timeRounds(coal, rounds)
-	if err != nil {
-		return err
-	}
-	delta := coal.CoalesceStats().Sub(pre)
-	if delta.CoalesceDedupHits == 0 {
-		return fmt.Errorf("coalesce: no deduplicated evaluations at %d sessions — frames never merged", n)
-	}
+	modes := []QueryMode{QueryBaseline, QueryCoalesced, QueryShared}
+	qps := make([]float64, len(modes))
+	var dedupPerQuery, padSaved, hornerSaved float64
+	matches := -1
 	queries := float64(n * rounds)
+	for i, mode := range modes {
+		w, err := NewCoalesceQueryWorkload(n, mode)
+		if err != nil {
+			return err
+		}
+		// Warm-up round doubles as the integrity probe: every stack must
+		// return the identical match set.
+		m, err := w.run()
+		if err != nil {
+			return err
+		}
+		if matches == -1 {
+			matches = m
+		} else if m != matches {
+			return fmt.Errorf("%s stack changed results: %d vs %d matches", mode, m, matches)
+		}
+		preCoal, preShared := w.CoalesceStats(), w.SharedStats()
+		elapsed, err := timeRounds(w, rounds)
+		if err != nil {
+			return err
+		}
+		qps[i] = queries / elapsed.Seconds()
+		coalDelta := w.CoalesceStats().Sub(preCoal)
+		if mode != QueryBaseline && coalDelta.CoalesceDedupHits == 0 {
+			return fmt.Errorf("coalesce: no deduplicated evaluations at %d %s sessions — frames never merged", n, mode)
+		}
+		if mode == QueryCoalesced {
+			dedupPerQuery = float64(coalDelta.CoalesceDedupHits) / queries
+		}
+		if mode == QueryShared {
+			sd := w.SharedStats().Sub(preShared)
+			if sd.SharedPadHits+sd.SharedPadSingleflight == 0 {
+				return fmt.Errorf("shared cache: no cross-session pad reuse at %d sessions", n)
+			}
+			padSaved = float64(sd.SharedPadHits+sd.SharedPadSingleflight) / queries
+			hornerSaved = float64(sd.ShareEvalHits) / queries
+		}
+	}
 	t.Add(n,
-		fmt.Sprintf("%.0f", queries/elapsedBase.Seconds()),
-		fmt.Sprintf("%.0f", queries/elapsedCoal.Seconds()),
-		fmt.Sprintf("%.2fx", (queries/elapsedCoal.Seconds())/(queries/elapsedBase.Seconds())),
-		fmt.Sprintf("%.1f", float64(delta.CoalesceDedupHits)/queries))
+		fmt.Sprintf("%.0f", qps[0]),
+		fmt.Sprintf("%.0f", qps[1]),
+		fmt.Sprintf("%.2fx", qps[1]/qps[0]),
+		fmt.Sprintf("%.0f", qps[2]),
+		fmt.Sprintf("%.2fx", qps[2]/qps[0]),
+		fmt.Sprintf("%.1f", dedupPerQuery),
+		fmt.Sprintf("%.1f", padSaved),
+		fmt.Sprintf("%.1f", hornerSaved))
 	return nil
 }

@@ -36,6 +36,17 @@ type Counters struct {
 	coalescedBatches  atomic.Int64 // shared passes that served >1 queued request
 	coalescedRequests atomic.Int64 // Eval requests absorbed into shared passes
 	coalesceDedupHits atomic.Int64 // duplicate (node, point-set) evals avoided
+
+	// Cross-session shared client cache tallies (sharing.SharedPadCache):
+	// pads reused across sessions of one ClientKey, regenerations actually
+	// run, waits piggybacked on an in-flight regeneration (singleflight),
+	// and the (node, point-set) share-eval LRU in front of the multi-point
+	// Horner pass.
+	sharedPadHits         atomic.Int64 // shared pad-cache hits
+	sharedPadMiss         atomic.Int64 // shared pad-cache misses (DRBG runs)
+	sharedPadSingleflight atomic.Int64 // waits merged into an in-flight regen
+	shareEvalHits         atomic.Int64 // share-eval LRU hits (Horner skipped)
+	shareEvalMiss         atomic.Int64 // share-eval LRU misses (Horner run)
 }
 
 // Add* methods increment the corresponding counter.
@@ -62,6 +73,12 @@ func (c *Counters) AddCoalescedBatches(n int)  { c.coalescedBatches.Add(int64(n)
 func (c *Counters) AddCoalescedRequests(n int) { c.coalescedRequests.Add(int64(n)) }
 func (c *Counters) AddCoalesceDedupHits(n int) { c.coalesceDedupHits.Add(int64(n)) }
 
+func (c *Counters) AddSharedPadHits(n int)         { c.sharedPadHits.Add(int64(n)) }
+func (c *Counters) AddSharedPadMiss(n int)         { c.sharedPadMiss.Add(int64(n)) }
+func (c *Counters) AddSharedPadSingleflight(n int) { c.sharedPadSingleflight.Add(int64(n)) }
+func (c *Counters) AddShareEvalHits(n int)         { c.shareEvalHits.Add(int64(n)) }
+func (c *Counters) AddShareEvalMiss(n int)         { c.shareEvalMiss.Add(int64(n)) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	NodesEvaluated int64
@@ -85,6 +102,12 @@ type Snapshot struct {
 	CoalescedBatches  int64
 	CoalescedRequests int64
 	CoalesceDedupHits int64
+
+	SharedPadHits         int64
+	SharedPadMiss         int64
+	SharedPadSingleflight int64
+	ShareEvalHits         int64
+	ShareEvalMiss         int64
 }
 
 // Snapshot captures the current counter values.
@@ -111,6 +134,12 @@ func (c *Counters) Snapshot() Snapshot {
 		CoalescedBatches:  c.coalescedBatches.Load(),
 		CoalescedRequests: c.coalescedRequests.Load(),
 		CoalesceDedupHits: c.coalesceDedupHits.Load(),
+
+		SharedPadHits:         c.sharedPadHits.Load(),
+		SharedPadMiss:         c.sharedPadMiss.Load(),
+		SharedPadSingleflight: c.sharedPadSingleflight.Load(),
+		ShareEvalHits:         c.shareEvalHits.Load(),
+		ShareEvalMiss:         c.shareEvalMiss.Load(),
 	}
 }
 
@@ -136,6 +165,11 @@ func (c *Counters) Reset() {
 	c.coalescedBatches.Store(0)
 	c.coalescedRequests.Store(0)
 	c.coalesceDedupHits.Store(0)
+	c.sharedPadHits.Store(0)
+	c.sharedPadMiss.Store(0)
+	c.sharedPadSingleflight.Store(0)
+	c.shareEvalHits.Store(0)
+	c.shareEvalMiss.Store(0)
 }
 
 // Sub returns the delta s - prev, for per-query deltas over a shared
@@ -163,14 +197,22 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		CoalescedBatches:  s.CoalescedBatches - prev.CoalescedBatches,
 		CoalescedRequests: s.CoalescedRequests - prev.CoalescedRequests,
 		CoalesceDedupHits: s.CoalesceDedupHits - prev.CoalesceDedupHits,
+
+		SharedPadHits:         s.SharedPadHits - prev.SharedPadHits,
+		SharedPadMiss:         s.SharedPadMiss - prev.SharedPadMiss,
+		SharedPadSingleflight: s.SharedPadSingleflight - prev.SharedPadSingleflight,
+		ShareEvalHits:         s.ShareEvalHits - prev.ShareEvalHits,
+		ShareEvalMiss:         s.ShareEvalMiss - prev.ShareEvalMiss,
 	}
 }
 
 // String renders a compact one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d coalBatch=%d coalReq=%d coalDedup=%d",
+	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d coalBatch=%d coalReq=%d coalDedup=%d sharedHit=%d sharedMiss=%d sharedFlight=%d shareEvalHit=%d shareEvalMiss=%d",
 		s.NodesEvaluated, s.ValuesMoved, s.PolysFetched, s.PolyBytesMoved,
 		s.Rounds, s.NodesVisited, s.NodesPruned, s.TagsRecovered, s.VerifyFailures,
 		s.EvalCacheHits, s.EvalCacheMiss, s.PadCacheHits, s.PadCacheMiss,
-		s.CoalescedBatches, s.CoalescedRequests, s.CoalesceDedupHits)
+		s.CoalescedBatches, s.CoalescedRequests, s.CoalesceDedupHits,
+		s.SharedPadHits, s.SharedPadMiss, s.SharedPadSingleflight,
+		s.ShareEvalHits, s.ShareEvalMiss)
 }

@@ -106,6 +106,33 @@ func TestCoalesceCounters(t *testing.T) {
 	}
 }
 
+func TestSharedCacheCounters(t *testing.T) {
+	c := &Counters{}
+	c.AddSharedPadHits(5)
+	c.AddSharedPadMiss(1)
+	c.AddSharedPadSingleflight(3)
+	c.AddShareEvalHits(7)
+	c.AddShareEvalMiss(2)
+	s := c.Snapshot()
+	if s.SharedPadHits != 5 || s.SharedPadMiss != 1 || s.SharedPadSingleflight != 3 ||
+		s.ShareEvalHits != 7 || s.ShareEvalMiss != 2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	delta := s.Sub(Snapshot{SharedPadHits: 2, SharedPadSingleflight: 1, ShareEvalHits: 4})
+	if delta.SharedPadHits != 3 || delta.SharedPadSingleflight != 2 || delta.ShareEvalHits != 3 ||
+		delta.SharedPadMiss != 1 || delta.ShareEvalMiss != 2 {
+		t.Errorf("delta = %+v", delta)
+	}
+	if out := s.String(); !strings.Contains(out, "sharedHit=5") || !strings.Contains(out, "sharedFlight=3") ||
+		!strings.Contains(out, "shareEvalHit=7") {
+		t.Errorf("String() missing shared-cache counters: %s", out)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("reset snapshot = %+v", s)
+	}
+}
+
 func TestPadCacheCounters(t *testing.T) {
 	c := &Counters{}
 	c.AddPadCacheHits(3)

@@ -1,0 +1,313 @@
+package sharing
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/metrics"
+	"sssearch/internal/ring"
+)
+
+// TestSharedClientMatchesPrivate: a client attached to a SharedPadCache
+// must be observationally identical to a private seed-only client —
+// Share, PackedShare and EvalShares byte for byte, over every node,
+// repeated so the second pass exercises the shared LRUs.
+func TestSharedClientMatchesPrivate(t *testing.T) {
+	r := ring.MustFp(257)
+	_, keys, seed := fixtureKeys(t, r)
+	sp := NewSharedPadCache(r, seed)
+	if !sp.Active() {
+		t.Fatal("shared cache inactive on a fast ring")
+	}
+	if !sp.Matches(r, seed) {
+		t.Fatal("Matches rejected its own material")
+	}
+	if sp.Matches(r, testSeed(9)) {
+		t.Fatal("Matches accepted a foreign seed")
+	}
+	shared := sp.NewClient()
+	private := NewSeedClient(r, seed)
+	points := []*big.Int{big.NewInt(3), big.NewInt(251), big.NewInt(1)}
+	for pass := 0; pass < 2; pass++ {
+		for _, k := range keys {
+			sv, err := shared.EvalShares(k, points)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pv, err := private.EvalShares(k, points)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range points {
+				if sv[i].Cmp(pv[i]) != 0 {
+					t.Fatalf("pass %d node %s point %s: shared %s != private %s", pass, k, points[i], sv[i], pv[i])
+				}
+			}
+			ss, err := shared.Share(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := private.Share(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Equal(ss, ps) {
+				t.Fatalf("pass %d node %s: shared Share diverged", pass, k)
+			}
+			svec, ok, err := shared.PackedShare(k)
+			if err != nil || !ok {
+				t.Fatalf("shared PackedShare(%s): ok=%v err=%v", k, ok, err)
+			}
+			pvec, _, err := private.PackedShare(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range svec {
+				if svec[i] != pvec[i] {
+					t.Fatalf("pass %d node %s: packed share word %d diverged", pass, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedPadSingleflight: N concurrent first touches of ONE node pad
+// run the DRBG regeneration exactly once — every other session lands as
+// a shared-LRU hit or a singleflight piggyback. The double-check of the
+// pad LRU under the singleflight mutex makes the miss count
+// deterministic, so this asserts equality, not bounds.
+func TestSharedPadSingleflight(t *testing.T) {
+	r := ring.MustFp(257)
+	_, keys, seed := fixtureKeys(t, r)
+	sp := NewSharedPadCache(r, seed)
+	agg := &metrics.Counters{}
+	const sessions = 16
+	clients := make([]*SeedClient, sessions)
+	for i := range clients {
+		clients[i] = sp.NewClient()
+		clients[i].SetCounters(agg)
+	}
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *SeedClient) {
+			defer wg.Done()
+			if _, _, err := c.PackedShare(keys[0]); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	s := agg.Snapshot()
+	if s.SharedPadMiss != 1 {
+		t.Fatalf("SharedPadMiss = %d, want exactly 1 (singleflight)", s.SharedPadMiss)
+	}
+	if got := s.SharedPadHits + s.SharedPadSingleflight; got != sessions-1 {
+		t.Fatalf("hits+singleflight = %d (%d hits, %d piggybacks), want %d",
+			got, s.SharedPadHits, s.SharedPadSingleflight, sessions-1)
+	}
+}
+
+// TestSharedEvalSingleflight: N concurrent identical (node, point-set)
+// evaluations run the Horner pass once; piggybacked waiters count as
+// eval hits. Only the one winning evaluation touches the pad layer.
+func TestSharedEvalSingleflight(t *testing.T) {
+	r := ring.MustFp(257)
+	_, keys, seed := fixtureKeys(t, r)
+	sp := NewSharedPadCache(r, seed)
+	agg := &metrics.Counters{}
+	const sessions = 16
+	clients := make([]*SeedClient, sessions)
+	for i := range clients {
+		clients[i] = sp.NewClient()
+		clients[i].SetCounters(agg)
+	}
+	points := []*big.Int{big.NewInt(7)}
+	results := make([][]*big.Int, sessions)
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *SeedClient) {
+			defer wg.Done()
+			vals, err := c.EvalShares(keys[0], points)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = vals
+		}(i, c)
+	}
+	wg.Wait()
+	for i := 1; i < sessions; i++ {
+		if results[i][0].Cmp(results[0][0]) != 0 {
+			t.Fatalf("session %d got %s, session 0 got %s", i, results[i][0], results[0][0])
+		}
+	}
+	s := agg.Snapshot()
+	if s.ShareEvalMiss != 1 {
+		t.Fatalf("ShareEvalMiss = %d, want exactly 1", s.ShareEvalMiss)
+	}
+	if s.ShareEvalHits != sessions-1 {
+		t.Fatalf("ShareEvalHits = %d, want %d", s.ShareEvalHits, sessions-1)
+	}
+	if s.SharedPadMiss != 1 || s.SharedPadHits != 0 {
+		t.Fatalf("pad layer: miss=%d hits=%d, want 1/0 (only the winner evaluates)", s.SharedPadMiss, s.SharedPadHits)
+	}
+}
+
+// TestSharedEvalLRUHit: a repeated (node, point-set) request is answered
+// from the shared eval LRU without touching the pad layer again.
+func TestSharedEvalLRUHit(t *testing.T) {
+	r := ring.MustFp(257)
+	_, keys, seed := fixtureKeys(t, r)
+	sp := NewSharedPadCache(r, seed)
+	c := sp.NewClient()
+	points := []*big.Int{big.NewInt(5), big.NewInt(11)}
+	first, err := c.EvalShares(keys[0], points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := c.Counters().Snapshot()
+	second, err := c.EvalShares(keys[0], points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Counters().Snapshot().Sub(pre)
+	if d.ShareEvalHits != 1 || d.ShareEvalMiss != 0 || d.SharedPadHits != 0 || d.SharedPadMiss != 0 {
+		t.Fatalf("repeat request: evalHits=%d evalMiss=%d padHits=%d padMiss=%d, want 1/0/0/0",
+			d.ShareEvalHits, d.ShareEvalMiss, d.SharedPadHits, d.SharedPadMiss)
+	}
+	for i := range first {
+		if first[i].Cmp(second[i]) != 0 {
+			t.Fatalf("cached eval %d diverged: %s vs %s", i, second[i], first[i])
+		}
+	}
+	// Cached values must be fresh big.Ints: mutating a result must not
+	// poison later answers.
+	second[0].SetInt64(-1)
+	third, err := c.EvalShares(keys[0], points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third[0].Cmp(first[0]) != 0 {
+		t.Fatal("mutating a returned value corrupted the shared eval cache")
+	}
+}
+
+// TestEvalSharesEdgePoints: zero-point and duplicate-point sets across
+// all three ShareSource implementations — private SeedClient, shared
+// SeedClient, StaticSource.
+func TestEvalSharesEdgePoints(t *testing.T) {
+	r := ring.MustFp(257)
+	server, keys, seed := fixtureKeys(t, r)
+	sp := NewSharedPadCache(r, seed)
+	static, err := NewStaticSource(r, mustMaterialize(t, r, seed, server))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]MultiPointSource{
+		"private": NewSeedClient(r, seed),
+		"shared":  sp.NewClient(),
+		"static":  static,
+	}
+	dup := []*big.Int{big.NewInt(9), big.NewInt(9), big.NewInt(2), big.NewInt(9)}
+	for name, src := range sources {
+		empty, err := src.EvalShares(keys[0], nil)
+		if err != nil {
+			t.Fatalf("%s: zero-point EvalShares: %v", name, err)
+		}
+		if len(empty) != 0 {
+			t.Fatalf("%s: zero-point EvalShares returned %d values", name, len(empty))
+		}
+		vals, err := src.EvalShares(keys[0], dup)
+		if err != nil {
+			t.Fatalf("%s: duplicate-point EvalShares: %v", name, err)
+		}
+		if len(vals) != len(dup) {
+			t.Fatalf("%s: got %d values for %d points", name, len(vals), len(dup))
+		}
+		if vals[0].Cmp(vals[1]) != 0 || vals[0].Cmp(vals[3]) != 0 {
+			t.Fatalf("%s: duplicate points disagreed: %v", name, vals)
+		}
+		if vals[0].Cmp(vals[2]) == 0 {
+			t.Logf("%s: note: distinct points coincided (possible but unlikely)", name)
+		}
+	}
+}
+
+func mustMaterialize(t *testing.T, r ring.Ring, seed drbg.Seed, shape *Tree) *Tree {
+	t.Helper()
+	tree, err := Materialize(r, seed, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestSharedCacheInertOnSlowRing: on rings without the word-sized fast
+// path the cache is inert and NewClient degrades to a working private
+// client.
+func TestSharedCacheInertOnSlowRing(t *testing.T) {
+	r := ring.MustIntQuotient(1, 0, 1)
+	_, keys, seed := fixtureKeys(t, r)
+	sp := NewSharedPadCache(r, seed)
+	if sp.Active() {
+		t.Fatal("cache claims active on a non-fast ring")
+	}
+	c := sp.NewClient()
+	ref := NewSeedClient(r, seed)
+	got, err := c.Share(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Share(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(got, want) {
+		t.Fatal("inert-cache client diverged from the private client")
+	}
+}
+
+// TestSeedClientSetterRaces pins the SetCounters / SetShareCacheNodes
+// concurrency contract: both may be called while queries are in flight
+// (run under -race in CI).
+func TestSeedClientSetterRaces(t *testing.T) {
+	r := ring.MustFp(257)
+	_, keys, seed := fixtureKeys(t, r)
+	c := NewSeedClient(r, seed)
+	points := []*big.Int{big.NewInt(4)}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, k := range keys {
+					if _, _, err := c.PackedShare(k); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := c.EvalShares(k, points); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		c.SetCounters(&metrics.Counters{})
+		c.SetShareCacheNodes(i % 8 * 64)
+	}
+	close(done)
+	wg.Wait()
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"sssearch/internal/drbg"
 	"sssearch/internal/lru"
@@ -280,48 +281,65 @@ const DefaultShareCacheNodes = 4096
 // On rings with the word-sized fast path, shares are regenerated directly
 // into packed []uint64 vectors (no big.Int allocation) and the most
 // recently used pads are kept in a bounded LRU cache; see
-// DefaultShareCacheNodes.
+// DefaultShareCacheNodes. A client built through SharedPadCache.NewClient
+// instead shares one pad and eval cache with every other session of the
+// same seed. Safe for concurrent use, including concurrent SetCounters /
+// SetShareCacheNodes while queries are in flight.
 type SeedClient struct {
 	r ring.Ring
 	d *drbg.Deriver
 	// fp is non-nil when r carries the word-sized fast path.
 	fp *ring.FpCyclotomic
+	// shared, when non-nil, is the cross-session cache this client
+	// attaches to (set only by SharedPadCache.NewClient, before first
+	// use); the private cache below is then bypassed.
+	shared *SharedPadCache
 	// cache maps node-key strings to packed share pads. Cached vectors
-	// are shared and must never be mutated.
-	cache *lru.Cache[string, []uint64]
+	// are shared and must never be mutated. Held through an atomic
+	// pointer: SetShareCacheNodes swaps it while packedShare reads it
+	// from concurrent queries.
+	cache atomic.Pointer[lru.Cache[string, []uint64]]
 	// counters receives the pad-cache hit/miss tallies (the client-side
-	// mirror of server.Local's eval-cache counters).
-	counters *metrics.Counters
+	// mirror of server.Local's eval-cache counters). Atomic for the same
+	// reason as cache: SetCounters races in-flight queries by design.
+	counters atomic.Pointer[metrics.Counters]
 }
 
 // NewSeedClient builds the seed-only client view.
 func NewSeedClient(r ring.Ring, seed drbg.Seed) *SeedClient {
-	c := &SeedClient{r: r, d: drbg.NewDeriver(seed, ShareLabel), counters: &metrics.Counters{}}
+	c := &SeedClient{r: r, d: drbg.NewDeriver(seed, ShareLabel)}
+	c.counters.Store(&metrics.Counters{})
 	if fp, ok := r.(*ring.FpCyclotomic); ok && fp.Fast() != nil {
 		c.fp = fp
-		c.cache = lru.New[string, []uint64](DefaultShareCacheNodes)
+		c.cache.Store(lru.New[string, []uint64](DefaultShareCacheNodes))
 	}
 	return c
 }
 
 // Counters exposes the client-side metric counters (pad-cache hits and
 // misses).
-func (c *SeedClient) Counters() *metrics.Counters { return c.counters }
+func (c *SeedClient) Counters() *metrics.Counters { return c.counters.Load() }
 
 // SetCounters redirects the pad-cache tallies into a shared counter set
 // (the query engine passes its own so per-query snapshots include pad
-// regeneration work). A nil argument is ignored.
+// regeneration work). A nil argument is ignored. Safe to call while
+// queries are in flight: the swap is atomic, in-flight operations finish
+// tallying into whichever set they loaded.
 func (c *SeedClient) SetCounters(m *metrics.Counters) {
 	if m != nil {
-		c.counters = m
+		c.counters.Store(m)
 	}
 }
 
 // SetShareCacheNodes re-bounds the packed-share cache to at most n node
-// pads (0 disables caching). Only meaningful on fast-path rings.
+// pads (0 disables caching). Only meaningful on fast-path rings, and a
+// no-op on clients attached to a SharedPadCache (the shared bounds are
+// set with SharedPadCache.SetBounds). Safe to call while queries are in
+// flight: the swap is atomic, in-flight operations finish against the
+// cache generation they loaded.
 func (c *SeedClient) SetShareCacheNodes(n int) {
 	if c.fp != nil {
-		c.cache = lru.New[string, []uint64](n)
+		c.cache.Store(lru.New[string, []uint64](n))
 	}
 }
 
@@ -333,16 +351,21 @@ func (c *SeedClient) Ring() ring.Ring { return c.r }
 // only.
 func (c *SeedClient) packedShare(key drbg.NodeKey) ([]uint64, error) {
 	ks := key.String()
-	if v, ok := c.cache.Get(ks); ok {
-		c.counters.AddPadCacheHits(1)
+	if c.shared != nil {
+		return c.shared.pad(key, ks, c.counters.Load())
+	}
+	counters := c.counters.Load()
+	cache := c.cache.Load()
+	if v, ok := cache.Get(ks); ok {
+		counters.AddPadCacheHits(1)
 		return v, nil
 	}
-	c.counters.AddPadCacheMiss(1)
+	counters.AddPadCacheMiss(1)
 	vec := make([]uint64, c.fp.DegreeBound())
 	if err := c.fp.RandPacked(c.d.ForNode(key), vec); err != nil {
 		return nil, fmt.Errorf("sharing: node %s: %w", key, err)
 	}
-	c.cache.Add(ks, vec)
+	cache.Add(ks, vec)
 	return vec, nil
 }
 
@@ -391,7 +414,10 @@ func (c *SeedClient) EvalShare(key drbg.NodeKey, a *big.Int) (*big.Int, error) {
 // (or fetched from the cache) once and evaluated at every point in a
 // single multi-point Horner pass — the DRBG regeneration, not the
 // arithmetic, dominates seed-only querying, so one pass per node is the
-// difference between O(points) and O(1) regenerations.
+// difference between O(points) and O(1) regenerations. On clients
+// attached to a SharedPadCache, repeated (node, point-set) requests —
+// every session of one key chasing the same hot wave — skip the Horner
+// pass entirely via the shared eval LRU.
 func (c *SeedClient) EvalShares(key drbg.NodeKey, points []*big.Int) ([]*big.Int, error) {
 	if c.fp == nil {
 		share, err := c.Share(key)
@@ -405,6 +431,9 @@ func (c *SeedClient) EvalShares(key drbg.NodeKey, points []*big.Int) ([]*big.Int
 			}
 		}
 		return out, nil
+	}
+	if c.shared != nil {
+		return c.shared.evalShares(key, points, c.counters.Load())
 	}
 	vec, err := c.packedShare(key)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"math/big"
 	"net"
 	"strings"
+	"sync"
 
 	"sssearch/internal/client"
 	"sssearch/internal/coalesce"
@@ -91,8 +92,19 @@ type Config struct {
 
 // ClientKey is the client's complete secret material: the share seed, the
 // private tag mapping and the (public) ring parameters.
+//
+// Sessions opened from one ClientKey share a cross-session client share
+// cache by default: the seed-derived share pads and hot multi-point share
+// evaluations are computed once per key, not once per session, with
+// singleflight regeneration under concurrent misses (answers are
+// byte-identical either way). SetSharedCache(false) opts out.
 type ClientKey struct {
 	state *store.ClientState
+
+	// mu guards the lazily built shared client cache and the opt-out flag.
+	mu        sync.Mutex
+	shared    *sharing.SharedPadCache
+	sharedOff bool
 }
 
 // ServerStore is the server-side artifact: the share tree plus ring
@@ -212,6 +224,34 @@ func LoadClientKey(path string) (*ClientKey, error) {
 
 // Seed returns the client share seed.
 func (k *ClientKey) Seed() drbg.Seed { return k.state.Seed }
+
+// SetSharedCache toggles the cross-session client share cache for
+// sessions opened after the call (default enabled). Disabling gives every
+// new session a private pad cache — the pre-shared behavior, useful for
+// ablations and for isolating sessions' memory. Results are byte-identical
+// either way.
+func (k *ClientKey) SetSharedCache(enabled bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.sharedOff = !enabled
+	if !enabled {
+		k.shared = nil
+	}
+}
+
+// sharedPads returns the key's shared client cache, building it on first
+// use over the session ring r; nil when opted out.
+func (k *ClientKey) sharedPads(r ring.Ring) *sharing.SharedPadCache {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.sharedOff {
+		return nil
+	}
+	if k.shared == nil {
+		k.shared = sharing.NewSharedPadCache(r, k.state.Seed)
+	}
+	return k.shared
+}
 
 // --- serving ----------------------------------------------------------------
 
@@ -666,7 +706,7 @@ func (k *ClientKey) newSessionWithCounters(api core.ServerAPI, closers []io.Clos
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(r, k.state.Seed, k.state.Mapping, api, counters)
+	eng := core.NewEngineShared(r, k.state.Seed, k.state.Mapping, api, counters, k.sharedPads(r))
 	return &Session{engine: eng, counters: counters, closers: closers}, nil
 }
 
