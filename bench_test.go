@@ -621,3 +621,43 @@ func benchmarkCoalesceServe(b *testing.B, mode experiments.ServeMode) {
 		}
 	}
 }
+
+// --- hedged fan-out benchmarks -----------------------------------------------
+
+// BenchmarkHedgedTail is the sss-bench `hedgedTail` target: a 2-of-3
+// MultiServer whose first primary is a deterministic 10 ms straggler,
+// with a 1 ms hedge delay — the spare launched after the delay covers
+// the straggler, so per-call latency collapses from the straggler's
+// delay to roughly the hedge delay. Compare with BenchmarkUnhedgedTail.
+func BenchmarkHedgedTail(b *testing.B) {
+	benchmarkHedge(b, 10*time.Millisecond, time.Millisecond)
+}
+
+// BenchmarkUnhedgedTail is the same straggler deployment with the hedge
+// timer armed far beyond the straggler delay, so no spare ever fires —
+// every call eats the full 10 ms tail. The sss-bench `unhedgedTail`
+// target.
+func BenchmarkUnhedgedTail(b *testing.B) {
+	benchmarkHedge(b, 10*time.Millisecond, time.Hour)
+}
+
+// BenchmarkHedgedFastPath has no straggler but keeps hedging armed — the
+// fault-free overhead of the hedged call path. The sss-bench
+// `hedgedFastPath` target.
+func BenchmarkHedgedFastPath(b *testing.B) {
+	benchmarkHedge(b, 0, time.Millisecond)
+}
+
+func benchmarkHedge(b *testing.B, slowDelay, hedgeDelay time.Duration) {
+	w, err := experiments.NewHedgeWorkload(slowDelay, hedgeDelay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"sssearch"
 )
@@ -38,8 +40,10 @@ func main() {
 	manifestPath := flag.String("shard-manifest", "", "serve a whole-tree store as one shard of this routing manifest")
 	shardID := flag.Int("shard-id", -1, "shard id within -shard-manifest")
 	coalesceFlag := flag.Bool("coalesce", true, "merge concurrent queries from all connections into shared deduplicated evaluation passes")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain window on SIGTERM/SIGINT: finish in-flight requests and send clients a Bye before closing (0 = immediate close)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle between frames for this long (0 = never)")
 	flag.Parse()
-	opts := sssearch.ServeOpts{DisableCoalesce: !*coalesceFlag}
+	opts := sssearch.ServeOpts{DisableCoalesce: !*coalesceFlag, IdleTimeout: *idleTimeout}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -101,9 +105,18 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nsss-server: shutting down")
-	if err := daemon.Close(); err != nil {
-		log.Printf("sss-server: close: %v", err)
+	if *drain <= 0 {
+		fmt.Println("\nsss-server: shutting down")
+		if err := daemon.Close(); err != nil {
+			log.Printf("sss-server: close: %v", err)
+		}
+		return
+	}
+	fmt.Printf("\nsss-server: draining (up to %v)\n", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := daemon.Shutdown(ctx); err != nil {
+		log.Printf("sss-server: drain: %v", err)
 	}
 }
 

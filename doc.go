@@ -241,6 +241,54 @@
 //	go run ./cmd/sss-bench -json out.json
 //	go run ./cmd/sss-bench -json out.json -cpuprofile cpu.out -memprofile mem.out
 //
+// # Fault tolerance
+//
+// The serving fabric assumes transports fail and is built so that no
+// retry, failover or hedge can ever change an answer: EvalNodes and
+// FetchPolys are pure reads over an immutable share tree and Prune is an
+// advisory no-op, so re-issuing a request — on a fresh connection, a
+// pool sibling, a shard replica, or a hedged spare — can only reproduce
+// the byte-identical result. The error classifier
+// (internal/resilience.Retryable) is what keeps that sound: transport
+// faults (resets, timeouts, short reads, closed connections) are
+// retryable, while semantic errors — the server's actual answer, such as
+// an unknown key — are terminal and pass through every layer untouched.
+//
+// The layers, bottom up:
+//
+//   - resilience.Policy: per-attempt timeouts, bounded retries with
+//     exponential backoff and deterministic jitter, and the hedge delay,
+//     one knob set shared by every wrapper.
+//   - client.Reliable: an auto-re-dialing session. A broken connection
+//     triggers a single-flight background re-dial with handshake resume;
+//     the re-dialed server must announce byte-identical ring parameters
+//     or the session fails permanently (a swapped backend cannot be
+//     silently accepted).
+//   - client.Pool: per-member health. Consecutive transport failures
+//     eject a member, a background probe re-dials and readmits it, and
+//     calls fail over to healthy siblings; when everything is down the
+//     typed ErrNoHealthyMembers tells callers the pool itself is gone.
+//   - core.MultiServer: setting HedgeDelay launches only k members
+//     up front and arms a timer; a straggling primary is covered by a
+//     spare instead of stalling the whole fan-out (BENCH_7.json records
+//     the hedgedTail/unhedgedTail tail-latency cut).
+//   - shard.NewReplicatedRouter: each shard is a replica group; a
+//     sub-batch that fails with a transport-class error is retried
+//     against the next replica, while semantic errors return immediately.
+//   - Daemon.Shutdown (sss-server -drain): graceful drain — stop
+//     accepting, wake idle readers, finish in-flight requests within the
+//     deadline, and send each session a Bye so resilient clients re-dial
+//     elsewhere instead of timing out. ServeOpts.IdleTimeout
+//     (sss-server -idle-timeout) reclaims connections silent between
+//     frames.
+//
+// The whole stack is proved under deterministic fault injection: the
+// internal/faultconn wrapper schedules resets, latency spikes, torn and
+// silently dropped writes from a seeded stream, and the chaos
+// conformance suite (internal/apitest.Chaos) drives every resilient
+// topology through it, asserting byte-identical answers and preserved
+// error semantics throughout.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured reproduction of every figure.
 package sssearch

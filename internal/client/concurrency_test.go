@@ -37,7 +37,11 @@ type concurrencyWorld struct {
 
 func buildWorld(t *testing.T, doc *xmltree.Node) *concurrencyWorld {
 	t.Helper()
-	r := ring.MustIntQuotient(1, 0, 1)
+	return buildWorldRing(t, doc, ring.MustIntQuotient(1, 0, 1))
+}
+
+func buildWorldRing(t *testing.T, doc *xmltree.Node, r ring.Ring) *concurrencyWorld {
+	t.Helper()
 	m, err := mapping.New(r.MaxTag(), []byte("conc-test"))
 	if err != nil {
 		t.Fatal(err)

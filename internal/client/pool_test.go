@@ -11,22 +11,24 @@ import (
 // out-of-range index); the fix reduces in uint64 first. The counter is
 // pre-seeded to the wrap boundary so the test crosses it immediately.
 func TestPoolPickCounterOverflow(t *testing.T) {
-	remotes := []*Remote{{}, {}, {}}
-	p := &Pool{remotes: remotes}
+	p, err := NewPool([]*Remote{{}, {}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p.next.Store(math.MaxUint64 - 1)
-	seen := make(map[*Remote]int)
+	seen := make(map[*poolMember]int)
 	for i := 0; i < 3*4; i++ {
-		r := p.pick() // panics on the old int conversion
-		if r == nil {
-			t.Fatal("pick returned nil")
+		m, err := p.pick() // panics on the old int conversion
+		if err != nil {
+			t.Fatalf("pick failed: %v", err)
 		}
-		seen[r]++
+		seen[m]++
 	}
 	// Round-robin must keep touching every slot across the wrap. The wrap
 	// itself skews the distribution (2^64 is not a multiple of 3), so
 	// assert coverage, not exact counts.
-	for i, r := range remotes {
-		if seen[r] == 0 {
+	for i, m := range p.members {
+		if seen[m] == 0 {
 			t.Errorf("slot %d never picked across the counter wrap", i)
 		}
 	}

@@ -48,6 +48,7 @@ type Remote struct {
 	pending map[uint64]chan callResult // v2: in-flight requests by ID
 	readErr error                      // v2: terminal reader error
 	closed  bool
+	goaway  bool // server sent Bye (graceful drain): session is winding down
 
 	readerDone chan struct{} // v2: closed when the reader goroutine exits
 }
@@ -172,6 +173,15 @@ func newRemote(conn io.ReadWriteCloser, counters *metrics.Counters, offer uint32
 // Params returns the ring parameters announced by the server.
 func (r *Remote) Params() ring.Params { return r.params }
 
+// Broken reports whether the session can no longer carry requests: it was
+// closed, its reader hit a terminal error, or the server announced a
+// graceful shutdown (Bye). A broken session never heals — re-dial.
+func (r *Remote) Broken() bool {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	return r.closed || r.readErr != nil || r.goaway
+}
+
 // Ring reconstructs the ring from the announced parameters.
 func (r *Remote) Ring() (ring.Ring, error) { return ring.FromParams(r.params) }
 
@@ -226,6 +236,19 @@ func (r *Remote) readLoop() {
 		}
 		r.counters.AddBytesReceived(n)
 		r.counters.AddMessageReceived()
+		if f.Type == wire.MsgBye {
+			// Server-initiated GOAWAY (graceful drain): in-flight responses
+			// have already been flushed before the Bye, so mark the session
+			// broken — Reliable and Pool health checks will re-dial — and
+			// keep reading until the server closes the connection.
+			r.pmu.Lock()
+			r.goaway = true
+			r.pmu.Unlock()
+			if f.Payload != nil {
+				wire.PutBuf(f.Payload)
+			}
+			continue
+		}
 		res := callResult{typ: f.Type, payload: f.Payload}
 		if f.Type == wire.MsgError {
 			e, derr := wire.DecodeError(f.Payload)
@@ -339,6 +362,18 @@ func (r *Remote) callStrict(ctx context.Context, typ wire.MsgType, payload []byt
 	r.counters.AddMessageReceived()
 	if err != nil {
 		return 0, nil, err
+	}
+	if resp.Type == wire.MsgBye {
+		// Server-initiated GOAWAY (graceful drain): the session is winding
+		// down. Surface ErrClosed — a transport-class fault — so retrying
+		// wrappers re-dial instead of treating the drain as an answer.
+		if resp.Payload != nil {
+			wire.PutBuf(resp.Payload)
+		}
+		r.pmu.Lock()
+		r.goaway = true
+		r.pmu.Unlock()
+		return 0, nil, ErrClosed
 	}
 	if resp.Type == wire.MsgError {
 		e, derr := wire.DecodeError(resp.Payload)

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"time"
 
 	"sssearch/internal/drbg"
 	"sssearch/internal/fastfield"
+	"sssearch/internal/metrics"
 	"sssearch/internal/poly"
 	"sssearch/internal/ring"
 	"sssearch/internal/shamir"
@@ -43,6 +45,26 @@ type MultiServer struct {
 	// at a time, stopping after k successes — the pre-concurrency
 	// behavior, kept as a benchmark baseline and ablation.
 	Sequential bool
+
+	// HedgeDelay, when positive, switches the concurrent fan-out to
+	// hedged requests: only the first k members are queried immediately,
+	// and a spare member is launched each time the delay elapses without
+	// k answers (or immediately when a member fails). With a delay set
+	// just above the healthy-path latency, a slow or hung member costs
+	// one hedge delay instead of its full stall — the tail-tolerance
+	// trade from "The Tail at Scale" — while the fault-free path sends
+	// k instead of n requests. Zero keeps the fire-all fan-out.
+	//
+	// Hedging never changes answers: every member computes the same
+	// deterministic function of its share tree, and reads are idempotent,
+	// so which k members answer affects only the Lagrange basis, not the
+	// reconstructed summand.
+	HedgeDelay time.Duration
+
+	// Counters, when non-nil, receives hedging telemetry: HedgesFired
+	// counts spares launched by the delay timer, HedgesWon counts spares
+	// whose answers were used in reconstruction.
+	Counters *metrics.Counters
 
 	// BigCombine disables the fastfield Lagrange combiner and
 	// reconstructs every summand with per-point big.Int interpolation
@@ -114,6 +136,9 @@ func memberCall[T any](m *MultiServer, call func(MultiMember) (T, error)) ([]T, 
 		return nil, nil, fmt.Errorf("core: only %d of %d member servers answered (need %d): %w",
 			len(vals), len(m.members), m.k, firstErr)
 	}
+	if m.HedgeDelay > 0 && m.k < len(m.members) {
+		return hedgedCall(m, call)
+	}
 	type memberResult struct {
 		idx int
 		val T
@@ -148,6 +173,80 @@ func memberCall[T any](m *MultiServer, call func(MultiMember) (T, error)) ([]T, 
 	}
 	return nil, nil, fmt.Errorf("core: only %d of %d member servers answered (need %d): %w",
 		len(vals), len(m.members), m.k, firstErr)
+}
+
+// hedgedCall is the hedged-request fan-out: launch the first k members,
+// then one spare per elapsed hedge delay (or immediately on a member
+// failure), until k members have answered. Stragglers — hedged-against
+// members that answer late — drain into the buffered channel. Fails,
+// like the fire-all path, once more than n-k members have failed.
+func hedgedCall[T any](m *MultiServer, call func(MultiMember) (T, error)) ([]T, []uint32, error) {
+	n := len(m.members)
+	type memberResult struct {
+		idx int
+		val T
+		err error
+	}
+	ch := make(chan memberResult, n)
+	hedged := make([]bool, n) // spares launched by the timer, not by failover
+	launched := 0
+	launch := func(byTimer bool) {
+		i := launched
+		launched++
+		hedged[i] = byTimer
+		mem := m.members[i]
+		go func() {
+			v, err := call(mem)
+			ch <- memberResult{idx: i, val: v, err: err}
+		}()
+	}
+	for launched < m.k {
+		launch(false)
+	}
+	timer := time.NewTimer(m.HedgeDelay)
+	defer timer.Stop()
+
+	vals := make([]T, 0, m.k)
+	xs := make([]uint32, 0, m.k)
+	var firstErr error
+	failures := 0
+	for {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				failures++
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				if failures > n-m.k {
+					return nil, nil, fmt.Errorf("core: only %d of %d member servers answered (need %d): %w",
+						len(vals), n, m.k, firstErr)
+				}
+				if launched < n {
+					launch(false) // immediate failover: no point waiting out the delay
+				}
+				continue
+			}
+			vals = append(vals, r.val)
+			xs = append(xs, m.members[r.idx].X)
+			if hedged[r.idx] && m.Counters != nil {
+				m.Counters.AddHedgesWon(1)
+			}
+			if len(vals) == m.k {
+				return vals, xs, nil
+			}
+		case <-timer.C:
+			if launched < n {
+				launch(true)
+				if m.Counters != nil {
+					m.Counters.AddHedgesFired(1)
+				}
+			}
+			if launched < n {
+				timer.Reset(m.HedgeDelay)
+			}
+		}
+	}
 }
 
 // lagrange builds the fastfield interpolation-at-zero basis for the

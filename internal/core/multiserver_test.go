@@ -10,6 +10,7 @@ import (
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/mapping"
+	"sssearch/internal/metrics"
 	"sssearch/internal/polyenc"
 	"sssearch/internal/ring"
 	"sssearch/internal/server"
@@ -402,5 +403,114 @@ func TestMultiServerCombineFallsBackWithoutFastPath(t *testing.T) {
 		if got[i].Values[0].Cmp(want[i].Values[0]) != 0 {
 			t.Fatalf("key %s: fallback combine %v, single-server %v", keys[i], got[i].Values[0], want[i].Values[0])
 		}
+	}
+}
+
+// slowAPI delays every call by a fixed amount — the straggler member
+// hedged requests exist for.
+type slowAPI struct {
+	inner core.ServerAPI
+	delay time.Duration
+}
+
+func (s slowAPI) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	time.Sleep(s.delay)
+	return s.inner.EvalNodes(keys, points)
+}
+func (s slowAPI) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	time.Sleep(s.delay)
+	return s.inner.FetchPolys(keys)
+}
+func (s slowAPI) Prune(keys []drbg.NodeKey) error {
+	time.Sleep(s.delay)
+	return s.inner.Prune(keys)
+}
+
+// TestMultiServerHedgedMatchesSingle: with one artificially slow member
+// among the first k, hedging must fire a spare, the spare's answer must
+// be used, and the reconstructed results must still match the
+// single-server reference exactly.
+func TestMultiServerHedgedMatchesSingle(t *testing.T) {
+	s := buildMultiStack(t, 2, 4, 40)
+	members := append([]core.MultiMember(nil), s.members...)
+	members[0] = core.MultiMember{X: members[0].X, API: slowAPI{inner: members[0].API, delay: 200 * time.Millisecond}}
+	ms, err := core.NewMultiServer(s.ring, 2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.HedgeDelay = 2 * time.Millisecond
+	ms.Counters = &metrics.Counters{}
+	ref := core.NewEngine(s.ring, s.seed, s.m, s.single, nil)
+	eng := core.NewEngine(s.ring, s.seed, s.m, ms, nil)
+	for _, tag := range []string{"t1", "t4"} {
+		want, err := ref.Lookup(tag, core.Opts{Verify: core.VerifyFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Lookup(tag, core.Opts{Verify: core.VerifyFull})
+		if err != nil {
+			t.Fatalf("%s: hedged lookup: %v", tag, err)
+		}
+		if len(got.Matches) != len(want.Matches) {
+			t.Fatalf("%s: %d matches, want %d", tag, len(got.Matches), len(want.Matches))
+		}
+		for i := range got.Matches {
+			if got.Matches[i].String() != want.Matches[i].String() {
+				t.Fatalf("%s: match %d = %s, want %s", tag, i, got.Matches[i], want.Matches[i])
+			}
+		}
+	}
+	snap := ms.Counters.Snapshot()
+	if snap.HedgesFired < 1 {
+		t.Errorf("hedgesFired = %d, want >= 1 with a 200ms-slow member and 2ms delay", snap.HedgesFired)
+	}
+	if snap.HedgesWon < 1 {
+		t.Errorf("hedgesWon = %d, want >= 1 (spares should beat the slow member)", snap.HedgesWon)
+	}
+}
+
+// TestMultiServerHedgedFailoverImmediate: a member that fails outright
+// must trigger an immediate spare launch, not wait out the hedge delay —
+// the query completes even with an effectively infinite delay.
+func TestMultiServerHedgedFailoverImmediate(t *testing.T) {
+	s := buildMultiStack(t, 2, 3, 30)
+	members := append([]core.MultiMember(nil), s.members...)
+	members[0] = core.MultiMember{X: members[0].X, API: failingAPI{}}
+	ms, err := core.NewMultiServer(s.ring, 2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.HedgeDelay = time.Hour // failover must not depend on the timer
+	eng := core.NewEngine(s.ring, s.seed, s.m, ms, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Lookup("t2", core.Opts{Verify: core.VerifyResolve})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("hedged query with one failed member: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("hedged fan-out waited for the hedge delay instead of failing over")
+	}
+}
+
+// TestMultiServerHedgedBelowThreshold: hedging must preserve the failure
+// contract — more than n-k failed members is an error, promptly.
+func TestMultiServerHedgedBelowThreshold(t *testing.T) {
+	s := buildMultiStack(t, 2, 3, 30)
+	members := append([]core.MultiMember(nil), s.members...)
+	members[0] = core.MultiMember{X: members[0].X, API: failingAPI{}}
+	members[2] = core.MultiMember{X: members[2].X, API: failingAPI{}}
+	ms, err := core.NewMultiServer(s.ring, 2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.HedgeDelay = time.Millisecond
+	eng := core.NewEngine(s.ring, s.seed, s.m, ms, nil)
+	if _, err := eng.Lookup("t2", core.Opts{}); err == nil {
+		t.Fatal("query with two of three members down should fail at threshold 2")
 	}
 }

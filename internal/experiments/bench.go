@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"time"
 
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
@@ -65,6 +66,12 @@ type BenchTarget struct {
 //     seed-only clients of one seed evaluating their share on every
 //     tree node at the rotating hot point through one SharedPadCache,
 //     mirroring BenchmarkSharedPad16.
+//   - hedgedTail / unhedgedTail / hedgedFastPath: the tail-latency story
+//     of hedged fan-outs — a 2-of-3 MultiServer whose first primary is a
+//     deterministic 10 ms straggler, with a 1 ms hedge delay (the spare
+//     covers the straggler), with hedging effectively off (the baseline
+//     eats the full straggler delay every call), and with no straggler
+//     at all (the fault-free cost of keeping hedging armed).
 func BenchTargets() ([]BenchTarget, error) {
 	var targets []BenchTarget
 	for _, id := range []string{"fig5", "fig6"} {
@@ -141,6 +148,32 @@ func BenchTargets() ([]BenchTarget, error) {
 	targets = append(targets, BenchTarget{
 		Name: "sharedPad",
 		Fn:   sharedPad.Run,
+	})
+
+	const straggler = 10 * time.Millisecond
+	hedged, err := NewHedgeWorkload(straggler, time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name: "hedgedTail",
+		Fn:   hedged.Run,
+	})
+	unhedged, err := NewHedgeWorkload(straggler, time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name: "unhedgedTail",
+		Fn:   unhedged.Run,
+	})
+	fastPath, err := NewHedgeWorkload(0, time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name: "hedgedFastPath",
+		Fn:   fastPath.Run,
 	})
 	return targets, nil
 }

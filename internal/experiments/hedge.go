@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	crand "crypto/rand"
+	"crypto/sha256"
+	"math/big"
+	"time"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+	"sssearch/internal/mapping"
+	"sssearch/internal/polyenc"
+	"sssearch/internal/ring"
+	"sssearch/internal/server"
+	"sssearch/internal/sharing"
+	"sssearch/internal/workload"
+)
+
+// slowMember wraps a ServerAPI with a fixed pre-answer delay — the
+// deterministic straggler the hedged-request bench targets measure
+// against. The answer itself is untouched.
+type slowMember struct {
+	inner core.ServerAPI
+	delay time.Duration
+}
+
+func (s slowMember) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	time.Sleep(s.delay)
+	return s.inner.EvalNodes(keys, points)
+}
+
+func (s slowMember) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	time.Sleep(s.delay)
+	return s.inner.FetchPolys(keys)
+}
+
+func (s slowMember) Prune(keys []drbg.NodeKey) error {
+	time.Sleep(s.delay)
+	return s.inner.Prune(keys)
+}
+
+// HedgeWorkload is the tail-latency fixture behind the hedgedTail /
+// unhedgedTail / hedgedFastPath bench targets: a 2-of-3 MultiServer over
+// in-process Locals where member 0 (one of the k primaries, since
+// members are launched in index order) can be made a deterministic
+// straggler. One Run is a small EvalNodes batch — the latency is
+// dominated by how the fan-out handles the slow primary, not by the
+// share combine.
+type HedgeWorkload struct {
+	ms     *core.MultiServer
+	keys   []drbg.NodeKey
+	points []*big.Int
+}
+
+// NewHedgeWorkload assembles the fixture. slowDelay > 0 makes member 0 a
+// straggler by that amount; hedgeDelay is the MultiServer's spare-launch
+// delay (a value far above the slow delay keeps the hedging machinery on
+// the call path while guaranteeing no spare ever fires — the fire-k-
+// and-wait baseline).
+func NewHedgeWorkload(slowDelay, hedgeDelay time.Duration) (*HedgeWorkload, error) {
+	fp := ring.MustFp(257)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 120, MaxFanout: 4, Vocab: 10, Seed: 41})
+	m, err := mapping.New(fp.MaxTag(), []byte("bench-hedge"))
+	if err != nil {
+		return nil, err
+	}
+	enc, err := polyenc.Encode(fp, doc, m)
+	if err != nil {
+		return nil, err
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-hedge")))
+	shares, err := sharing.MultiSplit(enc, seed, 2, 3, crand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]core.MultiMember, len(shares))
+	for i, s := range shares {
+		srv, err := server.NewLocal(fp, s.Tree)
+		if err != nil {
+			return nil, err
+		}
+		var api core.ServerAPI = srv
+		if i == 0 && slowDelay > 0 {
+			api = slowMember{inner: srv, delay: slowDelay}
+		}
+		members[i] = core.MultiMember{X: s.X, API: api}
+	}
+	ms, err := core.NewMultiServer(fp, 2, members)
+	if err != nil {
+		return nil, err
+	}
+	ms.HedgeDelay = hedgeDelay
+	var keys []drbg.NodeKey
+	enc.Walk(func(key drbg.NodeKey, _ *polyenc.Node) bool {
+		keys = append(keys, key)
+		return true
+	})
+	if len(keys) > 8 {
+		keys = keys[:8]
+	}
+	return &HedgeWorkload{
+		ms:     ms,
+		keys:   keys,
+		points: []*big.Int{big.NewInt(2), big.NewInt(3)},
+	}, nil
+}
+
+// Run performs one hedged (or deliberately unhedged) fan-out call.
+func (w *HedgeWorkload) Run() error {
+	_, err := w.ms.EvalNodes(w.keys, w.points)
+	return err
+}

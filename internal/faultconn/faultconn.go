@@ -1,0 +1,168 @@
+// Package faultconn wraps a connection with deterministic, seedable fault
+// injection: latency spikes, mid-frame connection resets, partial writes
+// and silently dropped writes. It is the chaos half of the fault-tolerance
+// harness — the resilience layer is proved against transports that fail on
+// a reproducible schedule rather than on the test machine's mood.
+//
+// Faults are scheduled by a splitmix64 stream seeded from Config.Seed and
+// advanced once per read/write, so a given seed produces the same fault
+// pattern for the same operation sequence. After an injected reset the
+// underlying connection is closed (both peers observe the fault, as a real
+// RST would behave) and every later operation fails fast.
+package faultconn
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the base of every injected failure; it wraps ECONNRESET
+// so the resilience classifier treats injected faults exactly like real
+// peer resets.
+var ErrInjected = fmt.Errorf("faultconn: injected reset: %w", syscall.ECONNRESET)
+
+// Config schedules the injected faults. A rate field N means roughly one
+// fault per N operations (0 disables that fault). Rates are interpreted
+// against independent draws of the deterministic stream, so several fault
+// kinds can be armed at once.
+type Config struct {
+	// Seed selects the deterministic fault schedule.
+	Seed int64
+
+	// ResetEvery injects a connection reset on ~1/N reads or writes: the
+	// operation fails with ErrInjected and the underlying connection is
+	// closed mid-frame.
+	ResetEvery int
+
+	// LatencyEvery stalls ~1/N operations for LatencySpike before they
+	// proceed — the hung-straggler fault hedging exists for.
+	LatencyEvery int
+	LatencySpike time.Duration
+
+	// PartialWriteEvery truncates ~1/N writes: a strict prefix of the
+	// buffer reaches the peer, then the connection resets — the torn-frame
+	// fault.
+	PartialWriteEvery int
+
+	// DropEvery silently swallows ~1/N writes: the caller sees success,
+	// the peer sees nothing — the fault only per-attempt timeouts catch.
+	DropEvery int
+}
+
+// Conn is a fault-injecting connection wrapper. Safe for one concurrent
+// reader plus one concurrent writer (the wire protocol's usage).
+type Conn struct {
+	inner io.ReadWriteCloser
+	cfg   Config
+
+	state  atomic.Uint64 // splitmix64 stream position
+	broken atomic.Bool   // a reset fired; everything fails fast now
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// Injected tallies the faults actually fired, by kind — tests assert
+	// the schedule really exercised the paths they claim to cover.
+	resets    atomic.Int64
+	latencies atomic.Int64
+	partials  atomic.Int64
+	drops     atomic.Int64
+}
+
+// New wraps inner with the fault schedule.
+func New(inner io.ReadWriteCloser, cfg Config) *Conn {
+	c := &Conn{inner: inner, cfg: cfg}
+	c.state.Store(uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+	return c
+}
+
+// Faults reports how many faults of each kind have fired.
+func (c *Conn) Faults() (resets, latencies, partials, drops int64) {
+	return c.resets.Load(), c.latencies.Load(), c.partials.Load(), c.drops.Load()
+}
+
+// draw advances the deterministic stream and reports whether a 1-in-n
+// event fires.
+func (c *Conn) draw(n int) bool {
+	if n <= 0 {
+		return false
+	}
+	x := c.state.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x%uint64(n) == 0
+}
+
+func (c *Conn) maybeStall() {
+	if c.cfg.LatencySpike > 0 && c.draw(c.cfg.LatencyEvery) {
+		c.latencies.Add(1)
+		time.Sleep(c.cfg.LatencySpike)
+	}
+}
+
+func (c *Conn) reset() error {
+	c.resets.Add(1)
+	c.broken.Store(true)
+	_ = c.Close()
+	return ErrInjected
+}
+
+// Read implements io.Reader with scheduled stalls and resets.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.broken.Load() {
+		return 0, ErrInjected
+	}
+	c.maybeStall()
+	if c.draw(c.cfg.ResetEvery) {
+		return 0, c.reset()
+	}
+	return c.inner.Read(p)
+}
+
+// Write implements io.Writer with scheduled stalls, resets, torn frames
+// and dropped frames.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.broken.Load() {
+		return 0, ErrInjected
+	}
+	c.maybeStall()
+	if c.draw(c.cfg.ResetEvery) {
+		return 0, c.reset()
+	}
+	if len(p) > 1 && c.draw(c.cfg.PartialWriteEvery) {
+		c.partials.Add(1)
+		n, _ := c.inner.Write(p[:len(p)/2])
+		err := c.reset()
+		return n, err
+	}
+	if c.draw(c.cfg.DropEvery) {
+		c.drops.Add(1)
+		return len(p), nil
+	}
+	return c.inner.Write(p)
+}
+
+// Close closes the underlying connection (idempotently — an injected
+// reset already closed it).
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.inner.Close() })
+	return c.closeErr
+}
+
+// SetReadDeadline forwards to the underlying connection when it supports
+// deadlines, so daemon idle timeouts keep working through the injector.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	if d, ok := c.inner.(interface{ SetReadDeadline(time.Time) error }); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+var _ io.ReadWriteCloser = (*Conn)(nil)

@@ -1,0 +1,200 @@
+package faultconn
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"sssearch/internal/resilience"
+)
+
+// memConn is a loopback io.ReadWriteCloser for schedule tests.
+type memConn struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func (m memConn) Read(p []byte) (int, error)  { return m.r.Read(p) }
+func (m memConn) Write(p []byte) (int, error) { return m.w.Write(p) }
+func (m memConn) Close() error                { m.r.Close(); return m.w.Close() }
+
+func pipePair() (memConn, memConn) {
+	ar, bw := io.Pipe()
+	br, aw := io.Pipe()
+	return memConn{r: ar, w: aw}, memConn{r: br, w: bw}
+}
+
+// TestDeterministicSchedule: the same seed over the same operation
+// sequence fires the same faults at the same positions.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []int {
+		a, b := pipePair()
+		defer b.Close()
+		c := New(a, Config{Seed: seed, ResetEvery: 7})
+		go func() { // drain the peer so writes complete
+			buf := make([]byte, 64)
+			for {
+				if _, err := b.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		var failedAt []int
+		for i := 0; i < 40; i++ {
+			if _, err := c.Write([]byte("x")); err != nil {
+				failedAt = append(failedAt, i)
+				break
+			}
+		}
+		return failedAt
+	}
+	first := run(11)
+	second := run(11)
+	if len(first) == 0 {
+		t.Fatal("seeded reset schedule never fired in 40 writes")
+	}
+	if len(second) == 0 || first[0] != second[0] {
+		t.Fatalf("schedule not deterministic: %v vs %v", first, second)
+	}
+	other := run(12)
+	if len(other) != 0 && other[0] == first[0] {
+		// Different seeds may occasionally collide; only a hint, not fatal.
+		t.Logf("seeds 11 and 12 reset at the same position %d", first[0])
+	}
+}
+
+// TestResetClassifiesRetryable: injected faults must look like transport
+// faults to the resilience classifier, and must poison the connection.
+func TestResetClassifiesRetryable(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	c := New(a, Config{Seed: 3, ResetEvery: 1})
+	_, err := c.Write([]byte("hello"))
+	if err == nil {
+		t.Fatal("ResetEvery=1 write succeeded")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) || !resilience.Retryable(err) {
+		t.Fatalf("injected reset %v must classify as a retryable reset", err)
+	}
+	if _, err := c.Write([]byte("again")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-reset write = %v, want fail-fast ErrInjected", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-reset read = %v, want fail-fast ErrInjected", err)
+	}
+	resets, _, _, _ := c.Faults()
+	if resets != 1 {
+		t.Fatalf("resets = %d, want 1", resets)
+	}
+}
+
+// TestPartialWriteTearsFrame: a partial write delivers a strict prefix
+// then resets, so the peer observes a torn stream.
+func TestPartialWriteTearsFrame(t *testing.T) {
+	a, b := pipePair()
+	c := New(a, Config{Seed: 5, PartialWriteEvery: 1})
+	var got []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64)
+		for {
+			n, err := b.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	msg := []byte("0123456789")
+	n, err := c.Write(msg)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	wg.Wait()
+	if n >= len(msg) || len(got) != n {
+		t.Fatalf("peer got %d bytes, writer reported %d of %d", len(got), n, len(msg))
+	}
+	_, _, partials, _ := c.Faults()
+	if partials != 1 {
+		t.Fatalf("partials = %d, want 1", partials)
+	}
+}
+
+// TestDropSwallowsWrite: a dropped write reports success and delivers
+// nothing — the stall fault that forces timeout-based recovery.
+func TestDropSwallowsWrite(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	c := New(a, Config{Seed: 9, DropEvery: 1})
+	if n, err := c.Write([]byte("vanish")); err != nil || n != 6 {
+		t.Fatalf("dropped write = (%d, %v), want silent success", n, err)
+	}
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		b.Read(make([]byte, 8))
+	}()
+	select {
+	case <-readDone:
+		t.Fatal("peer received a dropped write")
+	case <-time.After(30 * time.Millisecond):
+	}
+	_, _, _, drops := c.Faults()
+	if drops != 1 {
+		t.Fatalf("drops = %d, want 1", drops)
+	}
+}
+
+// TestLatencySpike: scheduled stalls delay the operation but do not fail it.
+func TestLatencySpike(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	c := New(a, Config{Seed: 1, LatencyEvery: 1, LatencySpike: 20 * time.Millisecond})
+	go func() { b.Read(make([]byte, 8)) }()
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatalf("stalled write failed: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("write completed in %v, want the 20ms spike", d)
+	}
+}
+
+// TestDeadlinePassthrough: deadline support of the wrapped conn survives
+// wrapping (the daemon's idle timeout depends on it).
+func TestDeadlinePassthrough(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			defer conn.Close()
+			time.Sleep(200 * time.Millisecond)
+		}
+	}()
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(raw, Config{})
+	defer c.Close()
+	if err := c.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read = %v, want deadline timeout", err)
+	}
+}

@@ -47,6 +47,18 @@ type Counters struct {
 	sharedPadSingleflight atomic.Int64 // waits merged into an in-flight regen
 	shareEvalHits         atomic.Int64 // share-eval LRU hits (Horner skipped)
 	shareEvalMiss         atomic.Int64 // share-eval LRU misses (Horner run)
+
+	// Fault-tolerance tallies (internal/resilience and friends): calls
+	// re-attempted after transport faults, hedged spare calls launched and
+	// spare answers that made the k-set, connections re-dialed after a
+	// break, pool members ejected by health tracking, and daemon
+	// connections that completed a graceful drain.
+	retries        atomic.Int64 // retried calls (transport faults re-attempted)
+	hedgesFired    atomic.Int64 // spare member calls launched by the hedge timer
+	hedgesWon      atomic.Int64 // spare answers that were needed for the k-set
+	redials        atomic.Int64 // connections re-established after a break
+	membersEjected atomic.Int64 // pool members removed by health tracking
+	connsDrained   atomic.Int64 // daemon connections gracefully drained
 }
 
 // Add* methods increment the corresponding counter.
@@ -79,6 +91,13 @@ func (c *Counters) AddSharedPadSingleflight(n int) { c.sharedPadSingleflight.Add
 func (c *Counters) AddShareEvalHits(n int)         { c.shareEvalHits.Add(int64(n)) }
 func (c *Counters) AddShareEvalMiss(n int)         { c.shareEvalMiss.Add(int64(n)) }
 
+func (c *Counters) AddRetries(n int)        { c.retries.Add(int64(n)) }
+func (c *Counters) AddHedgesFired(n int)    { c.hedgesFired.Add(int64(n)) }
+func (c *Counters) AddHedgesWon(n int)      { c.hedgesWon.Add(int64(n)) }
+func (c *Counters) AddRedials(n int)        { c.redials.Add(int64(n)) }
+func (c *Counters) AddMembersEjected(n int) { c.membersEjected.Add(int64(n)) }
+func (c *Counters) AddConnsDrained(n int)   { c.connsDrained.Add(int64(n)) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	NodesEvaluated int64
@@ -108,6 +127,13 @@ type Snapshot struct {
 	SharedPadSingleflight int64
 	ShareEvalHits         int64
 	ShareEvalMiss         int64
+
+	Retries        int64
+	HedgesFired    int64
+	HedgesWon      int64
+	Redials        int64
+	MembersEjected int64
+	ConnsDrained   int64
 }
 
 // Snapshot captures the current counter values.
@@ -140,6 +166,13 @@ func (c *Counters) Snapshot() Snapshot {
 		SharedPadSingleflight: c.sharedPadSingleflight.Load(),
 		ShareEvalHits:         c.shareEvalHits.Load(),
 		ShareEvalMiss:         c.shareEvalMiss.Load(),
+
+		Retries:        c.retries.Load(),
+		HedgesFired:    c.hedgesFired.Load(),
+		HedgesWon:      c.hedgesWon.Load(),
+		Redials:        c.redials.Load(),
+		MembersEjected: c.membersEjected.Load(),
+		ConnsDrained:   c.connsDrained.Load(),
 	}
 }
 
@@ -170,6 +203,12 @@ func (c *Counters) Reset() {
 	c.sharedPadSingleflight.Store(0)
 	c.shareEvalHits.Store(0)
 	c.shareEvalMiss.Store(0)
+	c.retries.Store(0)
+	c.hedgesFired.Store(0)
+	c.hedgesWon.Store(0)
+	c.redials.Store(0)
+	c.membersEjected.Store(0)
+	c.connsDrained.Store(0)
 }
 
 // Sub returns the delta s - prev, for per-query deltas over a shared
@@ -203,16 +242,24 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		SharedPadSingleflight: s.SharedPadSingleflight - prev.SharedPadSingleflight,
 		ShareEvalHits:         s.ShareEvalHits - prev.ShareEvalHits,
 		ShareEvalMiss:         s.ShareEvalMiss - prev.ShareEvalMiss,
+
+		Retries:        s.Retries - prev.Retries,
+		HedgesFired:    s.HedgesFired - prev.HedgesFired,
+		HedgesWon:      s.HedgesWon - prev.HedgesWon,
+		Redials:        s.Redials - prev.Redials,
+		MembersEjected: s.MembersEjected - prev.MembersEjected,
+		ConnsDrained:   s.ConnsDrained - prev.ConnsDrained,
 	}
 }
 
 // String renders a compact one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d coalBatch=%d coalReq=%d coalDedup=%d sharedHit=%d sharedMiss=%d sharedFlight=%d shareEvalHit=%d shareEvalMiss=%d",
+	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d coalBatch=%d coalReq=%d coalDedup=%d sharedHit=%d sharedMiss=%d sharedFlight=%d shareEvalHit=%d shareEvalMiss=%d retries=%d hedged=%d hedgeWon=%d redials=%d ejected=%d drained=%d",
 		s.NodesEvaluated, s.ValuesMoved, s.PolysFetched, s.PolyBytesMoved,
 		s.Rounds, s.NodesVisited, s.NodesPruned, s.TagsRecovered, s.VerifyFailures,
 		s.EvalCacheHits, s.EvalCacheMiss, s.PadCacheHits, s.PadCacheMiss,
 		s.CoalescedBatches, s.CoalescedRequests, s.CoalesceDedupHits,
 		s.SharedPadHits, s.SharedPadMiss, s.SharedPadSingleflight,
-		s.ShareEvalHits, s.ShareEvalMiss)
+		s.ShareEvalHits, s.ShareEvalMiss,
+		s.Retries, s.HedgesFired, s.HedgesWon, s.Redials, s.MembersEjected, s.ConnsDrained)
 }

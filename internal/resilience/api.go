@@ -1,0 +1,43 @@
+package resilience
+
+import (
+	"context"
+	"math/big"
+
+	"sssearch/internal/core"
+	"sssearch/internal/drbg"
+)
+
+// API wraps any core.ServerAPI with the retry policy: every call runs
+// under Do, so transient faults of the wrapped transport (a pool whose
+// members are mid-re-dial, a router whose replicas flap) are absorbed up
+// to the policy's attempt budget while semantic errors pass straight
+// through. Safe for concurrent use if the inner API is.
+type API struct {
+	Inner  core.ServerAPI
+	Policy Policy
+}
+
+// EvalNodes implements core.ServerAPI.
+func (a *API) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	return Do(context.Background(), a.Policy, func(ctx context.Context) ([]core.NodeEval, error) {
+		return a.Inner.EvalNodes(keys, points)
+	})
+}
+
+// FetchPolys implements core.ServerAPI.
+func (a *API) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
+	return Do(context.Background(), a.Policy, func(ctx context.Context) ([]core.NodePoly, error) {
+		return a.Inner.FetchPolys(keys)
+	})
+}
+
+// Prune implements core.ServerAPI.
+func (a *API) Prune(keys []drbg.NodeKey) error {
+	_, err := Do(context.Background(), a.Policy, func(ctx context.Context) (struct{}, error) {
+		return struct{}{}, a.Inner.Prune(keys)
+	})
+	return err
+}
+
+var _ core.ServerAPI = (*API)(nil)

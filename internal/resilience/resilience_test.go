@@ -1,0 +1,176 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRetryableClassifier(t *testing.T) {
+	semantic := errors.New("server: key invalid at depth 2")
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"eof", io.EOF, true},
+		{"unexpectedEOF", io.ErrUnexpectedEOF, true},
+		{"closedPipe", io.ErrClosedPipe, true},
+		{"netClosed", net.ErrClosed, true},
+		{"connReset", syscall.ECONNRESET, true},
+		{"wrappedReset", fmt.Errorf("write tcp: %w", syscall.ECONNRESET), true},
+		{"connRefused", syscall.ECONNREFUSED, true},
+		{"epipe", syscall.EPIPE, true},
+		{"opError", &net.OpError{Op: "read", Err: errors.New("boom")}, true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"canceled", context.Canceled, false},
+		{"transientTag", fmt.Errorf("pool drained: %w", ErrTransient), true},
+		{"semantic", semantic, false},
+		{"wrappedSemantic", fmt.Errorf("shard 2: %w", semantic), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Retryable(tc.err); got != tc.want {
+				t.Fatalf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := Policy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 42}
+	for n := 1; n <= 8; n++ {
+		a, b := p.Backoff(n), p.Backoff(n)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic: %v vs %v", n, a, b)
+		}
+		if a < 5*time.Millisecond || a > 80*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v outside [base/2, max]", n, a)
+		}
+	}
+	if p.Backoff(1) == p.Backoff(2) && p.Backoff(2) == p.Backoff(3) {
+		t.Fatal("jitter appears constant across attempts")
+	}
+	other := Policy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 43}
+	if p.Backoff(1) == other.Backoff(1) && p.Backoff(2) == other.Backoff(2) {
+		t.Fatal("jitter does not vary with seed")
+	}
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	calls := 0
+	retried := 0
+	p := Policy{
+		MaxAttempts: 5,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  time.Microsecond,
+		OnRetry:     func(int, error) { retried++ },
+	}
+	v, err := Do(context.Background(), p, func(context.Context) (int, error) {
+		calls++
+		if calls < 3 {
+			return 0, syscall.ECONNRESET
+		}
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("Do = (%d, %v), want (7, nil)", v, err)
+	}
+	if calls != 3 || retried != 2 {
+		t.Fatalf("calls=%d retried=%d, want 3 and 2", calls, retried)
+	}
+}
+
+func TestDoTerminalErrorReturnsImmediately(t *testing.T) {
+	calls := 0
+	semantic := errors.New("unknown key")
+	_, err := Do(context.Background(), Policy{MaxAttempts: 4, BaseBackoff: time.Microsecond}, func(context.Context) (int, error) {
+		calls++
+		return 0, semantic
+	})
+	if !errors.Is(err, semantic) {
+		t.Fatalf("err = %v, want the semantic error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("terminal error retried: %d calls", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	_, err := Do(context.Background(), Policy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond}, func(context.Context) (int, error) {
+		calls++
+		return 0, io.ErrUnexpectedEOF
+	})
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoPerAttemptTimeoutRetriesStall(t *testing.T) {
+	calls := 0
+	v, err := Do(context.Background(), Policy{
+		MaxAttempts:       3,
+		PerAttemptTimeout: 20 * time.Millisecond,
+		BaseBackoff:       time.Microsecond,
+		MaxBackoff:        time.Microsecond,
+	}, func(ctx context.Context) (int, error) {
+		calls++
+		if calls == 1 {
+			<-ctx.Done() // simulated hung server: dropped frame, no response
+			return 0, ctx.Err()
+		}
+		return 1, nil
+	})
+	if err != nil || v != 1 {
+		t.Fatalf("Do = (%d, %v), want (1, nil)", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestDoParentCancellationIsTerminal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := Do(ctx, Policy{MaxAttempts: 5, BaseBackoff: time.Microsecond}, func(context.Context) (int, error) {
+		calls++
+		cancel()
+		return 0, syscall.ECONNRESET // retryable class, but the caller is gone
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 1 {
+		t.Fatalf("retried after parent cancellation: %d calls", calls)
+	}
+}
+
+func TestDoCustomClassifier(t *testing.T) {
+	special := errors.New("member pool drained")
+	calls := 0
+	v, err := Do(context.Background(), Policy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  time.Microsecond,
+		Retryable:   func(err error) bool { return errors.Is(err, special) || Retryable(err) },
+	}, func(context.Context) (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, special
+		}
+		return 9, nil
+	})
+	if err != nil || v != 9 || calls != 2 {
+		t.Fatalf("Do = (%d, %v) after %d calls", v, err, calls)
+	}
+}

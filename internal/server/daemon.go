@@ -1,14 +1,18 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"sssearch/internal/core"
+	"sssearch/internal/metrics"
 	"sssearch/internal/ring"
 	"sssearch/internal/wire"
 )
@@ -38,24 +42,69 @@ const DefaultWorkers = 8
 // out-of-order completion — so a single connection carries many in-flight
 // requests.
 type Daemon struct {
-	local  Store
-	logger *log.Logger
+	local    Store
+	logger   *log.Logger
+	counters *metrics.Counters
 
 	// Workers bounds concurrently executing requests per pipelined
 	// connection. Zero means DefaultWorkers. Set before Serve.
 	Workers int
 
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// between frames: each blocking read arms a deadline, and a
+	// connection that stays silent past it is closed. Protects the
+	// daemon from half-dead peers that hold sockets (and a handler
+	// goroutine each) forever. Zero disables the timeout. Set before
+	// Serve.
+	IdleTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	closed   bool
+	draining bool
+	conns    map[*daemonConn]struct{}
 	wg       sync.WaitGroup
 }
+
+// daemonConn makes connection teardown idempotent and race-free: both the
+// per-connection serve goroutine (deferred cleanup) and a pipelined
+// response writer that hits a write error close the connection, and
+// Shutdown may force-close it concurrently — only the first Close reaches
+// the underlying connection.
+type daemonConn struct {
+	io.ReadWriteCloser
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (c *daemonConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.ReadWriteCloser.Close() })
+	return c.closeErr
+}
+
+// readDeadliner is the deadline capability the idle timeout and drain
+// wake-up use when the transport provides it (net.Conn does; in-process
+// pipes need not).
+type readDeadliner interface{ SetReadDeadline(time.Time) error }
+
+// errDraining is the internal signal that a blocking read was aborted by
+// Shutdown rather than by a peer fault.
+var errDraining = errors.New("server: draining")
 
 // NewDaemon wraps a store (a Local, or any guarded/wrapped Store) for
 // network serving. logger may be nil (logging disabled).
 func NewDaemon(local Store, logger *log.Logger) *Daemon {
-	return &Daemon{local: local, logger: logger}
+	return &Daemon{
+		local:    local,
+		logger:   logger,
+		counters: &metrics.Counters{},
+		conns:    make(map[*daemonConn]struct{}),
+	}
 }
+
+// Counters exposes the daemon's serving tallies (drained connections;
+// shared with any instrumentation the store layers on top).
+func (d *Daemon) Counters() *metrics.Counters { return d.counters }
 
 // Serve accepts connections until the listener is closed.
 func (d *Daemon) Serve(l net.Listener) error {
@@ -97,6 +146,86 @@ func (d *Daemon) Close() error {
 	return err
 }
 
+// Shutdown drains the daemon gracefully: stop accepting, let every
+// connection finish its in-flight frames, send each a Bye (the GOAWAY
+// that tells clients to re-dial elsewhere), and close. Connections that
+// have not finished by the context deadline are force-closed. Safe to
+// call concurrently with Serve; after Shutdown the daemon is done.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	d.closed = true
+	d.draining = true
+	l := d.listener
+	// Wake connections blocked between frames: their armed read deadline
+	// is replaced with one in the past, the read returns, and the serve
+	// loop sees the draining flag. Taken under mu so a concurrent armRead
+	// cannot re-arm a future deadline over this one.
+	for c := range d.conns {
+		if dc, ok := c.ReadWriteCloser.(readDeadliner); ok {
+			_ = dc.SetReadDeadline(time.Now())
+		}
+	}
+	d.mu.Unlock()
+	var lerr error
+	if l != nil {
+		lerr = l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return lerr
+	case <-ctx.Done():
+		d.mu.Lock()
+		for c := range d.conns {
+			_ = c.Close()
+		}
+		d.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// armRead prepares one blocking read: refuses when draining, and arms
+// the idle-timeout deadline (or clears a stale one) when the transport
+// supports deadlines. Runs under mu so the drain wake-up above cannot be
+// overwritten by a racing re-arm.
+func (d *Daemon) armRead(conn *daemonConn) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return errDraining
+	}
+	if dc, ok := conn.ReadWriteCloser.(readDeadliner); ok {
+		if d.IdleTimeout > 0 {
+			return dc.SetReadDeadline(time.Now().Add(d.IdleTimeout))
+		}
+		return dc.SetReadDeadline(time.Time{})
+	}
+	return nil
+}
+
+// classifyRead folds drain state into a failed blocking read: a read
+// aborted because Shutdown set a past deadline is a drain, a deadline
+// that expired on its own is an idle timeout, everything else is the
+// peer's fault.
+func (d *Daemon) classifyRead(err error) error {
+	d.mu.Lock()
+	draining := d.draining
+	d.mu.Unlock()
+	if draining {
+		return errDraining
+	}
+	var ne net.Error
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		return fmt.Errorf("server: idle timeout (%v between frames): %w", d.IdleTimeout, err)
+	}
+	return err
+}
+
 func (d *Daemon) logf(format string, args ...any) {
 	if d.logger != nil {
 		d.logger.Printf(format, args...)
@@ -105,12 +234,35 @@ func (d *Daemon) logf(format string, args ...any) {
 
 // HandleConn speaks the protocol on a single connection until Bye or EOF.
 // Exported so tests and the in-process transport can drive it directly.
-func (d *Daemon) HandleConn(conn io.ReadWriteCloser) error {
-	defer conn.Close()
+func (d *Daemon) HandleConn(rwc io.ReadWriteCloser) error {
+	conn := &daemonConn{ReadWriteCloser: rwc}
+	d.mu.Lock()
+	if d.draining {
+		// Too late: the daemon is winding down and will not start a session.
+		d.mu.Unlock()
+		return conn.Close()
+	}
+	if d.conns == nil {
+		d.conns = make(map[*daemonConn]struct{})
+	}
+	d.conns[conn] = struct{}{}
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+		conn.Close()
+	}()
 	// Handshake (always legacy framing; the negotiated version decides the
 	// framing of everything after the HelloAck).
+	if err := d.armRead(conn); err != nil {
+		return nil // draining before the handshake: nothing to wind down
+	}
 	f, _, err := wire.ReadFrame(conn)
 	if err != nil {
+		if errors.Is(d.classifyRead(err), errDraining) {
+			return nil
+		}
 		return err
 	}
 	if f.Type != wire.MsgHello {
@@ -148,10 +300,23 @@ func (d *Daemon) HandleConn(conn io.ReadWriteCloser) error {
 }
 
 // serveStrict is the v1 request loop: one request, one response, in order.
-func (d *Daemon) serveStrict(conn io.ReadWriteCloser) error {
+func (d *Daemon) serveStrict(conn *daemonConn) error {
 	for {
+		if err := d.armRead(conn); err != nil {
+			return d.drainConn(conn, func() error {
+				_, werr := wire.WriteFrame(conn, wire.Frame{Type: wire.MsgBye})
+				return werr
+			})
+		}
 		f, _, err := wire.ReadFrame(conn)
 		if err != nil {
+			err = d.classifyRead(err)
+			if errors.Is(err, errDraining) {
+				return d.drainConn(conn, func() error {
+					_, werr := wire.WriteFrame(conn, wire.Frame{Type: wire.MsgBye})
+					return werr
+				})
+			}
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
@@ -176,7 +341,7 @@ func (d *Daemon) serveStrict(conn io.ReadWriteCloser) error {
 // servePipelined is the v2 request loop: decoded requests fan out to a
 // bounded worker pool; responses are written (serialised by wmu) as each
 // worker completes, so slow requests do not block fast ones behind them.
-func (d *Daemon) servePipelined(conn io.ReadWriteCloser) error {
+func (d *Daemon) servePipelined(conn *daemonConn) error {
 	workers := d.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers
@@ -192,9 +357,27 @@ func (d *Daemon) servePipelined(conn io.ReadWriteCloser) error {
 	fail := func(err error) {
 		errOnce.Do(func() { connErr = err })
 	}
+	// drain finishes the in-flight handlers, then sends the GOAWAY Bye
+	// under the write lock so it cannot interleave with a response frame.
+	drain := func() error {
+		handlers.Wait()
+		return d.drainConn(conn, func() error {
+			wmu.Lock()
+			defer wmu.Unlock()
+			_, werr := wire.WriteFramed(conn, wire.FramedFrame{Type: wire.MsgBye})
+			return werr
+		})
+	}
 	for {
+		if err := d.armRead(conn); err != nil {
+			return drain()
+		}
 		f, _, err := wire.ReadAny(conn)
 		if err != nil {
+			err = d.classifyRead(err)
+			if errors.Is(err, errDraining) {
+				return drain()
+			}
 			handlers.Wait()
 			if errors.Is(err, io.EOF) {
 				return connErr
@@ -235,6 +418,19 @@ func (d *Daemon) servePipelined(conn io.ReadWriteCloser) error {
 			}
 		}(f)
 	}
+}
+
+// drainConn finishes one connection's graceful drain: send the GOAWAY
+// Bye (only read deadlines were armed, so the write is unaffected) and
+// tally the drained connection. Write failures are logged, not returned
+// — the peer may already be gone, which is a completed drain all the
+// same.
+func (d *Daemon) drainConn(conn *daemonConn, sendBye func() error) error {
+	if err := sendBye(); err != nil {
+		d.logf("drain: sending Bye: %v", err)
+	}
+	d.counters.AddConnsDrained(1)
+	return nil
 }
 
 // dispatch handles one request, returning the response type and payload.

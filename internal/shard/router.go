@@ -8,6 +8,7 @@ import (
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/metrics"
+	"sssearch/internal/wire"
 )
 
 // Router fans one logical core.ServerAPI out over a tree-partitioned
@@ -20,7 +21,7 @@ import (
 // Safe for concurrent use if the backend APIs are.
 type Router struct {
 	man      *Manifest
-	backends []core.ServerAPI
+	backends [][]core.ServerAPI // backends[s] is shard s's replica group, tried in order
 	counters *metrics.ShardCounters
 }
 
@@ -35,16 +36,87 @@ func NewRouter(man *Manifest, backends []core.ServerAPI) (*Router, error) {
 	if len(backends) != man.Shards {
 		return nil, fmt.Errorf("shard: %d backends for %d shards", len(backends), man.Shards)
 	}
+	groups := make([][]core.ServerAPI, len(backends))
 	for i, b := range backends {
 		if b == nil {
 			return nil, fmt.Errorf("shard: nil backend for shard %d", i)
 		}
+		groups[i] = []core.ServerAPI{b}
 	}
 	return &Router{
 		man:      man,
-		backends: backends,
+		backends: groups,
 		counters: metrics.NewShardCounters(man.Shards),
 	}, nil
+}
+
+// NewReplicatedRouter wraps one replica GROUP per manifest shard: each
+// shard's sub-batch goes to the group's first replica and fails over to
+// the next on infrastructure faults, so losing a replica degrades latency
+// (one failed call), not availability. Replicas of a shard must serve the
+// same share tree — failover is answer-preserving only because every
+// replica computes the same deterministic function.
+func NewReplicatedRouter(man *Manifest, replicas [][]core.ServerAPI) (*Router, error) {
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	if len(replicas) != man.Shards {
+		return nil, fmt.Errorf("shard: %d replica groups for %d shards", len(replicas), man.Shards)
+	}
+	groups := make([][]core.ServerAPI, len(replicas))
+	for i, g := range replicas {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("shard: empty replica group for shard %d", i)
+		}
+		for j, b := range g {
+			if b == nil {
+				return nil, fmt.Errorf("shard: nil replica %d for shard %d", j, i)
+			}
+		}
+		groups[i] = append([]core.ServerAPI(nil), g...)
+	}
+	return &Router{
+		man:      man,
+		backends: groups,
+		counters: metrics.NewShardCounters(man.Shards),
+	}, nil
+}
+
+// Replicas returns the replica-group size of shard s.
+func (r *Router) Replicas(s int) int { return len(r.backends[s]) }
+
+// failoverSafe reports whether a failed sub-batch may be retried against
+// another replica. A semantic answer from the server — a RemoteError
+// (unknown key, decode failure) or ErrNotOwned — is terminal: the replica
+// would answer identically, so retrying only wastes a round trip.
+// Everything else is treated as infrastructure (resets, closed sessions,
+// timeouts, exhausted client-side retries); failing those over is
+// answer-preserving because replicas serve the same immutable share tree
+// and all requests are idempotent reads.
+func failoverSafe(err error) bool {
+	if errors.Is(err, ErrNotOwned) {
+		return false
+	}
+	var re *wire.RemoteError
+	return !errors.As(err, &re)
+}
+
+// groupCall runs one sub-batch against shard s, failing over through the
+// replica group. The error returned is the last replica's.
+func groupCall[T any](r *Router, s int, fn func(api core.ServerAPI) (T, error)) (T, error) {
+	group := r.backends[s]
+	var zero T
+	for i, api := range group {
+		v, err := fn(api)
+		if err == nil {
+			return v, nil
+		}
+		if i == len(group)-1 || !failoverSafe(err) {
+			return zero, err
+		}
+		r.counters.RecordRetry()
+	}
+	return zero, nil // unreachable: the loop always returns
 }
 
 // Manifest returns the routing manifest.
@@ -143,14 +215,18 @@ func scatter[T any](r *Router, keys []drbg.NodeKey, call func(shard int, sub []d
 // shards, gather the evaluations in request order.
 func (r *Router) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
 	return scatter(r, keys, func(s int, sub []drbg.NodeKey) ([]core.NodeEval, error) {
-		return r.backends[s].EvalNodes(sub, points)
+		return groupCall(r, s, func(api core.ServerAPI) ([]core.NodeEval, error) {
+			return api.EvalNodes(sub, points)
+		})
 	})
 }
 
 // FetchPolys implements core.ServerAPI.
 func (r *Router) FetchPolys(keys []drbg.NodeKey) ([]core.NodePoly, error) {
 	return scatter(r, keys, func(s int, sub []drbg.NodeKey) ([]core.NodePoly, error) {
-		return r.backends[s].FetchPolys(sub)
+		return groupCall(r, s, func(api core.ServerAPI) ([]core.NodePoly, error) {
+			return api.FetchPolys(sub)
+		})
 	})
 }
 
@@ -183,8 +259,14 @@ func (r *Router) Prune(keys []drbg.NodeKey) error {
 		}
 	}
 	r.counters.RecordBatch(shards)
+	prune := func(s int, keys []drbg.NodeKey) error {
+		_, err := groupCall(r, s, func(api core.ServerAPI) (struct{}, error) {
+			return struct{}{}, api.Prune(keys)
+		})
+		return err
+	}
 	if len(shards) == 1 {
-		if err := r.backends[shards[0]].Prune(sub[0]); err != nil {
+		if err := prune(shards[0], sub[0]); err != nil {
 			return fmt.Errorf("shard %d: %w", shards[0], err)
 		}
 		return nil
@@ -192,7 +274,7 @@ func (r *Router) Prune(keys []drbg.NodeKey) error {
 	ch := make(chan error, len(shards))
 	for j := range shards {
 		go func(j int) {
-			if err := r.backends[shards[j]].Prune(sub[j]); err != nil {
+			if err := prune(shards[j], sub[j]); err != nil {
 				ch <- fmt.Errorf("shard %d: %w", shards[j], err)
 				return
 			}

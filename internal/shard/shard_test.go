@@ -485,3 +485,140 @@ func TestRouterPruneBroadcast(t *testing.T) {
 		t.Errorf("guard forwarded %v, want [/1]", recorders[2].pruned)
 	}
 }
+
+// brokenAPI fails every call with a fixed error — a replica whose
+// transport (or client-side retry stack) has given up.
+type brokenAPI struct{ err error }
+
+func (b brokenAPI) EvalNodes([]drbg.NodeKey, []*big.Int) ([]core.NodeEval, error) {
+	return nil, b.err
+}
+func (b brokenAPI) FetchPolys([]drbg.NodeKey) ([]core.NodePoly, error) { return nil, b.err }
+func (b brokenAPI) Prune([]drbg.NodeKey) error                         { return b.err }
+
+// replicatedFixture assembles a Router with nReplicas guarded Locals per
+// shard, where replica 0 of every shard is broken with brokenErr (nil =
+// healthy), plus the unsharded reference.
+func replicatedFixture(t *testing.T, r ring.Ring, shards int, brokenErr error) (*Router, *server.Local, []drbg.NodeKey, []*big.Int) {
+	t.Helper()
+	tree, keys, points := fixture(t, r, 120)
+	ref, err := server.NewLocal(r, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, man, err := Partition(tree, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([][]core.ServerAPI, len(trees))
+	for s, st := range trees {
+		local, err := server.NewLocal(r, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGuard(r, local, man, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if brokenErr != nil {
+			groups[s] = []core.ServerAPI{brokenAPI{err: brokenErr}, g}
+		} else {
+			groups[s] = []core.ServerAPI{g}
+		}
+	}
+	router, err := NewReplicatedRouter(man, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router, ref, keys, points
+}
+
+// TestReplicatedRouterFailsOver: with the first replica of every shard
+// broken, every sub-batch must fail over to the second replica and the
+// gathered answers must match the unsharded reference exactly.
+func TestReplicatedRouterFailsOver(t *testing.T) {
+	r := ring.MustFp(257)
+	router, ref, keys, points := replicatedFixture(t, r, 3, errors.New("replica transport down"))
+	got, err := router.EvalNodes(keys, points)
+	if err != nil {
+		t.Fatalf("EvalNodes with broken first replicas: %v", err)
+	}
+	want, err := ref.EvalNodes(keys, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		for j := range points {
+			if got[i].Values[j].Cmp(want[i].Values[j]) != 0 {
+				t.Fatalf("key %s point %d diverged after failover", keys[i], j)
+			}
+		}
+	}
+	gotP, err := router.FetchPolys(keys[:5])
+	if err != nil {
+		t.Fatalf("FetchPolys with broken first replicas: %v", err)
+	}
+	wantP, err := ref.FetchPolys(keys[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gotP {
+		if !gotP[i].Poly.Equal(wantP[i].Poly) {
+			t.Fatalf("poly %s diverged after failover", keys[i])
+		}
+	}
+	if err := router.Prune(keys[:1]); err != nil {
+		t.Fatalf("Prune with broken first replicas: %v", err)
+	}
+	if snap := router.Counters().Snapshot(); snap.Retries < 1 {
+		t.Errorf("retries = %d, want >= 1", snap.Retries)
+	}
+}
+
+// TestReplicatedRouterSemanticErrorsAreTerminal: a semantic answer (the
+// guard's ErrNotOwned, or a server ErrorMsg) must NOT fail over — the
+// replica would answer identically.
+func TestReplicatedRouterSemanticErrorsAreTerminal(t *testing.T) {
+	r := ring.MustFp(257)
+	router, _, _, points := replicatedFixture(t, r, 2, nil)
+	// Rebuild with a first replica that answers semantically.
+	man := router.Manifest()
+	groups := make([][]core.ServerAPI, man.Shards)
+	for s := 0; s < man.Shards; s++ {
+		groups[s] = []core.ServerAPI{
+			brokenAPI{err: ErrNotOwned},
+			brokenAPI{err: errors.New("second replica must never be consulted")},
+		}
+	}
+	rr, err := NewReplicatedRouter(man, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rr.EvalNodes([]drbg.NodeKey{{0}}, points)
+	if !errors.Is(err, ErrNotOwned) {
+		t.Fatalf("err = %v, want ErrNotOwned surfaced without failover", err)
+	}
+	if snap := rr.Counters().Snapshot(); snap.Retries != 0 {
+		t.Errorf("retries = %d, want 0 for a terminal semantic error", snap.Retries)
+	}
+}
+
+// TestReplicatedRouterAllReplicasDown: exhausting a replica group
+// surfaces the last transport error.
+func TestReplicatedRouterAllReplicasDown(t *testing.T) {
+	r := ring.MustFp(257)
+	router, _, _, points := replicatedFixture(t, r, 2, nil)
+	man := router.Manifest()
+	down := errors.New("every replica down")
+	groups := make([][]core.ServerAPI, man.Shards)
+	for s := 0; s < man.Shards; s++ {
+		groups[s] = []core.ServerAPI{brokenAPI{err: down}, brokenAPI{err: down}}
+	}
+	rr, err := NewReplicatedRouter(man, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.EvalNodes([]drbg.NodeKey{{0}}, points); !errors.Is(err, down) {
+		t.Fatalf("err = %v, want the replicas' error", err)
+	}
+}

@@ -1,6 +1,7 @@
 package sssearch
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"sssearch/internal/client"
 	"sssearch/internal/coalesce"
@@ -263,6 +265,11 @@ type ServeOpts struct {
 	// frames from all connections into shared deduplicated evaluation
 	// passes. Disable only for ablations and debugging.
 	DisableCoalesce bool
+
+	// IdleTimeout, when positive, closes connections that sit silent
+	// between frames for longer than this — protection against half-dead
+	// peers holding sockets forever. Zero disables the timeout.
+	IdleTimeout time.Duration
 }
 
 // wrapStore applies the serving-path wrappers selected by opts.
@@ -287,6 +294,7 @@ func (s *ServerStore) ServeTCPOpts(l net.Listener, opts ServeOpts) (*Daemon, err
 		return nil, err
 	}
 	d := server.NewDaemon(wrapStore(local, opts), nil)
+	d.IdleTimeout = opts.IdleTimeout
 	go func() { _ = d.Serve(l) }()
 	return &Daemon{d: d}, nil
 }
@@ -296,6 +304,13 @@ type Daemon struct{ d *server.Daemon }
 
 // Close stops the daemon and waits for in-flight connections.
 func (d *Daemon) Close() error { return d.d.Close() }
+
+// Shutdown drains the daemon gracefully: stop accepting, finish each
+// connection's in-flight requests, send every client a Bye (resilient
+// clients re-dial elsewhere), then close. Connections that have not
+// finished by the context deadline are force-closed. Use for
+// zero-downtime restarts; Close for immediate teardown.
+func (d *Daemon) Shutdown(ctx context.Context) error { return d.d.Shutdown(ctx) }
 
 // --- sharding ---------------------------------------------------------------
 
@@ -385,6 +400,7 @@ func serveGuardedTCP(l net.Listener, r ring.Ring, tree *sharing.Tree, man *shard
 		return nil, err
 	}
 	d := server.NewDaemon(wrapStore(guard, opts), nil)
+	d.IdleTimeout = opts.IdleTimeout
 	go func() { _ = d.Serve(l) }()
 	return &Daemon{d: d}, nil
 }
