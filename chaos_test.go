@@ -86,8 +86,7 @@ func (d *chaosDialer) faults() int64 {
 	defer d.mu.Unlock()
 	var total int64
 	for _, c := range d.conns {
-		r, l, p, dr := c.Faults()
-		total += r + l + p + dr
+		total += c.Faults().Total()
 	}
 	return total
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"sssearch/internal/experiments"
+	"sssearch/internal/metrics"
 )
 
 // benchReport is the machine-readable result file written by -json. The
@@ -33,11 +34,18 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// P99Ns is the tail-latency figure exported by distribution-story
+	// targets (the overload pair); zero/absent for throughput targets.
+	// Added in schema v1 as an optional field — append-only evolution.
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 // runJSONBench times every tracked target with the testing benchmark
-// harness and writes the report to path.
-func runJSONBench(path string) error {
+// harness and writes the report to path. When metricsPath is non-empty
+// it also writes the counter snapshots exported by instrumented targets
+// (keyed target name → counter-set name → snapshot) — the evidence that
+// the run exercised the machinery it claims to measure.
+func runJSONBench(path, metricsPath string) error {
 	targets, err := experiments.BenchTargets()
 	if err != nil {
 		return err
@@ -71,14 +79,37 @@ func runJSONBench(path string) error {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
+		if t.P99Ns != nil {
+			res.P99Ns = t.P99Ns()
+		}
 		report.Results = append(report.Results, res)
 		fmt.Printf("%-18s %12.0f ns/op %10d B/op %8d allocs/op (%d iters)\n",
 			t.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+		if res.P99Ns > 0 {
+			fmt.Printf("%-18s %12.0f ns p99\n", "", res.P99Ns)
+		}
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	buf = append(buf, '\n')
-	return os.WriteFile(path, buf, 0o644)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	if metricsPath == "" {
+		return nil
+	}
+	snaps := map[string]map[string]metrics.Snapshot{}
+	for _, t := range targets {
+		if t.Metrics != nil {
+			snaps[t.Name] = t.Metrics()
+		}
+	}
+	mbuf, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	mbuf = append(mbuf, '\n')
+	return os.WriteFile(metricsPath, mbuf, 0o644)
 }

@@ -8,6 +8,7 @@
 //	sss-bench -exp pruning  # a single experiment
 //	sss-bench -list
 //	sss-bench -json out.json  # time the tracked hot paths, write JSON
+//	sss-bench -json out.json -metrics metrics.json  # + counter evidence
 //
 // -cpuprofile and -memprofile wrap any of the above in pprof collection,
 // so perf work can attach evidence without a bespoke harness:
@@ -31,6 +32,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "time the tracked hot-path benchmarks and write a machine-readable result file")
+	metricsPath := flag.String("metrics", "", "with -json: also write the counter snapshots of instrumented targets (shed/retry/breaker evidence) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -44,7 +46,7 @@ func main() {
 			log.Fatalf("sss-bench: cpuprofile: %v", err)
 		}
 	}
-	err := run(*exp, *quick, *list, *jsonPath)
+	err := run(*exp, *quick, *list, *jsonPath, *metricsPath)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -58,9 +60,9 @@ func main() {
 	}
 }
 
-func run(exp string, quick, list bool, jsonPath string) error {
+func run(exp string, quick, list bool, jsonPath, metricsPath string) error {
 	if jsonPath != "" {
-		return runJSONBench(jsonPath)
+		return runJSONBench(jsonPath, metricsPath)
 	}
 	if list {
 		for _, e := range experiments.All() {

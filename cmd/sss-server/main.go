@@ -16,6 +16,16 @@
 // a manifest (partitioned routing over complete replicas):
 //
 //	sss-server -store server.sss -shard-manifest routing.ssm -shard-id 1
+//
+// Overload protection and live operations: -max-inflight bounds
+// concurrently executing requests daemon-wide (excess requests are shed
+// with a typed retryable error plus a retry-after hint that resilient
+// clients honor), and -reload re-reads the store file and hot-swaps it
+// into the running daemon on SIGHUP — in-flight requests finish on the
+// old store, no connection is dropped:
+//
+//	sss-server -store server.sss -max-inflight 256 -reload
+//	kill -HUP $(pidof sss-server)   # after replacing server.sss
 package main
 
 import (
@@ -42,8 +52,25 @@ func main() {
 	coalesceFlag := flag.Bool("coalesce", true, "merge concurrent queries from all connections into shared deduplicated evaluation passes")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-drain window on SIGTERM/SIGINT: finish in-flight requests and send clients a Bye before closing (0 = immediate close)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle between frames for this long (0 = never)")
+	maxInflight := flag.Int("max-inflight", 0, "bound concurrently executing requests across the daemon; excess requests are shed with a typed retryable error and a retry-after hint (0 = unbounded)")
+	reload := flag.Bool("reload", false, "re-read -store and hot-swap it into the running daemon on SIGHUP — zero-downtime store reload (whole-tree stores only)")
 	flag.Parse()
-	opts := sssearch.ServeOpts{DisableCoalesce: !*coalesceFlag, IdleTimeout: *idleTimeout}
+	if *idleTimeout < 0 {
+		log.Fatal("sss-server: -idle-timeout must be >= 0")
+	}
+	maxInflightSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "max-inflight" {
+			maxInflightSet = true
+		}
+	})
+	if maxInflightSet && *maxInflight < 1 {
+		log.Fatal("sss-server: -max-inflight must be >= 1 (omit the flag for unbounded admission)")
+	}
+	if *reload && *storePath == "" {
+		log.Fatal("sss-server: -reload requires a -store path to re-read")
+	}
+	opts := sssearch.ServeOpts{DisableCoalesce: !*coalesceFlag, IdleTimeout: *idleTimeout, MaxInflight: *maxInflight}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -51,6 +78,7 @@ func main() {
 	}
 
 	var daemon *sssearch.Daemon
+	reloadable := false
 	switch {
 	case *manifestPath != "":
 		// Whole-tree store, logically fenced to one manifest range.
@@ -97,6 +125,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("sss-server: %v", err)
 		}
+		reloadable = true
+	}
+	if *reload && !reloadable {
+		log.Fatal("sss-server: -reload supports whole-tree stores only (shard daemons cannot hot-swap)")
 	}
 	if !*quiet {
 		fmt.Println("sss-server: the store contains only additive shares; queries arrive as opaque points")
@@ -104,19 +136,44 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	if *drain <= 0 {
-		fmt.Println("\nsss-server: shutting down")
-		if err := daemon.Close(); err != nil {
-			log.Printf("sss-server: close: %v", err)
-		}
-		return
+	var hup chan os.Signal
+	if *reload {
+		hup = make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
 	}
-	fmt.Printf("\nsss-server: draining (up to %v)\n", *drain)
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := daemon.Shutdown(ctx); err != nil {
-		log.Printf("sss-server: drain: %v", err)
+	for {
+		select {
+		case <-hup:
+			// Zero-downtime reload: re-read the store file and swap it in.
+			// In-flight requests finish on the old store; a failed load or
+			// a params mismatch leaves the served store untouched.
+			st, err := sssearch.LoadServerStore(*storePath)
+			if err != nil {
+				log.Printf("sss-server: reload: loading %s: %v (still serving the old store)", *storePath, err)
+				continue
+			}
+			epoch, err := daemon.SwapStore(st)
+			if err != nil {
+				log.Printf("sss-server: reload: %v (still serving the old store)", err)
+				continue
+			}
+			fmt.Printf("sss-server: reloaded %s (epoch %d)\n", *storePath, epoch)
+		case <-sig:
+			if *drain <= 0 {
+				fmt.Println("\nsss-server: shutting down")
+				if err := daemon.Close(); err != nil {
+					log.Printf("sss-server: close: %v", err)
+				}
+				return
+			}
+			fmt.Printf("\nsss-server: draining (up to %v)\n", *drain)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := daemon.Shutdown(ctx); err != nil {
+				log.Printf("sss-server: drain: %v", err)
+			}
+			return
+		}
 	}
 }
 

@@ -302,8 +302,8 @@ func TestConformanceRemote(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got := r.ProtocolVersion(); got != wire.Version2 {
-				t.Fatalf("negotiated version %d, want %d", got, wire.Version2)
+			if got := r.ProtocolVersion(); got != wire.MaxVersion {
+				t.Fatalf("negotiated version %d, want %d", got, wire.MaxVersion)
 			}
 			t.Cleanup(func() { r.Close() })
 			return r

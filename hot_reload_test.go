@@ -1,0 +1,109 @@
+// Public-API coverage for the live-operations surface: ServeOpts
+// admission bounds and Daemon.SwapStore — the zero-downtime reload path
+// sss-server wires to SIGHUP.
+package sssearch
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+
+	"sssearch/internal/drbg"
+	"sssearch/internal/workload"
+)
+
+// TestPublicSwapStoreReload: save a store, serve one loaded copy, then
+// hot-swap a second loaded copy under a live session — the reload an
+// operator does after replacing the store file with an updated save.
+// Search results must be identical before and after, the session must
+// survive, and the epoch must advance.
+func TestPublicSwapStoreReload(t *testing.T) {
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 120, MaxFanout: 3, Vocab: 6, Seed: 7})
+	bundle, err := Outsource(doc, Config{
+		Kind:   RingFp,
+		P:      257,
+		Seed:   drbg.Seed{2: 0xA7},
+		Secret: []byte("hot-reload"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvPath := filepath.Join(t.TempDir(), "server.sss")
+	if err := bundle.Server.Save(srvPath); err != nil {
+		t.Fatal(err)
+	}
+	first, err := LoadServerStore(srvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := LoadServerStore(srvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := first.ServeTCPOpts(l, ServeOpts{MaxInflight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Close()
+
+	sess, err := bundle.Key.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const query = "//t2"
+	before, err := sess.Search(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	epoch, err := daemon.SwapStore(second)
+	if err != nil {
+		t.Fatalf("SwapStore: %v", err)
+	}
+	if epoch != 1 || daemon.StoreEpoch() != 1 {
+		t.Fatalf("epoch = %d / %d, want 1", epoch, daemon.StoreEpoch())
+	}
+
+	after, err := sess.Search(query)
+	if err != nil {
+		t.Fatalf("search on the live session after the swap: %v", err)
+	}
+	if resultKey(before) != resultKey(after) {
+		t.Fatalf("results changed across an equivalent-store swap:\nbefore %s\nafter  %s",
+			resultKey(before), resultKey(after))
+	}
+
+	if _, err := daemon.SwapStore(nil); err == nil {
+		t.Fatal("SwapStore(nil) accepted")
+	}
+}
+
+// TestPublicSwapStoreShardRefused: shard daemons are fenced to the
+// manifest range of the store they were built with, so the public
+// SwapStore must refuse them rather than silently unguard the daemon.
+func TestPublicSwapStoreShardRefused(t *testing.T) {
+	_, bundle := shardTestBundle(t, Config{Kind: RingFp, P: 257})
+	sb, err := bundle.Shard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sb.Stores[0].ServeTCP(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.SwapStore(bundle.Server); err == nil {
+		t.Fatal("SwapStore on a shard daemon accepted")
+	}
+}

@@ -56,6 +56,12 @@ type Pool struct {
 	counters *metrics.Counters
 	params   ring.Params
 
+	// breaker is shared across the whole pool: every member dials the
+	// same daemon, so consecutive overload sheds — regardless of which
+	// connection carried them — trip one circuit and calls fail fast
+	// until the cooldown probe finds the daemon accepting again.
+	breaker *resilience.Breaker
+
 	mu     sync.Mutex
 	closed bool
 	done   chan struct{} // closed by Close: stops probe goroutines
@@ -89,6 +95,7 @@ func NewPoolDial(dial func() (*Remote, error), size int, counters *metrics.Count
 		counters: counters,
 		done:     make(chan struct{}),
 	}
+	p.breaker = &resilience.Breaker{OnTrip: func() { p.counters.AddBreakerTrips(1) }}
 	for i := 0; i < size; i++ {
 		r, err := dial()
 		if err != nil {
@@ -112,6 +119,7 @@ func NewPool(remotes []*Remote) (*Pool, error) {
 		counters: &metrics.Counters{},
 		done:     make(chan struct{}),
 	}
+	p.breaker = &resilience.Breaker{OnTrip: func() { p.counters.AddBreakerTrips(1) }}
 	for i, r := range remotes {
 		if r == nil {
 			return nil, fmt.Errorf("client: nil remote at pool slot %d", i)
@@ -140,6 +148,10 @@ func (p *Pool) Healthy() int {
 
 // Params returns the ring parameters announced by the server.
 func (p *Pool) Params() ring.Params { return p.params }
+
+// Breaker exposes the pool-wide circuit breaker (for health inspection
+// and tests).
+func (p *Pool) Breaker() *resilience.Breaker { return p.breaker }
 
 // Ring reconstructs the ring from the announced parameters.
 func (p *Pool) Ring() (ring.Ring, error) { return ring.FromParams(p.params) }
@@ -261,14 +273,24 @@ func (p *Pool) redialMember(m *poolMember) {
 
 // poolCall runs one call with member failover: a transport-class failure
 // records against the member and the call moves to the next healthy one;
-// a semantic error (the server's answer) returns immediately. Visiting
-// every member without success surfaces the last transport error.
+// a semantic error (the server's answer) returns immediately. An
+// overload shed also returns immediately — every member targets the same
+// daemon, so failing over to a sibling connection would only hit the
+// same full admission queue — without ejecting the member (the
+// connection is healthy; the daemon is busy). Consecutive sheds trip the
+// pool-wide breaker and subsequent calls fail fast until the cooldown
+// probe. Visiting every member without success surfaces the last
+// transport error.
 func poolCall[T any](p *Pool, call func(r *Remote) (T, error)) (T, error) {
 	var zero T
+	if !p.breaker.Allow() {
+		return zero, resilience.ErrBreakerOpen
+	}
 	var lastErr error
 	for attempt := 0; attempt < len(p.members); attempt++ {
 		m, err := p.pick()
 		if err != nil {
+			p.breaker.Record(err)
 			if lastErr != nil {
 				return zero, fmt.Errorf("%w (last transport error: %v)", err, lastErr)
 			}
@@ -280,15 +302,22 @@ func poolCall[T any](p *Pool, call func(r *Remote) (T, error)) (T, error) {
 		v, err := call(r)
 		if err == nil {
 			p.recordSuccess(m)
+			p.breaker.Record(nil)
 			return v, nil
 		}
+		if resilience.Overloaded(err) {
+			p.breaker.Record(err)
+			return zero, err
+		}
 		if !transportFault(err) {
+			p.breaker.Record(err)
 			return zero, err
 		}
 		p.recordFailure(m)
 		lastErr = err
 		p.counters.AddRetries(1)
 	}
+	p.breaker.Record(lastErr)
 	return zero, fmt.Errorf("client: pool members exhausted: %w", lastErr)
 }
 

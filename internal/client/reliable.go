@@ -88,6 +88,21 @@ func NewReliable(dial func() (*Remote, error), policy resilience.Policy, counter
 			userOnRetry(attempt, err)
 		}
 	}
+	// Per-target circuit breaker: consecutive overload sheds from this
+	// server trip it open, and while open calls fail fast instead of
+	// hammering a daemon that is already drowning. Transport faults and
+	// semantic errors never feed it, so it is inert unless the server
+	// actually sheds.
+	if policy.Breaker == nil {
+		policy.Breaker = &resilience.Breaker{}
+	}
+	userOnTrip := policy.Breaker.OnTrip
+	policy.Breaker.OnTrip = func() {
+		counters.AddBreakerTrips(1)
+		if userOnTrip != nil {
+			userOnTrip()
+		}
+	}
 	rc.policy = policy
 	r, err := dial()
 	if err != nil {
@@ -157,8 +172,17 @@ func transportFault(err error) bool {
 	return resilience.Retryable(err)
 }
 
-// retryable is transportFault in method form, for Policy.Retryable.
-func (rc *Reliable) retryable(err error) bool { return transportFault(err) }
+// retryable classifies for the retry policy: transport faults are
+// retryable on a fresh connection, and so is an overload shed — the
+// server did no work and said so — though a shed must never trigger a
+// re-dial (the session is healthy; it is the daemon that is busy).
+func (rc *Reliable) retryable(err error) bool {
+	return transportFault(err) || resilience.Overloaded(err)
+}
+
+// Breaker exposes the per-target circuit breaker (for health inspection
+// and tests).
+func (rc *Reliable) Breaker() *resilience.Breaker { return rc.policy.Breaker }
 
 // session returns a healthy Remote, waiting (under ctx) for at most one
 // re-dial round when the session is down. A failed dial round surfaces
@@ -298,7 +322,11 @@ func reliableCall[T any](rc *Reliable, ctx context.Context, fn func(ctx context.
 			return zero, err
 		}
 		v, err := fn(actx, r)
-		if err != nil && rc.retryable(err) {
+		// Only transport faults invalidate the session: an overload shed
+		// arrived over a perfectly healthy connection, and re-dialing
+		// would hit the shedding daemon with handshake work it is trying
+		// to get rid of.
+		if err != nil && transportFault(err) {
 			rc.invalidate(gen)
 		}
 		return v, err

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
@@ -164,9 +165,20 @@ func newRemote(conn io.ReadWriteCloser, counters *metrics.Counters, offer uint32
 		if err != nil {
 			return nil, err
 		}
-		return nil, &wire.RemoteError{ID: e.ID, Message: e.Message}
+		return nil, remoteError(e)
 	default:
 		return nil, fmt.Errorf("client: unexpected handshake frame %s", f.Type)
+	}
+}
+
+// remoteError surfaces a decoded server ErrorMsg, carrying the v3 typed
+// code and retry-after hint through to the resilience classifiers.
+func remoteError(e wire.ErrorMsg) *wire.RemoteError {
+	return &wire.RemoteError{
+		ID:         e.ID,
+		Message:    e.Message,
+		Code:       e.Code,
+		RetryAfter: time.Duration(e.RetryAfterMillis) * time.Millisecond,
 	}
 }
 
@@ -255,7 +267,7 @@ func (r *Remote) readLoop() {
 			if derr != nil {
 				res = callResult{err: derr}
 			} else {
-				res = callResult{err: &wire.RemoteError{ID: e.ID, Message: e.Message}}
+				res = callResult{err: remoteError(e)}
 			}
 			wire.PutBuf(f.Payload) // decoded; res carries no payload
 		}
@@ -381,7 +393,7 @@ func (r *Remote) callStrict(ctx context.Context, typ wire.MsgType, payload []byt
 		if derr != nil {
 			return 0, nil, derr
 		}
-		return 0, nil, &wire.RemoteError{ID: e.ID, Message: e.Message}
+		return 0, nil, remoteError(e)
 	}
 	return resp.Type, resp.Payload, nil
 }
@@ -390,10 +402,31 @@ func (r *Remote) id() uint64 {
 	return r.nextID.Add(1)
 }
 
+// deadlineBudget converts the caller's remaining context deadline into
+// the protocol v3 per-request budget field: milliseconds, rounded up so a
+// sub-millisecond remainder is never truncated to "no deadline". Zero —
+// no deadline rides the frame — when the context has none or the session
+// negotiated an older version (the field would be trailing garbage to a
+// v2 server).
+func (r *Remote) deadlineBudget(ctx context.Context) uint64 {
+	if r.version < wire.Version3 {
+		return 0
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	left := time.Until(dl)
+	if left <= 0 {
+		return 1 // expired; the server will skip it, ctx.Err() races it
+	}
+	return uint64((left + time.Millisecond - 1) / time.Millisecond)
+}
+
 // EvalNodesCtx is EvalNodes with context cancellation.
 func (r *Remote) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
 	id := r.id()
-	typ, payload, err := r.call(ctx, wire.MsgEval, id, wire.AppendEvalReq(wire.GetBuf(), wire.EvalReq{ID: id, Keys: keys, Points: points}))
+	typ, payload, err := r.call(ctx, wire.MsgEval, id, wire.AppendEvalReq(wire.GetBuf(), wire.EvalReq{ID: id, Keys: keys, Points: points, TimeoutMillis: r.deadlineBudget(ctx)}))
 	if err != nil {
 		return nil, err
 	}
@@ -414,7 +447,7 @@ func (r *Remote) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points [
 // FetchPolysCtx is FetchPolys with context cancellation.
 func (r *Remote) FetchPolysCtx(ctx context.Context, keys []drbg.NodeKey) ([]core.NodePoly, error) {
 	id := r.id()
-	typ, payload, err := r.call(ctx, wire.MsgFetch, id, wire.AppendFetchReq(wire.GetBuf(), wire.FetchReq{ID: id, Keys: keys}))
+	typ, payload, err := r.call(ctx, wire.MsgFetch, id, wire.AppendFetchReq(wire.GetBuf(), wire.FetchReq{ID: id, Keys: keys, TimeoutMillis: r.deadlineBudget(ctx)}))
 	if err != nil {
 		return nil, err
 	}
@@ -435,7 +468,7 @@ func (r *Remote) FetchPolysCtx(ctx context.Context, keys []drbg.NodeKey) ([]core
 // PruneCtx is Prune with context cancellation.
 func (r *Remote) PruneCtx(ctx context.Context, keys []drbg.NodeKey) error {
 	id := r.id()
-	typ, payload, err := r.call(ctx, wire.MsgPrune, id, wire.AppendPruneReq(wire.GetBuf(), wire.PruneReq{ID: id, Keys: keys}))
+	typ, payload, err := r.call(ctx, wire.MsgPrune, id, wire.AppendPruneReq(wire.GetBuf(), wire.PruneReq{ID: id, Keys: keys, TimeoutMillis: r.deadlineBudget(ctx)}))
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/mapping"
+	"sssearch/internal/metrics"
 	"sssearch/internal/polyenc"
 	"sssearch/internal/ring"
 	"sssearch/internal/server"
@@ -29,6 +30,16 @@ type BenchTarget struct {
 	// Fn runs one iteration of the measured operation. Setup cost is paid
 	// before BenchTargets returns, not inside Fn.
 	Fn func() error
+	// P99Ns, when non-nil, reports a tail-latency figure the target
+	// accumulated across its Fn runs (ns). Mean ns/op hides exactly what
+	// the overload targets exist to show, so targets whose story is the
+	// latency distribution export the tail explicitly.
+	P99Ns func() float64
+	// Metrics, when non-nil, reports named counter snapshots taken after
+	// the target's runs — evidence of what machinery the measurement
+	// actually exercised (sheds, retries, breaker trips), written by
+	// sss-bench -metrics next to the timing report.
+	Metrics func() map[string]metrics.Snapshot
 }
 
 // BenchTargets builds the tracked measurement set:
@@ -72,6 +83,13 @@ type BenchTarget struct {
 //     covers the straggler), with hedging effectively off (the baseline
 //     eats the full straggler delay every call), and with no straggler
 //     at all (the fault-free cost of keeping hedging armed).
+//   - overloadShed / overloadUnbounded: the admission-control story — a
+//     fixed-capacity daemon offered 4× its service rate through a
+//     retrying session, with the admission cap matched to the backend
+//     capacity versus wide open. Both report p99 over served requests
+//     (the p99_ns field of the JSON report): bounded under shedding,
+//     growing with the backlog under open admission, with every served
+//     answer checked byte-identical to the reference either way.
 func BenchTargets() ([]BenchTarget, error) {
 	var targets []BenchTarget
 	for _, id := range []string{"fig5", "fig6"} {
@@ -174,6 +192,27 @@ func BenchTargets() ([]BenchTarget, error) {
 	targets = append(targets, BenchTarget{
 		Name: "hedgedFastPath",
 		Fn:   fastPath.Run,
+	})
+
+	shed, err := NewOverloadWorkload(true)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name:    "overloadShed",
+		Fn:      shed.Run,
+		P99Ns:   shed.P99Ns,
+		Metrics: shed.Metrics,
+	})
+	unbounded, err := NewOverloadWorkload(false)
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name:    "overloadUnbounded",
+		Fn:      unbounded.Run,
+		P99Ns:   unbounded.P99Ns,
+		Metrics: unbounded.Metrics,
 	})
 	return targets, nil
 }

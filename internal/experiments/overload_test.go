@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestOverloadWorkload runs one wave of each admission variant. Run()
+// itself enforces the contract — every served answer byte-identical to
+// the reference, every rejection a typed overload error, at least one
+// request served — so this is a correctness gate for the bench fixture,
+// not a latency assertion (the p99 comparison lives in BENCH_N.json,
+// where one noisy CI box can't flake it).
+func TestOverloadWorkload(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		shed bool
+	}{
+		{"Shed", true},
+		{"Unbounded", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := NewOverloadWorkload(tc.shed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if tc.shed && w.rejected == 0 {
+				t.Error("admission-capped wave rejected nothing; the overload fixture exercised no shedding")
+			}
+			if !tc.shed && w.rejected > 0 {
+				t.Errorf("unbounded wave rejected %d requests", w.rejected)
+			}
+			if w.P99Ns() <= 0 {
+				t.Error("no latency recorded")
+			}
+		})
+	}
+}

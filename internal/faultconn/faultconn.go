@@ -1,6 +1,8 @@
 // Package faultconn wraps a connection with deterministic, seedable fault
-// injection: latency spikes, mid-frame connection resets, partial writes
-// and silently dropped writes. It is the chaos half of the fault-tolerance
+// injection: latency spikes, mid-frame connection resets, partial writes,
+// silently dropped writes, trickle reads (a consumer that stops draining
+// responses) and stalled writes (a producer that hangs mid-request). It
+// is the chaos half of the fault-tolerance
 // harness — the resilience layer is proved against transports that fail on
 // a reproducible schedule rather than on the test machine's mood.
 //
@@ -51,6 +53,40 @@ type Config struct {
 	// DropEvery silently swallows ~1/N writes: the caller sees success,
 	// the peer sees nothing — the fault only per-attempt timeouts catch.
 	DropEvery int
+
+	// SlowReadEvery throttles ~1/N reads to trickle mode: the read pauses
+	// for SlowReadPause and then consumes at most one byte. A client whose
+	// reads trickle stops draining responses, which is how a slow consumer
+	// looks from the daemon's side — its bounded write queue fills and the
+	// write-stall cutoff fires. This is the overload-shaped read fault.
+	SlowReadEvery int
+	SlowReadPause time.Duration
+
+	// StallWriteEvery freezes ~1/N writes for StallWritePause before any
+	// byte reaches the wire — a writer that hangs mid-request, holding the
+	// peer's read loop without delivering a frame. Unlike a latency spike
+	// (which delays both directions at random), this targets the write
+	// path specifically, so request frames arrive late while the session
+	// otherwise looks alive.
+	StallWriteEvery int
+	StallWritePause time.Duration
+}
+
+// Counts tallies the faults a Conn has actually fired, by kind. Tests
+// assert against it so a chaos run proves its schedule really exercised
+// the paths it claims to cover.
+type Counts struct {
+	Resets     int64
+	Latencies  int64
+	Partials   int64
+	Drops      int64
+	SlowReads  int64
+	WriteStall int64
+}
+
+// Total sums every fault kind.
+func (f Counts) Total() int64 {
+	return f.Resets + f.Latencies + f.Partials + f.Drops + f.SlowReads + f.WriteStall
 }
 
 // Conn is a fault-injecting connection wrapper. Safe for one concurrent
@@ -67,10 +103,12 @@ type Conn struct {
 
 	// Injected tallies the faults actually fired, by kind — tests assert
 	// the schedule really exercised the paths they claim to cover.
-	resets    atomic.Int64
-	latencies atomic.Int64
-	partials  atomic.Int64
-	drops     atomic.Int64
+	resets     atomic.Int64
+	latencies  atomic.Int64
+	partials   atomic.Int64
+	drops      atomic.Int64
+	slowReads  atomic.Int64
+	writeStall atomic.Int64
 }
 
 // New wraps inner with the fault schedule.
@@ -81,8 +119,15 @@ func New(inner io.ReadWriteCloser, cfg Config) *Conn {
 }
 
 // Faults reports how many faults of each kind have fired.
-func (c *Conn) Faults() (resets, latencies, partials, drops int64) {
-	return c.resets.Load(), c.latencies.Load(), c.partials.Load(), c.drops.Load()
+func (c *Conn) Faults() Counts {
+	return Counts{
+		Resets:     c.resets.Load(),
+		Latencies:  c.latencies.Load(),
+		Partials:   c.partials.Load(),
+		Drops:      c.drops.Load(),
+		SlowReads:  c.slowReads.Load(),
+		WriteStall: c.writeStall.Load(),
+	}
 }
 
 // draw advances the deterministic stream and reports whether a 1-in-n
@@ -114,7 +159,8 @@ func (c *Conn) reset() error {
 	return ErrInjected
 }
 
-// Read implements io.Reader with scheduled stalls and resets.
+// Read implements io.Reader with scheduled stalls, resets and trickle
+// reads.
 func (c *Conn) Read(p []byte) (int, error) {
 	if c.broken.Load() {
 		return 0, ErrInjected
@@ -122,6 +168,11 @@ func (c *Conn) Read(p []byte) (int, error) {
 	c.maybeStall()
 	if c.draw(c.cfg.ResetEvery) {
 		return 0, c.reset()
+	}
+	if len(p) > 1 && c.cfg.SlowReadPause > 0 && c.draw(c.cfg.SlowReadEvery) {
+		c.slowReads.Add(1)
+		time.Sleep(c.cfg.SlowReadPause)
+		return c.inner.Read(p[:1])
 	}
 	return c.inner.Read(p)
 }
@@ -133,6 +184,10 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return 0, ErrInjected
 	}
 	c.maybeStall()
+	if c.cfg.StallWritePause > 0 && c.draw(c.cfg.StallWriteEvery) {
+		c.writeStall.Add(1)
+		time.Sleep(c.cfg.StallWritePause)
+	}
 	if c.draw(c.cfg.ResetEvery) {
 		return 0, c.reset()
 	}

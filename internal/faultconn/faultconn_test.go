@@ -86,9 +86,8 @@ func TestResetClassifiesRetryable(t *testing.T) {
 	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
 		t.Fatalf("post-reset read = %v, want fail-fast ErrInjected", err)
 	}
-	resets, _, _, _ := c.Faults()
-	if resets != 1 {
-		t.Fatalf("resets = %d, want 1", resets)
+	if f := c.Faults(); f.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", f.Resets)
 	}
 }
 
@@ -120,9 +119,8 @@ func TestPartialWriteTearsFrame(t *testing.T) {
 	if n >= len(msg) || len(got) != n {
 		t.Fatalf("peer got %d bytes, writer reported %d of %d", len(got), n, len(msg))
 	}
-	_, _, partials, _ := c.Faults()
-	if partials != 1 {
-		t.Fatalf("partials = %d, want 1", partials)
+	if f := c.Faults(); f.Partials != 1 {
+		t.Fatalf("partials = %d, want 1", f.Partials)
 	}
 }
 
@@ -146,9 +144,8 @@ func TestDropSwallowsWrite(t *testing.T) {
 		t.Fatal("peer received a dropped write")
 	case <-time.After(30 * time.Millisecond):
 	}
-	_, _, _, drops := c.Faults()
-	if drops != 1 {
-		t.Fatalf("drops = %d, want 1", drops)
+	if f := c.Faults(); f.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", f.Drops)
 	}
 }
 
@@ -165,6 +162,63 @@ func TestLatencySpike(t *testing.T) {
 	}
 	if d := time.Since(start); d < 15*time.Millisecond {
 		t.Fatalf("write completed in %v, want the 20ms spike", d)
+	}
+}
+
+// TestSlowReadTrickles: a slow read pauses and then consumes at most one
+// byte — a consumer that stops draining, without breaking the stream.
+func TestSlowReadTrickles(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	c := New(a, Config{Seed: 2, SlowReadEvery: 1, SlowReadPause: 20 * time.Millisecond})
+	go func() { b.Write([]byte("payload")) }()
+	start := time.Now()
+	buf := make([]byte, 8)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatalf("slow read failed: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("slow read consumed %d bytes, want trickle of 1", n)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("read completed in %v, want the 20ms pause", d)
+	}
+	if f := c.Faults(); f.SlowReads < 1 {
+		t.Fatalf("slowReads = %d, want >= 1", f.SlowReads)
+	}
+}
+
+// TestStallWriteDelaysFrame: a stalled write freezes before any byte hits
+// the wire, then delivers the whole buffer — late, not torn.
+func TestStallWriteDelaysFrame(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	c := New(a, Config{Seed: 4, StallWriteEvery: 1, StallWritePause: 20 * time.Millisecond})
+	var got []byte
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		got = buf[:n]
+	}()
+	start := time.Now()
+	msg := []byte("held-up")
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("stalled write = (%d, %v), want full delayed delivery", n, err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("write completed in %v, want the 20ms stall", d)
+	}
+	<-readDone
+	if string(got) != string(msg) {
+		t.Fatalf("peer got %q, want %q intact", got, msg)
+	}
+	if f := c.Faults(); f.WriteStall != 1 {
+		t.Fatalf("writeStall = %d, want 1", f.WriteStall)
 	}
 }
 

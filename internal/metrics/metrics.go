@@ -59,6 +59,17 @@ type Counters struct {
 	redials        atomic.Int64 // connections re-established after a break
 	membersEjected atomic.Int64 // pool members removed by health tracking
 	connsDrained   atomic.Int64 // daemon connections gracefully drained
+
+	// Overload-protection and live-operations tallies: requests shed by
+	// admission control, requests skipped because their propagated
+	// deadline had already expired, circuit breakers tripped open by
+	// consecutive sheds, live store swaps completed, and connections cut
+	// because the peer would not drain its responses.
+	requestsShed    atomic.Int64 // requests answered with CodeOverloaded
+	deadlineSkips   atomic.Int64 // requests skipped, deadline already past
+	breakerTrips    atomic.Int64 // circuit breakers tripped open
+	storeSwaps      atomic.Int64 // Daemon.SwapStore epochs completed
+	slowConsumerCut atomic.Int64 // connections disconnected as slow consumers
 }
 
 // Add* methods increment the corresponding counter.
@@ -98,6 +109,12 @@ func (c *Counters) AddRedials(n int)        { c.redials.Add(int64(n)) }
 func (c *Counters) AddMembersEjected(n int) { c.membersEjected.Add(int64(n)) }
 func (c *Counters) AddConnsDrained(n int)   { c.connsDrained.Add(int64(n)) }
 
+func (c *Counters) AddRequestsShed(n int)    { c.requestsShed.Add(int64(n)) }
+func (c *Counters) AddDeadlineSkips(n int)   { c.deadlineSkips.Add(int64(n)) }
+func (c *Counters) AddBreakerTrips(n int)    { c.breakerTrips.Add(int64(n)) }
+func (c *Counters) AddStoreSwaps(n int)      { c.storeSwaps.Add(int64(n)) }
+func (c *Counters) AddSlowConsumerCut(n int) { c.slowConsumerCut.Add(int64(n)) }
+
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
 	NodesEvaluated int64
@@ -134,6 +151,12 @@ type Snapshot struct {
 	Redials        int64
 	MembersEjected int64
 	ConnsDrained   int64
+
+	RequestsShed    int64
+	DeadlineSkips   int64
+	BreakerTrips    int64
+	StoreSwaps      int64
+	SlowConsumerCut int64
 }
 
 // Snapshot captures the current counter values.
@@ -173,6 +196,12 @@ func (c *Counters) Snapshot() Snapshot {
 		Redials:        c.redials.Load(),
 		MembersEjected: c.membersEjected.Load(),
 		ConnsDrained:   c.connsDrained.Load(),
+
+		RequestsShed:    c.requestsShed.Load(),
+		DeadlineSkips:   c.deadlineSkips.Load(),
+		BreakerTrips:    c.breakerTrips.Load(),
+		StoreSwaps:      c.storeSwaps.Load(),
+		SlowConsumerCut: c.slowConsumerCut.Load(),
 	}
 }
 
@@ -209,6 +238,11 @@ func (c *Counters) Reset() {
 	c.redials.Store(0)
 	c.membersEjected.Store(0)
 	c.connsDrained.Store(0)
+	c.requestsShed.Store(0)
+	c.deadlineSkips.Store(0)
+	c.breakerTrips.Store(0)
+	c.storeSwaps.Store(0)
+	c.slowConsumerCut.Store(0)
 }
 
 // Sub returns the delta s - prev, for per-query deltas over a shared
@@ -249,17 +283,24 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Redials:        s.Redials - prev.Redials,
 		MembersEjected: s.MembersEjected - prev.MembersEjected,
 		ConnsDrained:   s.ConnsDrained - prev.ConnsDrained,
+
+		RequestsShed:    s.RequestsShed - prev.RequestsShed,
+		DeadlineSkips:   s.DeadlineSkips - prev.DeadlineSkips,
+		BreakerTrips:    s.BreakerTrips - prev.BreakerTrips,
+		StoreSwaps:      s.StoreSwaps - prev.StoreSwaps,
+		SlowConsumerCut: s.SlowConsumerCut - prev.SlowConsumerCut,
 	}
 }
 
 // String renders a compact one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d coalBatch=%d coalReq=%d coalDedup=%d sharedHit=%d sharedMiss=%d sharedFlight=%d shareEvalHit=%d shareEvalMiss=%d retries=%d hedged=%d hedgeWon=%d redials=%d ejected=%d drained=%d",
+	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d coalBatch=%d coalReq=%d coalDedup=%d sharedHit=%d sharedMiss=%d sharedFlight=%d shareEvalHit=%d shareEvalMiss=%d retries=%d hedged=%d hedgeWon=%d redials=%d ejected=%d drained=%d shed=%d deadlineSkip=%d breakerTrip=%d storeSwap=%d slowCut=%d",
 		s.NodesEvaluated, s.ValuesMoved, s.PolysFetched, s.PolyBytesMoved,
 		s.Rounds, s.NodesVisited, s.NodesPruned, s.TagsRecovered, s.VerifyFailures,
 		s.EvalCacheHits, s.EvalCacheMiss, s.PadCacheHits, s.PadCacheMiss,
 		s.CoalescedBatches, s.CoalescedRequests, s.CoalesceDedupHits,
 		s.SharedPadHits, s.SharedPadMiss, s.SharedPadSingleflight,
 		s.ShareEvalHits, s.ShareEvalMiss,
-		s.Retries, s.HedgesFired, s.HedgesWon, s.Redials, s.MembersEjected, s.ConnsDrained)
+		s.Retries, s.HedgesFired, s.HedgesWon, s.Redials, s.MembersEjected, s.ConnsDrained,
+		s.RequestsShed, s.DeadlineSkips, s.BreakerTrips, s.StoreSwaps, s.SlowConsumerCut)
 }

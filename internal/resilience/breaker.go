@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is the fast-fail a caller gets while a circuit breaker
+// is open: the target shed enough consecutive requests that sending more
+// before the cooldown probe would only deepen its overload. Classified
+// retryable — the breaker heals after its cooldown.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// Defaults for Breaker zero fields.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 100 * time.Millisecond
+)
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a per-target circuit breaker driven by overload sheds.
+// Closed, it passes everything through and counts consecutive shed
+// answers (Overloaded errors); at Threshold it trips open. Open, Allow
+// fails fast until Cooldown has elapsed, then the breaker goes half-open
+// and admits exactly one probe: a shed probe re-opens it for another
+// cooldown, a successful probe closes it. Non-shed outcomes (success or
+// semantic errors — the server is doing work) reset the consecutive
+// count; transport faults neither feed nor reset the breaker, they are
+// the retry layer's concern.
+//
+// The zero value is ready to use. All methods are safe for concurrent
+// use; share one Breaker per target (per address), not per call.
+type Breaker struct {
+	// Threshold is the consecutive-shed count that trips the breaker.
+	// Zero selects DefaultBreakerThreshold.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe. Zero selects DefaultBreakerCooldown.
+	Cooldown time.Duration
+	// OnTrip, when non-nil, runs once per closed→open transition — the
+	// metrics hook. Called without internal locks held.
+	OnTrip func()
+
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	trips       int64
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return DefaultBreakerThreshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// until the cooldown has elapsed, then admits a single half-open probe
+// (concurrent callers during the probe keep failing fast). Every Allow
+// that returns true must be matched by one Record with the outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record feeds one call outcome into the breaker.
+func (b *Breaker) Record(err error) {
+	shed := err != nil && Overloaded(err)
+	b.mu.Lock()
+	var tripped func()
+	switch {
+	case b.state == breakerHalfOpen:
+		b.probing = false
+		if shed {
+			// Probe shed: the target is still drowning, back off again.
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+		} else if err == nil {
+			b.state = breakerClosed
+			b.consecutive = 0
+		}
+		// A transport/semantic probe error is inconclusive: stay
+		// half-open and let the next Allow probe again.
+	case !shed:
+		if err == nil || !Retryable(err) {
+			// The target answered (even if the answer was an error): it
+			// is serving, not shedding.
+			b.consecutive = 0
+		}
+	default:
+		b.consecutive++
+		if b.consecutive >= b.threshold() && b.state == breakerClosed {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.trips++
+			tripped = b.OnTrip
+		}
+	}
+	b.mu.Unlock()
+	if tripped != nil {
+		tripped()
+	}
+}
+
+// Open reports whether the breaker is currently refusing calls (open and
+// still inside its cooldown).
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && time.Since(b.openedAt) < b.cooldown()
+}
+
+// Trips returns the number of closed→open transitions so far.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

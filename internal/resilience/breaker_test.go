@@ -1,0 +1,189 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// shedErr mimics a wire.RemoteError carrying CodeOverloaded without
+// importing wire (which would cycle through client packages in spirit):
+// the resilience layer only ever sees the hint interfaces.
+type shedErr struct{ after time.Duration }
+
+func (e *shedErr) Error() string       { return "server overloaded (shed)" }
+func (e *shedErr) Overloaded() bool    { return true }
+func (e *shedErr) RetryableHint() bool { return true }
+func (e *shedErr) RetryAfterHint() (time.Duration, bool) {
+	return e.after, e.after > 0
+}
+
+func TestBackoffNoOverflowAtLargeAttempts(t *testing.T) {
+	// Regression: with an effectively-unbounded cap, BaseBackoff doubled
+	// past attempt 62 used to wrap negative. The clamp must hold the
+	// result positive and at most MaxBackoff for every attempt count.
+	p := Policy{BaseBackoff: 5 * time.Millisecond, MaxBackoff: math.MaxInt64}
+	for _, n := range []int{62, 63, 64, 100, 1 << 20} {
+		d := p.Backoff(n)
+		if d <= 0 {
+			t.Fatalf("attempt %d: backoff overflowed to %v", n, d)
+		}
+		if d > p.MaxBackoff {
+			t.Fatalf("attempt %d: backoff %v above cap", n, d)
+		}
+	}
+	// Sane caps keep their ceiling too.
+	capped := Policy{BaseBackoff: time.Millisecond, MaxBackoff: 64 * time.Millisecond}
+	for n := 1; n < 200; n++ {
+		if d := capped.Backoff(n); d <= 0 || d > 64*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v outside (0, max]", n, d)
+		}
+	}
+}
+
+func TestRetryAfterHintHonored(t *testing.T) {
+	p := Policy{BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond}
+	// The server's hint stretches the sleep past the policy backoff...
+	if d := p.sleepFor(1, &shedErr{after: 3 * time.Millisecond}); d != 3*time.Millisecond {
+		t.Fatalf("sleepFor with hint = %v, want 3ms", d)
+	}
+	// ...but a hint below the computed backoff never shortens it.
+	slow := Policy{BaseBackoff: 50 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	if d := slow.sleepFor(1, &shedErr{after: time.Millisecond}); d < 25*time.Millisecond {
+		t.Fatalf("hint shortened backoff to %v", d)
+	}
+	if d, ok := RetryAfter(errors.New("plain")); ok || d != 0 {
+		t.Fatal("plain error produced a retry-after hint")
+	}
+}
+
+func TestShedClassification(t *testing.T) {
+	shed := &shedErr{}
+	if !Retryable(shed) {
+		t.Fatal("shed error must classify retryable")
+	}
+	if !Overloaded(shed) {
+		t.Fatal("shed error must classify overloaded")
+	}
+	if Overloaded(syscall.ECONNRESET) {
+		t.Fatal("transport fault classified as overload")
+	}
+	if !Retryable(ErrBreakerOpen) {
+		t.Fatal("breaker-open must classify retryable")
+	}
+	if Overloaded(ErrBreakerOpen) {
+		t.Fatal("breaker-open is a client-side fast-fail, not a server shed")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	trips := 0
+	b := &Breaker{Threshold: 3, Cooldown: 10 * time.Millisecond, OnTrip: func() { trips++ }}
+	shed := &shedErr{}
+
+	// Closed: passes through, counts consecutive sheds.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused a call")
+		}
+		b.Record(shed)
+	}
+	// A successful answer resets the streak.
+	b.Record(nil)
+	for i := 0; i < 2; i++ {
+		b.Record(shed)
+	}
+	if b.Open() {
+		t.Fatal("breaker tripped below threshold after a reset")
+	}
+	b.Record(shed) // third consecutive → trip
+	if !b.Open() || trips != 1 || b.Trips() != 1 {
+		t.Fatalf("breaker not tripped: open=%v trips=%d", b.Open(), trips)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call inside cooldown")
+	}
+
+	// After the cooldown, exactly one probe goes through.
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Shed probe → open again for a fresh cooldown.
+	b.Record(shed)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Record(nil) // healthy probe → closed
+	if b.Open() {
+		t.Fatal("breaker still open after healthy probe")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a call after recovery")
+	}
+	b.Record(nil)
+	if b.Trips() != 1 {
+		t.Fatalf("re-open after shed probe double-counted: trips=%d", b.Trips())
+	}
+}
+
+func TestBreakerTransportFaultsAreNeutral(t *testing.T) {
+	b := &Breaker{Threshold: 2, Cooldown: time.Minute}
+	shed := &shedErr{}
+	b.Record(shed)
+	// Transport faults between sheds neither feed nor reset the streak.
+	b.Record(syscall.ECONNRESET)
+	b.Record(shed)
+	if !b.Open() {
+		t.Fatal("streak broken by a transport fault")
+	}
+}
+
+func TestDoBreakerIntegration(t *testing.T) {
+	shed := &shedErr{}
+	b := &Breaker{Threshold: 2, Cooldown: time.Minute}
+	calls := 0
+	p := Policy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  time.Microsecond,
+		Breaker:     b,
+	}
+	_, err := Do(context.Background(), p, func(context.Context) (int, error) {
+		calls++
+		return 0, shed
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// Attempts 1 and 2 shed and trip the breaker; the remaining budget
+	// fails fast without invoking op.
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (breaker should cut off the rest)", calls)
+	}
+	if !errors.Is(err, ErrBreakerOpen) && !Overloaded(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if !b.Open() {
+		t.Fatal("breaker not open after consecutive sheds")
+	}
+	// While open, Do fails fast without calling op at all.
+	calls = 0
+	_, err = Do(context.Background(), p, func(context.Context) (int, error) {
+		calls++
+		return 1, nil
+	})
+	if calls != 0 || !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker: calls=%d err=%v", calls, err)
+	}
+}

@@ -72,6 +72,13 @@ type Policy struct {
 	// the package Retryable.
 	Retryable func(error) bool
 
+	// Breaker, when non-nil, is consulted before every attempt: while it
+	// is open, Do fails fast with ErrBreakerOpen (still subject to the
+	// retry budget, so a short open window can heal mid-operation), and
+	// every attempt's outcome is recorded so consecutive overload sheds
+	// trip it. Share one Breaker per target, not per call.
+	Breaker *Breaker
+
 	// OnRetry, when non-nil, is invoked before each re-attempt with the
 	// upcoming attempt number (1-based) and the error being retried —
 	// the metrics hook.
@@ -115,6 +122,38 @@ func Retryable(err error) bool {
 		// never arrive as net.Error.
 		return true
 	}
+	// An error may carry its own verdict (wire.RemoteError with
+	// CodeOverloaded: the server sheds before doing any work, so a retry
+	// is explicitly answer-preserving). The hint can only widen the
+	// retryable set for errors the structural rules above call terminal.
+	var rh interface{ RetryableHint() bool }
+	if errors.As(err, &rh) && rh.RetryableHint() {
+		return true
+	}
+	// A fast-fail from an open breaker heals after the cooldown probe.
+	if errors.Is(err, ErrBreakerOpen) {
+		return true
+	}
+	return false
+}
+
+// RetryAfter extracts a server-provided back-off hint from err (a shed
+// response's retry-after field). ok is false when err carries none.
+func RetryAfter(err error) (time.Duration, bool) {
+	var h interface{ RetryAfterHint() (time.Duration, bool) }
+	if errors.As(err, &h) {
+		return h.RetryAfterHint()
+	}
+	return 0, false
+}
+
+// Overloaded reports whether err is a load-shed answer from a server at
+// capacity — the signal the circuit breaker counts.
+func Overloaded(err error) bool {
+	var o interface{ Overloaded() bool }
+	if errors.As(err, &o) {
+		return o.Overloaded()
+	}
 	return false
 }
 
@@ -132,6 +171,14 @@ func (p Policy) Backoff(n int) time.Duration {
 	}
 	d := base
 	for i := 1; i < n && d < maxB; i++ {
+		// Clamp before doubling can overflow: once d reaches half the cap
+		// the next doubling would meet or exceed it anyway, so jump to the
+		// cap. Without this, an effectively-unbounded MaxBackoff lets
+		// d*2 wrap negative near attempt 63.
+		if d >= maxB>>1 {
+			d = maxB
+			break
+		}
 		d *= 2
 	}
 	if d > maxB {
@@ -163,6 +210,18 @@ func (p Policy) retryable(err error) bool {
 	return Retryable(err)
 }
 
+// sleepFor is the pause before 1-based retry attempt n: the policy's
+// jittered backoff, stretched to any server-provided retry-after hint
+// carried by err (the server knows its own queue depth better than the
+// client's exponential guess).
+func (p Policy) sleepFor(n int, err error) time.Duration {
+	d := p.Backoff(n)
+	if hint, ok := RetryAfter(err); ok && hint > d {
+		d = hint
+	}
+	return d
+}
+
 // Do runs op under the policy: each attempt gets a child context bounded
 // by PerAttemptTimeout, retryable failures back off and re-run until the
 // attempts or the caller's context run out, terminal failures return
@@ -178,15 +237,22 @@ func Do[T any](ctx context.Context, p Policy, op func(ctx context.Context) (T, e
 			}
 			return zero, cerr
 		}
-		actx, cancel := ctx, context.CancelFunc(func() {})
-		if p.PerAttemptTimeout > 0 {
-			actx, cancel = context.WithTimeout(ctx, p.PerAttemptTimeout)
-		}
-		var v T
-		v, err = op(actx)
-		cancel()
-		if err == nil {
-			return v, nil
+		if p.Breaker != nil && !p.Breaker.Allow() {
+			err = ErrBreakerOpen
+		} else {
+			actx, cancel := ctx, context.CancelFunc(func() {})
+			if p.PerAttemptTimeout > 0 {
+				actx, cancel = context.WithTimeout(ctx, p.PerAttemptTimeout)
+			}
+			var v T
+			v, err = op(actx)
+			cancel()
+			if p.Breaker != nil {
+				p.Breaker.Record(err)
+			}
+			if err == nil {
+				return v, nil
+			}
 		}
 		// The caller's own context ending is always terminal, even when
 		// the error it surfaced as would otherwise classify retryable.
@@ -197,7 +263,7 @@ func Do[T any](ctx context.Context, p Policy, op func(ctx context.Context) (T, e
 			p.OnRetry(attempt, err)
 		}
 		select {
-		case <-time.After(p.Backoff(attempt)):
+		case <-time.After(p.sleepFor(attempt, err)):
 		case <-ctx.Done():
 			return zero, err
 		}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sssearch/internal/core"
@@ -32,6 +34,17 @@ type Store interface {
 // core count keeps the pipe full without unbounded goroutine growth.
 const DefaultWorkers = 8
 
+// DefaultRetryAfterHint is the back-off hint a shed response carries when
+// the daemon has no better estimate: long enough to let a worker finish a
+// typical request, short enough that a backing-off client re-probes while
+// the burst is still draining.
+const DefaultRetryAfterHint = 5 * time.Millisecond
+
+// DefaultWriteStall bounds how long a handler will wait to enqueue a
+// response for a connection whose peer is not draining its socket before
+// the daemon declares the peer a slow consumer and disconnects it.
+const DefaultWriteStall = 5 * time.Second
+
 // Daemon serves the wire protocol over a listener, answering each
 // connection from a Local share store. One goroutine per connection.
 //
@@ -42,13 +55,35 @@ const DefaultWorkers = 8
 // out-of-order completion — so a single connection carries many in-flight
 // requests.
 type Daemon struct {
-	local    Store
 	logger   *log.Logger
 	counters *metrics.Counters
+
+	// store is the served share store behind an epoch, replaced atomically
+	// by SwapStore. Every request captures one ref at dispatch, so
+	// in-flight work finishes on the store it started on.
+	store atomic.Pointer[storeRef]
 
 	// Workers bounds concurrently executing requests per pipelined
 	// connection. Zero means DefaultWorkers. Set before Serve.
 	Workers int
+
+	// MaxInflight, when positive, bounds concurrently executing requests
+	// across the whole daemon — C connections × Workers otherwise grows
+	// without limit. When the bound is hit, protocol v3 sessions have
+	// excess requests shed immediately with a typed retryable error
+	// (CodeOverloaded plus a retry-after hint); older sessions, which
+	// cannot express a shed, queue for a slot instead. Zero disables the
+	// global bound. Set before Serve.
+	MaxInflight int
+
+	// RetryAfterHint is the back-off hint carried by shed responses.
+	// Zero means DefaultRetryAfterHint. Set before Serve.
+	RetryAfterHint time.Duration
+
+	// WriteStall bounds how long a response may wait for space in a
+	// connection's write queue before the peer is disconnected as a slow
+	// consumer. Zero means DefaultWriteStall. Set before Serve.
+	WriteStall time.Duration
 
 	// IdleTimeout, when positive, bounds how long a connection may sit
 	// between frames: each blocking read arms a deadline, and a
@@ -58,12 +93,26 @@ type Daemon struct {
 	// Serve.
 	IdleTimeout time.Duration
 
+	// admit is the daemon-wide admission semaphore (nil = unbounded),
+	// built from MaxInflight on first use. Slots are held across store
+	// dispatch only — never across socket writes, so a slow consumer
+	// cannot pin global capacity.
+	admitOnce sync.Once
+	admit     chan struct{}
+
 	mu       sync.Mutex
 	listener net.Listener
 	closed   bool
 	draining bool
 	conns    map[*daemonConn]struct{}
 	wg       sync.WaitGroup
+}
+
+// storeRef pairs the served store with its swap epoch so a single atomic
+// pointer load gives a consistent view of both.
+type storeRef struct {
+	store Store
+	epoch uint64
 }
 
 // daemonConn makes connection teardown idempotent and race-free: both the
@@ -94,17 +143,83 @@ var errDraining = errors.New("server: draining")
 // NewDaemon wraps a store (a Local, or any guarded/wrapped Store) for
 // network serving. logger may be nil (logging disabled).
 func NewDaemon(local Store, logger *log.Logger) *Daemon {
-	return &Daemon{
-		local:    local,
+	d := &Daemon{
 		logger:   logger,
 		counters: &metrics.Counters{},
 		conns:    make(map[*daemonConn]struct{}),
 	}
+	d.store.Store(&storeRef{store: local})
+	return d
 }
 
 // Counters exposes the daemon's serving tallies (drained connections;
 // shared with any instrumentation the store layers on top).
 func (d *Daemon) Counters() *metrics.Counters { return d.counters }
+
+// Store returns the currently served store.
+func (d *Daemon) Store() Store { return d.store.Load().store }
+
+// StoreEpoch returns the swap epoch of the currently served store: 0 for
+// the store the daemon was built with, incremented by every SwapStore.
+func (d *Daemon) StoreEpoch() uint64 { return d.store.Load().epoch }
+
+// SwapStore atomically replaces the served store — the zero-downtime
+// deploy path. In-flight requests finish on the store they dispatched
+// against; every request that arrives after the swap is answered from
+// next. The new store's ring parameters must match the served ones
+// byte-identically (sessions pinned the params at their handshake, and
+// share trees from different rings would silently mis-answer), or the
+// swap is refused. Returns the new epoch.
+func (d *Daemon) SwapStore(next Store) (uint64, error) {
+	if next == nil {
+		return 0, errors.New("server: SwapStore: nil store")
+	}
+	nextBin, err := next.Ring().Params().MarshalBinary()
+	if err != nil {
+		return 0, fmt.Errorf("server: SwapStore: new store params: %w", err)
+	}
+	for {
+		cur := d.store.Load()
+		curBin, err := cur.store.Ring().Params().MarshalBinary()
+		if err != nil {
+			return 0, fmt.Errorf("server: SwapStore: current store params: %w", err)
+		}
+		if !bytes.Equal(curBin, nextBin) {
+			return 0, errors.New("server: SwapStore refused: ring params differ from the served store")
+		}
+		ref := &storeRef{store: next, epoch: cur.epoch + 1}
+		if d.store.CompareAndSwap(cur, ref) {
+			d.counters.AddStoreSwaps(1)
+			d.logf("store swapped: epoch %d", ref.epoch)
+			return ref.epoch, nil
+		}
+	}
+}
+
+// admitCh lazily builds the global admission semaphore. nil means
+// unbounded admission.
+func (d *Daemon) admitCh() chan struct{} {
+	d.admitOnce.Do(func() {
+		if d.MaxInflight > 0 {
+			d.admit = make(chan struct{}, d.MaxInflight)
+		}
+	})
+	return d.admit
+}
+
+func (d *Daemon) retryAfterHint() time.Duration {
+	if d.RetryAfterHint > 0 {
+		return d.RetryAfterHint
+	}
+	return DefaultRetryAfterHint
+}
+
+func (d *Daemon) writeStall() time.Duration {
+	if d.WriteStall > 0 {
+		return d.WriteStall
+	}
+	return DefaultWriteStall
+}
 
 // Serve accepts connections until the listener is closed.
 func (d *Daemon) Serve(l net.Listener) error {
@@ -285,7 +400,7 @@ func (d *Daemon) HandleConn(rwc io.ReadWriteCloser) error {
 	}
 	ackPayload, err := wire.EncodeHelloAck(wire.HelloAck{
 		Version: version,
-		Params:  d.local.Ring().Params(),
+		Params:  d.Store().Ring().Params(),
 	})
 	if err != nil {
 		return err
@@ -294,7 +409,7 @@ func (d *Daemon) HandleConn(rwc io.ReadWriteCloser) error {
 		return err
 	}
 	if version >= wire.Version2 {
-		return d.servePipelined(conn)
+		return d.servePipelined(conn, version)
 	}
 	return d.serveStrict(conn)
 }
@@ -303,6 +418,9 @@ func (d *Daemon) HandleConn(rwc io.ReadWriteCloser) error {
 func (d *Daemon) serveStrict(conn *daemonConn) error {
 	for {
 		if err := d.armRead(conn); err != nil {
+			if !errors.Is(err, errDraining) {
+				return err // connection already unusable, not a drain
+			}
 			return d.drainConn(conn, func() error {
 				_, werr := wire.WriteFrame(conn, wire.Frame{Type: wire.MsgBye})
 				return werr
@@ -325,7 +443,15 @@ func (d *Daemon) serveStrict(conn *daemonConn) error {
 		if f.Type == wire.MsgBye {
 			return nil
 		}
-		typ, payload, err := d.dispatch(f.Type, f.Payload)
+		// v1 sessions cannot express a shed, so under a global bound they
+		// queue for a slot instead (lockstep: at most one slot per conn).
+		if admit := d.admitCh(); admit != nil {
+			admit <- struct{}{}
+		}
+		typ, payload, err := d.dispatch(f.Type, f.Payload, time.Now(), wire.Version)
+		if admit := d.admitCh(); admit != nil {
+			<-admit
+		}
 		wire.PutBuf(f.Payload) // request fully decoded by dispatch
 		if err != nil {
 			return err
@@ -338,18 +464,32 @@ func (d *Daemon) serveStrict(conn *daemonConn) error {
 	}
 }
 
-// servePipelined is the v2 request loop: decoded requests fan out to a
-// bounded worker pool; responses are written (serialised by wmu) as each
-// worker completes, so slow requests do not block fast ones behind them.
-func (d *Daemon) servePipelined(conn *daemonConn) error {
+// errSlowConsumer marks a connection torn down because its peer stopped
+// draining responses and the bounded write queue stayed full past the
+// stall bound.
+var errSlowConsumer = errors.New("server: slow consumer: write queue stalled")
+
+// servePipelined is the v2/v3 request loop: decoded requests fan out to a
+// bounded worker pool (the per-connection accept queue); completed
+// responses flow through a bounded write queue drained by a dedicated
+// writer goroutine, so slow requests do not block fast ones behind them
+// and a peer that stops reading exerts backpressure on its own
+// connection only — and is disconnected once the queue stalls past
+// WriteStall. Under a MaxInflight bound, v3 sessions shed excess
+// requests with a typed retryable error instead of queueing.
+func (d *Daemon) servePipelined(conn *daemonConn, version uint32) error {
 	workers := d.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
 	var (
-		wmu      sync.Mutex // serialises response writes
 		handlers sync.WaitGroup
 		sem      = make(chan struct{}, workers)
+
+		// The bounded response queue: a slow consumer fills it and then
+		// trips the enqueue stall instead of growing an unbounded buffer.
+		queue      = make(chan wire.FramedFrame, 2*workers)
+		writerDone = make(chan struct{})
 
 		errOnce sync.Once
 		connErr error
@@ -357,28 +497,84 @@ func (d *Daemon) servePipelined(conn *daemonConn) error {
 	fail := func(err error) {
 		errOnce.Do(func() { connErr = err })
 	}
-	// drain finishes the in-flight handlers, then sends the GOAWAY Bye
-	// under the write lock so it cannot interleave with a response frame.
-	drain := func() error {
+	// The writer goroutine is the only socket writer. After a write error
+	// it keeps consuming the queue (recycling buffers, never blocking the
+	// handlers) until the serve loop closes it.
+	go func() {
+		defer close(writerDone)
+		for f := range queue {
+			_, werr := wire.WriteFramed(conn, f)
+			wire.PutBuf(f.Payload)
+			if werr != nil {
+				// A failed (possibly partial) write leaves the stream
+				// unframeable — tear the connection down rather than
+				// appending frames the client can no longer parse.
+				fail(werr)
+				conn.Close()
+				for f := range queue {
+					wire.PutBuf(f.Payload)
+				}
+				return
+			}
+		}
+	}()
+	// finish closes the write queue once every handler has enqueued (or
+	// dropped) its response, then waits the writer out. Every return path
+	// runs it exactly once.
+	finish := func() {
 		handlers.Wait()
-		return d.drainConn(conn, func() error {
-			wmu.Lock()
-			defer wmu.Unlock()
-			_, werr := wire.WriteFramed(conn, wire.FramedFrame{Type: wire.MsgBye})
-			return werr
-		})
+		close(queue)
+		<-writerDone
 	}
+	// enqueue hands one response to the writer, bounded by the stall
+	// timeout: a peer that will not drain its socket gets disconnected,
+	// not an unbounded (or permanently parked) buffer.
+	enqueue := func(f wire.FramedFrame) {
+		stall := time.NewTimer(d.writeStall())
+		defer stall.Stop()
+		select {
+		case queue <- f:
+		case <-stall.C:
+			wire.PutBuf(f.Payload)
+			d.counters.AddSlowConsumerCut(1)
+			d.logf("disconnecting slow consumer (write queue stalled %v)", d.writeStall())
+			fail(errSlowConsumer)
+			conn.Close()
+		}
+	}
+	admit := d.admitCh()
 	for {
 		if err := d.armRead(conn); err != nil {
-			return drain()
+			if !errors.Is(err, errDraining) {
+				// Arming failed because the connection is already torn
+				// down (e.g. a slow-consumer cut closed it) — that is a
+				// connection error, not a graceful drain.
+				finish()
+				if connErr != nil {
+					return connErr
+				}
+				return err
+			}
+			handlers.Wait()
+			return d.drainConn(conn, func() error {
+				enqueue(wire.FramedFrame{Type: wire.MsgBye})
+				finish()
+				return connErr
+			})
 		}
 		f, _, err := wire.ReadAny(conn)
+		arrival := time.Now()
 		if err != nil {
 			err = d.classifyRead(err)
 			if errors.Is(err, errDraining) {
-				return drain()
+				handlers.Wait()
+				return d.drainConn(conn, func() error {
+					enqueue(wire.FramedFrame{Type: wire.MsgBye})
+					finish()
+					return connErr
+				})
 			}
-			handlers.Wait()
+			finish()
 			if errors.Is(err, io.EOF) {
 				return connErr
 			}
@@ -388,7 +584,7 @@ func (d *Daemon) servePipelined(conn *daemonConn) error {
 			return err
 		}
 		if f.Type == wire.MsgBye {
-			handlers.Wait()
+			finish()
 			return connErr
 		}
 		sem <- struct{}{}
@@ -396,28 +592,51 @@ func (d *Daemon) servePipelined(conn *daemonConn) error {
 		go func(f wire.AnyFrame) {
 			defer handlers.Done()
 			defer func() { <-sem }()
-			typ, payload, err := d.dispatch(f.Type, f.Payload)
-			wire.PutBuf(f.Payload) // request fully decoded by dispatch
-			if err != nil {
-				// Malformed request: framing is length-prefixed so the
-				// stream stays synchronised — answer with a correlated
-				// error and keep serving.
-				typ = wire.MsgError
-				payload = wire.AppendError(wire.GetBuf(), wire.ErrorMsg{ID: f.ReqID, Message: err.Error()})
-			}
-			wmu.Lock()
-			_, werr := wire.WriteFramed(conn, wire.FramedFrame{Type: typ, ReqID: f.ReqID, Payload: payload})
-			wmu.Unlock()
-			wire.PutBuf(payload)
-			if werr != nil {
-				// A failed (possibly partial) write leaves the stream
-				// unframeable — tear the connection down rather than
-				// appending frames the client can no longer parse.
-				fail(werr)
-				conn.Close()
-			}
+			typ, payload := d.handleAdmitted(f, admit, version, arrival)
+			enqueue(wire.FramedFrame{Type: typ, ReqID: f.ReqID, Payload: payload})
 		}(f)
 	}
+}
+
+// handleAdmitted runs one pipelined request through admission control and
+// dispatch, returning the response frame type and payload (on a pooled
+// buffer). The global admission slot, when bounded, is held across store
+// dispatch only — never across the response enqueue/write, so a slow
+// consumer cannot pin daemon-wide capacity.
+func (d *Daemon) handleAdmitted(f wire.AnyFrame, admit chan struct{}, version uint32, arrival time.Time) (wire.MsgType, []byte) {
+	if admit != nil {
+		if version >= wire.Version3 {
+			select {
+			case admit <- struct{}{}:
+			default:
+				// At capacity: shed before doing any work. The typed code
+				// tells the client the request is safe to retry, the hint
+				// tells it when.
+				d.counters.AddRequestsShed(1)
+				wire.PutBuf(f.Payload)
+				return wire.MsgError, wire.AppendError(wire.GetBuf(), wire.ErrorMsg{
+					ID:               f.ReqID,
+					Message:          "overloaded: shed by admission control",
+					Code:             wire.CodeOverloaded,
+					RetryAfterMillis: uint64(d.retryAfterHint() / time.Millisecond),
+				})
+			}
+		} else {
+			// v2 sessions cannot express a shed: queue for a slot.
+			admit <- struct{}{}
+		}
+		defer func() { <-admit }()
+	}
+	typ, payload, err := d.dispatch(f.Type, f.Payload, arrival, version)
+	wire.PutBuf(f.Payload) // request fully decoded by dispatch
+	if err != nil {
+		// Malformed request: framing is length-prefixed so the
+		// stream stays synchronised — answer with a correlated
+		// error and keep serving.
+		typ = wire.MsgError
+		payload = wire.AppendError(wire.GetBuf(), wire.ErrorMsg{ID: f.ReqID, Message: err.Error()})
+	}
+	return typ, payload
 }
 
 // drainConn finishes one connection's graceful drain: send the GOAWAY
@@ -437,9 +656,29 @@ func (d *Daemon) drainConn(conn *daemonConn, sendBye func() error) error {
 // Store errors become MsgError replies rather than connection teardown;
 // undecodable requests are returned as errors. Response payloads are
 // built on pooled buffers — the serve loops recycle them after writing.
-func (d *Daemon) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+//
+// The store ref is captured once per request, so a concurrent SwapStore
+// lets this request finish on the store it started on. arrival is when
+// the request's frame was read: a v3 request whose propagated deadline
+// budget has already elapsed by dispatch time is skipped (the client has
+// stopped waiting) and answered with CodeDeadlineExpired instead of
+// burning worker time on an answer nobody will read.
+func (d *Daemon) dispatch(typ wire.MsgType, payload []byte, arrival time.Time, version uint32) (wire.MsgType, []byte, error) {
+	store := d.Store()
 	fail := func(id uint64, err error) (wire.MsgType, []byte, error) {
 		return wire.MsgError, wire.AppendError(wire.GetBuf(), wire.ErrorMsg{ID: id, Message: err.Error()}), nil
+	}
+	expired := func(id, timeoutMillis uint64) (wire.MsgType, []byte, bool) {
+		if version < wire.Version3 || timeoutMillis == 0 ||
+			time.Since(arrival) < time.Duration(timeoutMillis)*time.Millisecond {
+			return 0, nil, false
+		}
+		d.counters.AddDeadlineSkips(1)
+		return wire.MsgError, wire.AppendError(wire.GetBuf(), wire.ErrorMsg{
+			ID:      id,
+			Message: "deadline expired before dispatch; work skipped",
+			Code:    wire.CodeDeadlineExpired,
+		}), true
 	}
 	switch typ {
 	case wire.MsgEval:
@@ -447,7 +686,10 @@ func (d *Daemon) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byt
 		if err != nil {
 			return 0, nil, err
 		}
-		answers, err := d.local.EvalNodes(req.Keys, req.Points)
+		if t, p, skip := expired(req.ID, req.TimeoutMillis); skip {
+			return t, p, nil
+		}
+		answers, err := store.EvalNodes(req.Keys, req.Points)
 		if err != nil {
 			return fail(req.ID, err)
 		}
@@ -457,7 +699,10 @@ func (d *Daemon) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byt
 		if err != nil {
 			return 0, nil, err
 		}
-		answers, err := d.local.FetchPolys(req.Keys)
+		if t, p, skip := expired(req.ID, req.TimeoutMillis); skip {
+			return t, p, nil
+		}
+		answers, err := store.FetchPolys(req.Keys)
 		if err != nil {
 			return fail(req.ID, err)
 		}
@@ -471,7 +716,10 @@ func (d *Daemon) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byt
 		if err != nil {
 			return 0, nil, err
 		}
-		if err := d.local.Prune(req.Keys); err != nil {
+		if t, p, skip := expired(req.ID, req.TimeoutMillis); skip {
+			return t, p, nil
+		}
+		if err := store.Prune(req.Keys); err != nil {
 			return fail(req.ID, err)
 		}
 		return wire.MsgAck, wire.AppendAck(wire.GetBuf(), req.ID), nil

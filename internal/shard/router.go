@@ -8,6 +8,7 @@ import (
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/metrics"
+	"sssearch/internal/resilience"
 	"sssearch/internal/wire"
 )
 
@@ -88,14 +89,22 @@ func (r *Router) Replicas(s int) int { return len(r.backends[s]) }
 // failoverSafe reports whether a failed sub-batch may be retried against
 // another replica. A semantic answer from the server — a RemoteError
 // (unknown key, decode failure) or ErrNotOwned — is terminal: the replica
-// would answer identically, so retrying only wastes a round trip.
-// Everything else is treated as infrastructure (resets, closed sessions,
-// timeouts, exhausted client-side retries); failing those over is
+// would answer identically, so retrying only wastes a round trip. An
+// overload shed is the exception among RemoteErrors: the shedding
+// replica did no work, and a sibling replica is a different daemon whose
+// admission queue may have room — failing over is both answer-preserving
+// and exactly what replicas are for. A breaker-open fast-fail from a
+// wrapped client is failed over for the same reason. Everything else is
+// treated as infrastructure (resets, closed sessions, timeouts,
+// exhausted client-side retries); failing those over is
 // answer-preserving because replicas serve the same immutable share tree
 // and all requests are idempotent reads.
 func failoverSafe(err error) bool {
 	if errors.Is(err, ErrNotOwned) {
 		return false
+	}
+	if resilience.Overloaded(err) || errors.Is(err, resilience.ErrBreakerOpen) {
+		return true
 	}
 	var re *wire.RemoteError
 	return !errors.As(err, &re)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"time"
 
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
@@ -64,11 +65,42 @@ func DecodeHelloAck(data []byte) (HelloAck, error) {
 	return HelloAck{Version: uint32(v), Params: params}, nil
 }
 
+// decodeTimeout parses the optional trailing deadline budget of a v3
+// request payload. An empty rest is the v2 encoding (no deadline); a
+// non-empty rest must be exactly the varint budget in milliseconds.
+func decodeTimeout(rest []byte, what string) (uint64, error) {
+	if len(rest) == 0 {
+		return 0, nil
+	}
+	t, k := binary.Uvarint(rest)
+	if k <= 0 || k != len(rest) {
+		return 0, errors.New("wire: trailing bytes in " + what)
+	}
+	return t, nil
+}
+
+// appendTimeout appends the optional deadline budget: zero (no deadline)
+// keeps the v2 encoding byte-identical, so extended requests only ever
+// reach peers that negotiated version 3.
+func appendTimeout(dst []byte, millis uint64) []byte {
+	if millis == 0 {
+		return dst
+	}
+	return binary.AppendUvarint(dst, millis)
+}
+
 // EvalReq asks for evaluations of keys at points.
 type EvalReq struct {
 	ID     uint64
 	Keys   []drbg.NodeKey
 	Points []*big.Int
+
+	// TimeoutMillis is the client's remaining deadline budget when the
+	// request was sent (protocol v3; 0 = no deadline). The server skips
+	// work whose budget has already elapsed instead of computing answers
+	// nobody will read. A relative budget rather than an absolute
+	// timestamp, so peers need no clock agreement.
+	TimeoutMillis uint64
 }
 
 // EncodeEvalReq marshals an EvalReq payload.
@@ -80,7 +112,7 @@ func AppendEvalReq(dst []byte, r EvalReq) []byte {
 	dst = binary.AppendUvarint(dst, r.ID)
 	dst = AppendKeys(dst, r.Keys)
 	dst = AppendBigs(dst, r.Points)
-	return dst
+	return appendTimeout(dst, r.TimeoutMillis)
 }
 
 // DecodeEvalReq unmarshals an EvalReq payload.
@@ -97,10 +129,11 @@ func DecodeEvalReq(data []byte) (EvalReq, error) {
 	if err != nil {
 		return EvalReq{}, err
 	}
-	if len(rest) != 0 {
-		return EvalReq{}, errors.New("wire: trailing bytes in eval request")
+	timeout, err := decodeTimeout(rest, "eval request")
+	if err != nil {
+		return EvalReq{}, err
 	}
-	return EvalReq{ID: id, Keys: keys, Points: points}, nil
+	return EvalReq{ID: id, Keys: keys, Points: points, TimeoutMillis: timeout}, nil
 }
 
 // EvalResp carries the answers to an EvalReq.
@@ -166,6 +199,10 @@ func DecodeEvalResp(data []byte) (EvalResp, error) {
 type FetchReq struct {
 	ID   uint64
 	Keys []drbg.NodeKey
+
+	// TimeoutMillis is the remaining deadline budget (protocol v3;
+	// 0 = no deadline). See EvalReq.TimeoutMillis.
+	TimeoutMillis uint64
 }
 
 // EncodeFetchReq marshals a FetchReq payload.
@@ -174,7 +211,8 @@ func EncodeFetchReq(r FetchReq) []byte { return AppendFetchReq(nil, r) }
 // AppendFetchReq marshals a FetchReq payload onto dst.
 func AppendFetchReq(dst []byte, r FetchReq) []byte {
 	dst = binary.AppendUvarint(dst, r.ID)
-	return AppendKeys(dst, r.Keys)
+	dst = AppendKeys(dst, r.Keys)
+	return appendTimeout(dst, r.TimeoutMillis)
 }
 
 // DecodeFetchReq unmarshals a FetchReq payload.
@@ -187,10 +225,11 @@ func DecodeFetchReq(data []byte) (FetchReq, error) {
 	if err != nil {
 		return FetchReq{}, err
 	}
-	if len(rest) != 0 {
-		return FetchReq{}, errors.New("wire: trailing bytes in fetch request")
+	timeout, err := decodeTimeout(rest, "fetch request")
+	if err != nil {
+		return FetchReq{}, err
 	}
-	return FetchReq{ID: id, Keys: keys}, nil
+	return FetchReq{ID: id, Keys: keys, TimeoutMillis: timeout}, nil
 }
 
 // FetchResp carries the answers to a FetchReq.
@@ -260,6 +299,10 @@ func DecodeFetchResp(data []byte) (FetchResp, error) {
 type PruneReq struct {
 	ID   uint64
 	Keys []drbg.NodeKey
+
+	// TimeoutMillis is the remaining deadline budget (protocol v3;
+	// 0 = no deadline). See EvalReq.TimeoutMillis.
+	TimeoutMillis uint64
 }
 
 // EncodePruneReq marshals a PruneReq payload.
@@ -268,7 +311,8 @@ func EncodePruneReq(r PruneReq) []byte { return AppendPruneReq(nil, r) }
 // AppendPruneReq marshals a PruneReq payload onto dst.
 func AppendPruneReq(dst []byte, r PruneReq) []byte {
 	dst = binary.AppendUvarint(dst, r.ID)
-	return AppendKeys(dst, r.Keys)
+	dst = AppendKeys(dst, r.Keys)
+	return appendTimeout(dst, r.TimeoutMillis)
 }
 
 // DecodePruneReq unmarshals a PruneReq payload.
@@ -281,10 +325,11 @@ func DecodePruneReq(data []byte) (PruneReq, error) {
 	if err != nil {
 		return PruneReq{}, err
 	}
-	if len(rest) != 0 {
-		return PruneReq{}, errors.New("wire: trailing bytes in prune request")
+	timeout, err := decodeTimeout(rest, "prune request")
+	if err != nil {
+		return PruneReq{}, err
 	}
-	return PruneReq{ID: id, Keys: keys}, nil
+	return PruneReq{ID: id, Keys: keys, TimeoutMillis: timeout}, nil
 }
 
 // EncodeAck marshals an Ack payload.
@@ -302,10 +347,42 @@ func DecodeAck(data []byte) (uint64, error) {
 	return id, nil
 }
 
-// ErrorMsg reports a server-side failure for a request.
+// ErrCode classifies a server-side failure so clients can tell
+// retryable conditions (shed under overload) from terminal ones.
+type ErrCode uint32
+
+const (
+	// CodeGeneric is an unclassified semantic failure — the v2 behaviour.
+	// Not retryable: replaying the identical request yields the identical
+	// error.
+	CodeGeneric ErrCode = 0
+	// CodeOverloaded means the daemon shed the request before doing any
+	// work because admission control was at capacity. Retryable after the
+	// RetryAfterMillis hint; the connection and session remain healthy.
+	CodeOverloaded ErrCode = 1
+	// CodeDeadlineExpired means the request's propagated deadline budget
+	// had already elapsed when the daemon picked it up, so the work was
+	// skipped. The client has invariably stopped waiting; not retryable
+	// on its own (the caller's context governs).
+	CodeDeadlineExpired ErrCode = 2
+)
+
+// ErrorMsg reports a server-side failure for a request. Code and
+// RetryAfterMillis are protocol v3 extensions carried as trailing
+// varints: a v3 decoder accepts the bare v2 encoding (both default to
+// zero), and AppendError omits them when they are both zero so sessions
+// negotiated at v2 or lower never see the extension bytes — shedding
+// daemons must therefore only set them on v3 sessions.
 type ErrorMsg struct {
 	ID      uint64
 	Message string
+
+	// Code classifies the failure (protocol v3; 0 = CodeGeneric).
+	Code ErrCode
+	// RetryAfterMillis hints how long a shed client should back off
+	// before retrying (protocol v3; 0 = no hint). Only meaningful with
+	// CodeOverloaded.
+	RetryAfterMillis uint64
 }
 
 // EncodeError marshals an ErrorMsg payload.
@@ -314,10 +391,15 @@ func EncodeError(e ErrorMsg) []byte { return AppendError(nil, e) }
 // AppendError marshals an ErrorMsg payload onto dst.
 func AppendError(dst []byte, e ErrorMsg) []byte {
 	dst = binary.AppendUvarint(dst, e.ID)
-	return AppendString(dst, e.Message)
+	dst = AppendString(dst, e.Message)
+	if e.Code == CodeGeneric && e.RetryAfterMillis == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(e.Code))
+	return binary.AppendUvarint(dst, e.RetryAfterMillis)
 }
 
-// DecodeError unmarshals an ErrorMsg payload.
+// DecodeError unmarshals an ErrorMsg payload (v2 or v3 encoding).
 func DecodeError(data []byte) (ErrorMsg, error) {
 	id, k := binary.Uvarint(data)
 	if k <= 0 {
@@ -327,18 +409,57 @@ func DecodeError(data []byte) (ErrorMsg, error) {
 	if err != nil {
 		return ErrorMsg{}, err
 	}
-	if len(rest) != 0 {
+	out := ErrorMsg{ID: id, Message: msg}
+	if len(rest) == 0 {
+		return out, nil
+	}
+	code, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return ErrorMsg{}, errors.New("wire: bad error code")
+	}
+	retry, k2 := binary.Uvarint(rest[k:])
+	if k2 <= 0 || k+k2 != len(rest) {
 		return ErrorMsg{}, errors.New("wire: trailing bytes in error message")
 	}
-	return ErrorMsg{ID: id, Message: msg}, nil
+	out.Code = ErrCode(code)
+	out.RetryAfterMillis = retry
+	return out, nil
 }
 
 // RemoteError is the client-side surfacing of a server ErrorMsg.
 type RemoteError struct {
 	ID      uint64
 	Message string
+	Code    ErrCode
+	// RetryAfter is the server's back-off hint (zero if none was sent).
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string {
-	return fmt.Sprintf("wire: server error (req %d): %s", e.ID, e.Message)
+	switch e.Code {
+	case CodeOverloaded:
+		return fmt.Sprintf("wire: server overloaded (req %d, shed): %s", e.ID, e.Message)
+	case CodeDeadlineExpired:
+		return fmt.Sprintf("wire: server skipped expired request %d: %s", e.ID, e.Message)
+	default:
+		return fmt.Sprintf("wire: server error (req %d): %s", e.ID, e.Message)
+	}
+}
+
+// Overloaded reports whether the server shed this request under
+// admission control.
+func (e *RemoteError) Overloaded() bool { return e.Code == CodeOverloaded }
+
+// RetryableHint implements the optional interface resilience.Retryable
+// consults: a shed is explicitly safe to retry (the server did no work),
+// while every other remote error stays terminal.
+func (e *RemoteError) RetryableHint() bool { return e.Code == CodeOverloaded }
+
+// RetryAfterHint implements the optional interface resilience.Do
+// consults to honor server-provided back-off hints.
+func (e *RemoteError) RetryAfterHint() (time.Duration, bool) {
+	if e.RetryAfter <= 0 {
+		return 0, false
+	}
+	return e.RetryAfter, true
 }

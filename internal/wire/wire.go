@@ -55,8 +55,16 @@ const Version uint32 = 1
 // sides speak framed (request-ID) frames and may interleave requests.
 const Version2 uint32 = 2
 
+// Version3 is the overload-protection protocol version. The framing is
+// unchanged from version 2; the payloads grow optional trailing fields —
+// a per-request deadline budget on Eval/Fetch/Prune requests and a typed
+// error code plus retry-after hint on ErrorMsg — all encoded as trailing
+// varints, so a v3 decoder accepts v2 payloads unchanged and a v3 peer
+// simply omits the extensions when the negotiated session is older.
+const Version3 uint32 = 3
+
 // MaxVersion is the highest protocol version this build speaks.
-const MaxVersion = Version2
+const MaxVersion = Version3
 
 // MaxFrameSize bounds a single frame's payload (16 MiB).
 const MaxFrameSize = 16 << 20

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/big"
 	"testing"
+	"time"
 
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
@@ -247,6 +248,104 @@ func TestPruneAckError(t *testing.T) {
 	re := &RemoteError{ID: 5, Message: "boom"}
 	if re.Error() == "" {
 		t.Error("empty error string")
+	}
+}
+
+func TestV3RequestDeadlines(t *testing.T) {
+	// A request with a deadline budget round-trips, and its encoding with
+	// the budget zeroed is byte-identical to the v2 encoding — the
+	// back-compat contract that lets v3 builds talk to v2 daemons.
+	req := EvalReq{
+		ID:            7,
+		Keys:          []drbg.NodeKey{{1}},
+		Points:        []*big.Int{big.NewInt(3)},
+		TimeoutMillis: 1500,
+	}
+	dec, err := DecodeEvalReq(EncodeEvalReq(req))
+	if err != nil || dec.TimeoutMillis != 1500 {
+		t.Fatalf("eval deadline round trip: %+v %v", dec, err)
+	}
+	legacy := req
+	legacy.TimeoutMillis = 0
+	withT := EncodeEvalReq(req)
+	noT := EncodeEvalReq(legacy)
+	if bytes.Equal(withT, noT) {
+		t.Fatal("deadline budget not encoded")
+	}
+	if !bytes.HasPrefix(withT, noT) {
+		t.Fatal("v3 extension is not a pure suffix of the v2 encoding")
+	}
+	decL, err := DecodeEvalReq(noT)
+	if err != nil || decL.TimeoutMillis != 0 {
+		t.Fatalf("legacy eval decode: %+v %v", decL, err)
+	}
+
+	f, err := DecodeFetchReq(EncodeFetchReq(FetchReq{ID: 8, Keys: []drbg.NodeKey{{2}}, TimeoutMillis: 250}))
+	if err != nil || f.TimeoutMillis != 250 {
+		t.Fatalf("fetch deadline round trip: %+v %v", f, err)
+	}
+	p, err := DecodePruneReq(EncodePruneReq(PruneReq{ID: 9, Keys: []drbg.NodeKey{{3}}, TimeoutMillis: 10}))
+	if err != nil || p.TimeoutMillis != 10 {
+		t.Fatalf("prune deadline round trip: %+v %v", p, err)
+	}
+	// Garbage after the budget varint is still rejected.
+	if _, err := DecodeEvalReq(append(EncodeEvalReq(req), 0x01)); err == nil {
+		t.Error("trailing bytes after deadline accepted")
+	}
+}
+
+func TestTypedErrorCodec(t *testing.T) {
+	// v3 extended encoding round-trips code + retry-after.
+	shed := ErrorMsg{ID: 11, Message: "shed", Code: CodeOverloaded, RetryAfterMillis: 5}
+	dec, err := DecodeError(EncodeError(shed))
+	if err != nil || dec != shed {
+		t.Fatalf("typed error round trip: %+v %v", dec, err)
+	}
+	// A generic error with no hint encodes byte-identically to v2, so v2
+	// peers never see extension bytes.
+	plain := ErrorMsg{ID: 11, Message: "shed"}
+	if !bytes.Equal(EncodeError(plain), func() []byte {
+		dst := AppendAck(nil, 11)
+		return AppendString(dst, "shed")
+	}()) {
+		t.Fatal("generic error encoding grew extension bytes")
+	}
+	dec2, err := DecodeError(EncodeError(plain))
+	if err != nil || dec2.Code != CodeGeneric || dec2.RetryAfterMillis != 0 {
+		t.Fatalf("legacy error decode: %+v %v", dec2, err)
+	}
+	// Truncated extension (code without retry-after) is rejected.
+	trunc := AppendAck(nil, 1)
+	trunc = AppendString(trunc, "x")
+	trunc = append(trunc, 0x01, 0x80) // code=1, then a dangling varint
+	if _, err := DecodeError(trunc); err == nil {
+		t.Error("truncated error extension accepted")
+	}
+}
+
+func TestRemoteErrorHints(t *testing.T) {
+	shed := &RemoteError{ID: 1, Message: "shed", Code: CodeOverloaded, RetryAfter: 5 * time.Millisecond}
+	if !shed.Overloaded() || !shed.RetryableHint() {
+		t.Error("shed error must be retryable")
+	}
+	if d, ok := shed.RetryAfterHint(); !ok || d != 5*time.Millisecond {
+		t.Errorf("retry-after hint = %v %v", d, ok)
+	}
+	generic := &RemoteError{ID: 2, Message: "bad key"}
+	if generic.Overloaded() || generic.RetryableHint() {
+		t.Error("generic remote error must stay terminal")
+	}
+	if _, ok := generic.RetryAfterHint(); ok {
+		t.Error("generic remote error must carry no hint")
+	}
+	expired := &RemoteError{ID: 3, Message: "late", Code: CodeDeadlineExpired}
+	if expired.RetryableHint() {
+		t.Error("deadline-expired must not be blindly retryable")
+	}
+	for _, e := range []*RemoteError{shed, generic, expired} {
+		if e.Error() == "" {
+			t.Error("empty error string")
+		}
 	}
 }
 

@@ -270,6 +270,13 @@ type ServeOpts struct {
 	// between frames for longer than this — protection against half-dead
 	// peers holding sockets forever. Zero disables the timeout.
 	IdleTimeout time.Duration
+
+	// MaxInflight, when positive, bounds concurrently executing requests
+	// across the whole daemon. Excess requests from current-protocol
+	// sessions are shed immediately with a typed retryable error carrying
+	// a retry-after hint (resilient clients back off and retry); older
+	// sessions queue for a slot instead. Zero leaves admission unbounded.
+	MaxInflight int
 }
 
 // wrapStore applies the serving-path wrappers selected by opts.
@@ -295,12 +302,44 @@ func (s *ServerStore) ServeTCPOpts(l net.Listener, opts ServeOpts) (*Daemon, err
 	}
 	d := server.NewDaemon(wrapStore(local, opts), nil)
 	d.IdleTimeout = opts.IdleTimeout
+	d.MaxInflight = opts.MaxInflight
 	go func() { _ = d.Serve(l) }()
-	return &Daemon{d: d}, nil
+	return &Daemon{d: d, opts: opts}, nil
 }
 
 // Daemon is a running network server.
-type Daemon struct{ d *server.Daemon }
+type Daemon struct {
+	d       *server.Daemon
+	opts    ServeOpts
+	sharded bool
+}
+
+// SwapStore atomically replaces the daemon's served share store with s —
+// the zero-downtime reload path. Requests in flight finish on the store
+// they started on; every request dispatched after the swap is answered
+// from s. The new store's ring parameters must match the served ones
+// byte-identically (live sessions pinned them at their handshake) or the
+// swap is refused. The serving wrappers chosen at start (coalescing) are
+// re-applied to s. Returns the new store epoch. Shard daemons cannot
+// swap: their guard is bound to the manifest range of the original
+// store.
+func (d *Daemon) SwapStore(s *ServerStore) (uint64, error) {
+	if d.sharded {
+		return 0, errors.New("sssearch: SwapStore: shard daemons cannot swap stores")
+	}
+	if s == nil {
+		return 0, errors.New("sssearch: SwapStore: nil store")
+	}
+	local, err := server.NewLocal(s.ring, s.tree)
+	if err != nil {
+		return 0, err
+	}
+	return d.d.SwapStore(wrapStore(local, d.opts))
+}
+
+// StoreEpoch returns the daemon's store-swap epoch: 0 until the first
+// SwapStore, incremented by each successful swap.
+func (d *Daemon) StoreEpoch() uint64 { return d.d.StoreEpoch() }
 
 // Close stops the daemon and waits for in-flight connections.
 func (d *Daemon) Close() error { return d.d.Close() }
@@ -401,8 +440,9 @@ func serveGuardedTCP(l net.Listener, r ring.Ring, tree *sharing.Tree, man *shard
 	}
 	d := server.NewDaemon(wrapStore(guard, opts), nil)
 	d.IdleTimeout = opts.IdleTimeout
+	d.MaxInflight = opts.MaxInflight
 	go func() { _ = d.Serve(l) }()
-	return &Daemon{d: d}, nil
+	return &Daemon{d: d, opts: opts, sharded: true}, nil
 }
 
 // ServeTCP serves the shard on the listener. The daemon answers only for
