@@ -34,9 +34,15 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
-	// P99Ns is the tail-latency figure exported by distribution-story
-	// targets (the overload pair); zero/absent for throughput targets.
-	// Added in schema v1 as an optional field — append-only evolution.
+	// P50Ns/P95Ns/P99Ns are the latency quantiles exported by
+	// distribution-story targets (the overload pair); zero/absent for
+	// throughput targets. P99Ns was added first, the lower quantiles
+	// later, all as optional fields — append-only evolution. Since the
+	// distribution targets switched to log-bucketed histograms the
+	// quantiles are bucket-interpolated rather than exact order
+	// statistics.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P95Ns float64 `json:"p95_ns,omitempty"`
 	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
@@ -79,14 +85,18 @@ func runJSONBench(path, metricsPath string) error {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
-		if t.P99Ns != nil {
-			res.P99Ns = t.P99Ns()
+		if t.Dist != nil {
+			dist := t.Dist()
+			res.P50Ns = dist.Quantile(0.50)
+			res.P95Ns = dist.Quantile(0.95)
+			res.P99Ns = dist.Quantile(0.99)
 		}
 		report.Results = append(report.Results, res)
 		fmt.Printf("%-18s %12.0f ns/op %10d B/op %8d allocs/op (%d iters)\n",
 			t.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
 		if res.P99Ns > 0 {
-			fmt.Printf("%-18s %12.0f ns p99\n", "", res.P99Ns)
+			fmt.Printf("%-18s %12.0f ns p50 %12.0f ns p95 %12.0f ns p99\n",
+				"", res.P50Ns, res.P95Ns, res.P99Ns)
 		}
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")

@@ -26,6 +26,21 @@
 //
 //	sss-server -store server.sss -max-inflight 256 -reload
 //	kill -HUP $(pidof sss-server)   # after replacing server.sss
+//
+// Observability: -debug-addr starts an operator-only HTTP listener with
+// /metrics (Prometheus text: every protocol counter plus per-stage latency
+// histograms), /healthz (503 once draining — point load-balancer checks
+// here), /varz (JSON counters, stage latencies and the slow-query log) and
+// /debug/pprof. -trace-sample N samples every Nth request end to end: the
+// sampled request carries a trace ID across the wire, every serving stage
+// it passes through is attributed to it, and the slowest sampled requests
+// appear in /varz's slow_queries with their per-stage breakdown:
+//
+//	sss-server -store server.sss -debug-addr 127.0.0.1:7071 -trace-sample 100
+//	curl -s 127.0.0.1:7071/metrics | grep sss_stage_latency
+//
+// Bind -debug-addr to loopback or an internal interface only; the pprof
+// endpoints are not meant for untrusted networks.
 package main
 
 import (
@@ -35,12 +50,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"sssearch"
+	"sssearch/internal/obs"
 )
 
 func main() {
@@ -54,10 +71,16 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle between frames for this long (0 = never)")
 	maxInflight := flag.Int("max-inflight", 0, "bound concurrently executing requests across the daemon; excess requests are shed with a typed retryable error and a retry-after hint (0 = unbounded)")
 	reload := flag.Bool("reload", false, "re-read -store and hot-swap it into the running daemon on SIGHUP — zero-downtime store reload (whole-tree stores only)")
+	debugAddr := flag.String("debug-addr", "", "serve the ops/debug HTTP surface (/metrics, /healthz, /varz, /debug/pprof) on this address; keep it off untrusted networks (empty = disabled)")
+	traceSample := flag.Int("trace-sample", 0, "sample every Nth request for end-to-end tracing: stage attribution and the slow-query log (1 = every request, 0 = off)")
 	flag.Parse()
 	if *idleTimeout < 0 {
 		log.Fatal("sss-server: -idle-timeout must be >= 0")
 	}
+	if *traceSample < 0 {
+		log.Fatal("sss-server: -trace-sample must be >= 0")
+	}
+	obs.SetSampleEvery(*traceSample)
 	maxInflightSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "max-inflight" {
@@ -129,6 +152,18 @@ func main() {
 	}
 	if *reload && !reloadable {
 		log.Fatal("sss-server: -reload supports whole-tree stores only (shard daemons cannot hot-swap)")
+	}
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("sss-server: debug listen: %v", err)
+		}
+		fmt.Printf("sss-server: debug surface on http://%s (/metrics /healthz /varz /debug/pprof)\n", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, daemon.DebugHandler()); err != nil {
+				log.Printf("sss-server: debug server: %v", err)
+			}
+		}()
 	}
 	if !*quiet {
 		fmt.Println("sss-server: the store contains only additive shares; queries arrive as opaque points")

@@ -342,6 +342,38 @@
 // several times lower than open admission, with zero wrong answers
 // either way.
 //
+// # Observability
+//
+// The serving stack is traceable end to end (internal/obs). Eight stages
+// of a request's life — client share arithmetic, batcher flush wait, wire
+// round trip, daemon admission wait, worker dispatch, coalescer merge
+// wait, store evaluation, response writer-queue residency — are each
+// timed into a lock-free log-bucketed histogram (atomic buckets, so the
+// hot path never takes a lock; snapshots merge exactly, so per-daemon
+// histograms aggregate across a fleet).
+//
+// Tracing is sampled: obs.SetSampleEvery(n) (sss-server -trace-sample)
+// marks every nth request with a 64-bit trace id that rides the wire as
+// an optional protocol-v3 frame extension — v2 peers never see it, and
+// unsampled requests pay one atomic load and put zero extra bytes on the
+// wire. The id survives every serving indirection: retried legs, hedged
+// spares, pool failovers, shard scatter sub-batches and coalesced merge
+// passes all carry the originating request's id, so the daemon-side
+// stage breakdown of each leg lands on the one trace. Finished sampled
+// spans feed a bounded top-N slow-query log (and, optionally, slog span
+// events via obs.SlogSpans).
+//
+// The live ops surface (Daemon.DebugHandler, sss-server -debug-addr)
+// serves /metrics (Prometheus text: every Stats counter plus the stage
+// histograms), /healthz (503 once draining — point load-balancer checks
+// here), /varz (JSON counters, stage quantiles and the slow-query log
+// with per-stage breakdowns) and /debug/pprof. Keep it on loopback or an
+// internal interface. The traceOverhead bench target tracks the cost of
+// 100% sampling against the untraced lookup hot path:
+//
+//	sss-server -store server.sss -debug-addr 127.0.0.1:7071 -trace-sample 100
+//	curl -s 127.0.0.1:7071/varz | jq .slow_queries
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured reproduction of every figure.
 package sssearch

@@ -8,6 +8,7 @@ import (
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/metrics"
+	"sssearch/internal/obs"
 )
 
 // BatchTarget is what a Batcher drives: the context-aware call surface
@@ -45,6 +46,7 @@ const DefaultMaxBatchKeys = 4096
 type Batcher struct {
 	inner    BatchTarget
 	counters *metrics.Counters
+	obsv     *obs.Observer
 	merger   *coalesce.Merger
 
 	// MaxBatchKeys bounds distinct keys per merged request. Zero means
@@ -58,7 +60,7 @@ func NewBatcher(target BatchTarget, counters *metrics.Counters) *Batcher {
 	if counters == nil {
 		counters = &metrics.Counters{}
 	}
-	b := &Batcher{inner: target, counters: counters}
+	b := &Batcher{inner: target, counters: counters, obsv: obs.Default()}
 	b.merger = coalesce.NewMerger(
 		target.EvalNodesCtx,
 		counters,
@@ -69,6 +71,7 @@ func NewBatcher(target BatchTarget, counters *metrics.Counters) *Batcher {
 			return DefaultMaxBatchKeys
 		},
 	)
+	b.merger.SetObserved(b.obsv, obs.StageBatchWait)
 	return b
 }
 
@@ -76,9 +79,25 @@ func NewBatcher(target BatchTarget, counters *metrics.Counters) *Batcher {
 // evaluations).
 func (b *Batcher) Counters() *metrics.Counters { return b.counters }
 
+// SetObserver replaces the observer recording batch-wait latencies.
+// Call before use.
+func (b *Batcher) SetObserver(o *obs.Observer) {
+	b.obsv = o
+	b.merger.SetObserved(o, obs.StageBatchWait)
+}
+
 // EvalNodesCtx queues the request for its point vector's next flush and
-// waits for its answers, honouring ctx.
+// waits for its answers, honouring ctx. A call arriving without trace
+// context draws its own sampling decision — the Batcher is a trace
+// origin for callers that use it directly, ahead of any Engine.
 func (b *Batcher) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	if obs.SpanFrom(ctx) == nil {
+		if tr := obs.NewTrace(); tr.Sampled {
+			sp := obs.StartSpan("batch_eval", tr)
+			ctx = obs.WithSpan(ctx, sp)
+			defer b.obsv.FinishSpan(sp)
+		}
+	}
 	return b.merger.Eval(ctx, keys, points)
 }
 
@@ -94,7 +113,7 @@ func (b *Batcher) PruneCtx(ctx context.Context, keys []drbg.NodeKey) error {
 
 // EvalNodes implements core.ServerAPI.
 func (b *Batcher) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
-	return b.merger.Eval(context.Background(), keys, points)
+	return b.EvalNodesCtx(context.Background(), keys, points)
 }
 
 // FetchPolys implements core.ServerAPI.

@@ -26,6 +26,7 @@ import (
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/metrics"
+	"sssearch/internal/obs"
 	"sssearch/internal/ring"
 	"sssearch/internal/wire"
 )
@@ -40,6 +41,7 @@ type Remote struct {
 	conn     io.ReadWriteCloser
 	params   ring.Params
 	counters *metrics.Counters
+	obsv     *obs.Observer
 	version  uint32
 	nextID   atomic.Uint64
 
@@ -127,7 +129,7 @@ func newRemote(conn io.ReadWriteCloser, counters *metrics.Counters, offer uint32
 	if counters == nil {
 		counters = &metrics.Counters{}
 	}
-	r := &Remote{conn: conn, counters: counters}
+	r := &Remote{conn: conn, counters: counters, obsv: obs.Default()}
 	n, err := wire.WriteFrame(conn, wire.Frame{
 		Type:    wire.MsgHello,
 		Payload: wire.EncodeHello(wire.Hello{Version: offer}),
@@ -423,10 +425,38 @@ func (r *Remote) deadlineBudget(ctx context.Context) uint64 {
 	return uint64((left + time.Millisecond - 1) / time.Millisecond)
 }
 
+// SetObserver replaces the observer recording this session's wire
+// round-trip latencies (tests inject an isolated one). Call before use.
+func (r *Remote) SetObserver(o *obs.Observer) { r.obsv = o }
+
+// traceFields returns the wire trace extension for this request: the
+// context's sampled span, but only on a v3 session — a v2 peer would
+// reject the extension bytes.
+func (r *Remote) traceFields(ctx context.Context) (id uint64, sampled bool) {
+	if r.version < wire.Version3 {
+		return 0, false
+	}
+	if sp := obs.SpanFrom(ctx); sp != nil && sp.Trace.Sampled {
+		return sp.Trace.ID, true
+	}
+	return 0, false
+}
+
+// observeWire records one completed wire round trip into the stage
+// histogram and, when the request is sampled, its span.
+func (r *Remote) observeWire(ctx context.Context, start time.Time) {
+	d := time.Since(start)
+	r.obsv.Observe(obs.StageWire, d)
+	obs.SpanFrom(ctx).Add(obs.StageWire, d)
+}
+
 // EvalNodesCtx is EvalNodes with context cancellation.
 func (r *Remote) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
 	id := r.id()
-	typ, payload, err := r.call(ctx, wire.MsgEval, id, wire.AppendEvalReq(wire.GetBuf(), wire.EvalReq{ID: id, Keys: keys, Points: points, TimeoutMillis: r.deadlineBudget(ctx)}))
+	traceID, sampled := r.traceFields(ctx)
+	start := time.Now()
+	typ, payload, err := r.call(ctx, wire.MsgEval, id, wire.AppendEvalReq(wire.GetBuf(), wire.EvalReq{ID: id, Keys: keys, Points: points, TimeoutMillis: r.deadlineBudget(ctx), TraceID: traceID, TraceSampled: sampled}))
+	r.observeWire(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +477,10 @@ func (r *Remote) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points [
 // FetchPolysCtx is FetchPolys with context cancellation.
 func (r *Remote) FetchPolysCtx(ctx context.Context, keys []drbg.NodeKey) ([]core.NodePoly, error) {
 	id := r.id()
-	typ, payload, err := r.call(ctx, wire.MsgFetch, id, wire.AppendFetchReq(wire.GetBuf(), wire.FetchReq{ID: id, Keys: keys, TimeoutMillis: r.deadlineBudget(ctx)}))
+	traceID, sampled := r.traceFields(ctx)
+	start := time.Now()
+	typ, payload, err := r.call(ctx, wire.MsgFetch, id, wire.AppendFetchReq(wire.GetBuf(), wire.FetchReq{ID: id, Keys: keys, TimeoutMillis: r.deadlineBudget(ctx), TraceID: traceID, TraceSampled: sampled}))
+	r.observeWire(ctx, start)
 	if err != nil {
 		return nil, err
 	}
@@ -468,7 +501,10 @@ func (r *Remote) FetchPolysCtx(ctx context.Context, keys []drbg.NodeKey) ([]core
 // PruneCtx is Prune with context cancellation.
 func (r *Remote) PruneCtx(ctx context.Context, keys []drbg.NodeKey) error {
 	id := r.id()
-	typ, payload, err := r.call(ctx, wire.MsgPrune, id, wire.AppendPruneReq(wire.GetBuf(), wire.PruneReq{ID: id, Keys: keys, TimeoutMillis: r.deadlineBudget(ctx)}))
+	traceID, sampled := r.traceFields(ctx)
+	start := time.Now()
+	typ, payload, err := r.call(ctx, wire.MsgPrune, id, wire.AppendPruneReq(wire.GetBuf(), wire.PruneReq{ID: id, Keys: keys, TimeoutMillis: r.deadlineBudget(ctx), TraceID: traceID, TraceSampled: sampled}))
+	r.observeWire(ctx, start)
 	if err != nil {
 		return err
 	}

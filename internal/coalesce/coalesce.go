@@ -56,6 +56,7 @@ import (
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/metrics"
+	"sssearch/internal/obs"
 	"sssearch/internal/ring"
 )
 
@@ -86,15 +87,23 @@ func New(inner core.ServerAPI, counters *metrics.Counters) *Server {
 	}
 	s := &Server{inner: inner, counters: counters}
 	s.merger = NewMerger(
-		// In-process stores are not cancellable; the merger's ctx is
-		// dropped at this boundary.
-		func(_ context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
-			return inner.EvalNodes(keys, points)
+		// The ctx carries only observability context here (trace span of
+		// the merged pass); in-process stores are not cancellable.
+		func(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+			return core.EvalNodesWithCtx(ctx, inner, keys, points)
 		},
 		counters,
 		func() int { return s.MaxBatchKeys },
 	)
+	s.merger.SetObserved(obs.Default(), obs.StageCoalesceWait)
 	return s
+}
+
+// SetObserver replaces the observer recording coalesce-wait latencies
+// (the daemon points it at its own observer so the debug surface sees
+// one coherent view). Call before serving.
+func (s *Server) SetObserver(o *obs.Observer) {
+	s.merger.SetObserved(o, obs.StageCoalesceWait)
 }
 
 // Counters exposes the coalescing tallies (merged passes, absorbed
@@ -119,6 +128,14 @@ func (s *Server) Ring() ring.Ring {
 // are ready.
 func (s *Server) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
 	return s.merger.Eval(context.Background(), keys, points)
+}
+
+// EvalNodesCtx implements core.CtxEvaler: the caller's trace context
+// rides into the merge queue (and on into the merged pass, see
+// Merger.processGroup), so the daemon's per-request spans survive
+// coalescing.
+func (s *Server) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	return s.merger.Eval(ctx, keys, points)
 }
 
 // FetchPolys implements core.ServerAPI (pass-through: the verification

@@ -5,10 +5,12 @@ import (
 	"math/big"
 	"runtime"
 	"sync"
+	"time"
 
 	"sssearch/internal/core"
 	"sssearch/internal/drbg"
 	"sssearch/internal/metrics"
+	"sssearch/internal/obs"
 	"sssearch/internal/wire"
 )
 
@@ -31,6 +33,13 @@ type Merger struct {
 	// exposes it as a settable field).
 	maxKeys func() int
 
+	// obsv/waitStage record each request's queue wait (enqueue → merged
+	// pass start) under the owner's stage label: batch_wait for the
+	// client batcher, coalesce_wait for the server coalescer. waitStage
+	// < 0 (the default) disables recording.
+	obsv      *obs.Observer
+	waitStage obs.Stage
+
 	mu      sync.Mutex
 	pending map[string][]*mergeReq
 	active  map[string]bool
@@ -42,6 +51,7 @@ type mergeReq struct {
 	keys   []drbg.NodeKey
 	points []*big.Int
 	keySig uint64
+	enq    time.Time      // when the request entered the queue
 	done   chan mergeDone // buffered(1): drains never block delivering
 }
 
@@ -55,12 +65,22 @@ type mergeDone struct {
 // coalescing tallies.
 func NewMerger(eval EvalFunc, counters *metrics.Counters, maxKeys func() int) *Merger {
 	return &Merger{
-		eval:     eval,
-		counters: counters,
-		maxKeys:  maxKeys,
-		pending:  map[string][]*mergeReq{},
-		active:   map[string]bool{},
+		eval:      eval,
+		counters:  counters,
+		maxKeys:   maxKeys,
+		obsv:      obs.Default(),
+		waitStage: -1,
+		pending:   map[string][]*mergeReq{},
+		active:    map[string]bool{},
 	}
+}
+
+// SetObserved configures queue-wait observation: each request's
+// enqueue-to-pass-start wait is recorded into o's histogram for stage s
+// (and the request's span, when sampled). The owner picks the stage.
+func (m *Merger) SetObserved(o *obs.Observer, s obs.Stage) {
+	m.obsv = o
+	m.waitStage = s
 }
 
 // Eval queues the request for its signature's next merged pass and waits
@@ -79,6 +99,7 @@ func (m *Merger) Eval(ctx context.Context, keys []drbg.NodeKey, points []*big.In
 		keys:   keys,
 		points: points,
 		keySig: keysSig(keys), // paid by the caller, off the drain's critical path
+		enq:    time.Now(),
 		done:   make(chan mergeDone, 1),
 	}
 	sig := pointSig(points)
@@ -125,6 +146,15 @@ func (m *Merger) drain(sig string) {
 
 // processGroup answers one drained, point-compatible group.
 func (m *Merger) processGroup(group []*mergeReq) {
+	// Every member's queue wait ends here, as the pass starts.
+	if m.waitStage >= 0 {
+		passStart := time.Now()
+		for _, r := range group {
+			w := passStart.Sub(r.enq)
+			m.obsv.Observe(m.waitStage, w)
+			obs.SpanFrom(r.ctx).Add(m.waitStage, w)
+		}
+	}
 	if len(group) == 1 {
 		// Lone request: straight through under its own ctx, no merge
 		// bookkeeping.
@@ -174,7 +204,20 @@ func (m *Merger) processGroup(group []*mergeReq) {
 		}
 	}
 
-	answers, passes, mergeErr := m.evalChunked(merged, first.points)
+	// The merged pass runs under a fresh context carrying the first
+	// sampled span in the group (if any), so a coalesced leg of a traced
+	// query keeps its trace ID across the shared evaluation. Cancellation
+	// is deliberately NOT inherited: the pass serves every member, so one
+	// member's cancellation must not abort the others.
+	passCtx := context.Background()
+	for _, r := range group {
+		if sp := obs.SpanFrom(r.ctx); sp != nil && sp.Trace.Sampled {
+			passCtx = obs.WithSpan(passCtx, sp)
+			break
+		}
+	}
+
+	answers, passes, mergeErr := m.evalChunked(passCtx, merged, first.points)
 	if mergeErr != nil {
 		// A poisoned merge (e.g. one session's unknown key) degrades to
 		// the unmerged path: every request replays alone — concurrently,
@@ -226,13 +269,13 @@ func (m *Merger) processGroup(group []*mergeReq) {
 // most maxKeys keys (the eval target is concurrent-safe by the
 // ServerAPI contract, so an oversized merge keeps its parallelism).
 // Returns the concatenated answers and the number of passes run.
-func (m *Merger) evalChunked(merged []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, int, error) {
+func (m *Merger) evalChunked(ctx context.Context, merged []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, int, error) {
 	maxKeys := m.maxKeys()
 	if maxKeys <= 0 {
 		maxKeys = DefaultMaxBatchKeys
 	}
 	if len(merged) <= maxKeys {
-		answers, err := m.eval(context.Background(), merged, points)
+		answers, err := m.eval(ctx, merged, points)
 		return answers, 1, err
 	}
 	chunks := (len(merged) + maxKeys - 1) / maxKeys
@@ -248,7 +291,7 @@ func (m *Merger) evalChunked(merged []drbg.NodeKey, points []*big.Int) ([]core.N
 		wg.Add(1)
 		go func(c int, keys []drbg.NodeKey) {
 			defer wg.Done()
-			parts[c], errs[c] = m.eval(context.Background(), keys, points)
+			parts[c], errs[c] = m.eval(ctx, keys, points)
 		}(c, merged[start:end])
 	}
 	wg.Wait()

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"math/big"
 
 	"sssearch/internal/drbg"
@@ -62,6 +63,27 @@ type ServerAPI interface {
 	// server is stateless per query, the remote server uses it to stop
 	// precomputation.
 	Prune(keys []drbg.NodeKey) error
+}
+
+// CtxEvaler is the optional context-aware extension of ServerAPI.
+// Implementations that propagate deadlines or trace spans (client.Remote,
+// Pool, Reliable, Batcher, MultiServer, shard.Router, coalesce.Server)
+// expose EvalNodesCtx; callers reach it through EvalNodesWithCtx so that
+// plain ServerAPI implementations keep working unchanged. Kept separate
+// from ServerAPI because the in-process reference servers are
+// deliberately context-free.
+type CtxEvaler interface {
+	EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]NodeEval, error)
+}
+
+// EvalNodesWithCtx evaluates via api, forwarding ctx when api supports
+// it. This is how observability context (deadline budget, trace span)
+// survives the ctx-free ServerAPI seams between layers.
+func EvalNodesWithCtx(ctx context.Context, api ServerAPI, keys []drbg.NodeKey, points []*big.Int) ([]NodeEval, error) {
+	if ce, ok := api.(CtxEvaler); ok {
+		return ce.EvalNodesCtx(ctx, keys, points)
+	}
+	return api.EvalNodes(keys, points)
 }
 
 // VerifyLevel controls how much the client re-checks the server.

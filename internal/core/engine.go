@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -9,6 +10,7 @@ import (
 	"sssearch/internal/drbg"
 	"sssearch/internal/mapping"
 	"sssearch/internal/metrics"
+	"sssearch/internal/obs"
 	"sssearch/internal/ring"
 	"sssearch/internal/sharing"
 	"sssearch/internal/xpath"
@@ -24,6 +26,7 @@ type Engine struct {
 	mapping  *mapping.Map
 	api      ServerAPI
 	counters *metrics.Counters
+	obsv     *obs.Observer
 }
 
 // NewEngine assembles a query engine with a seed-derived client share
@@ -72,11 +75,17 @@ func NewEngineWithShares(r ring.Ring, shares sharing.ShareSource, m *mapping.Map
 		mapping:  m,
 		api:      api,
 		counters: counters,
+		obsv:     obs.Default(),
 	}
 }
 
 // Counters exposes the engine's metric counters.
 func (e *Engine) Counters() *metrics.Counters { return e.counters }
+
+// SetObserver replaces the observer recording this engine's stage
+// latencies and sampled query spans (tests inject an isolated one). Call
+// before querying.
+func (e *Engine) SetObserver(o *obs.Observer) { e.obsv = o }
 
 // Ring returns the engine's ring.
 func (e *Engine) Ring() ring.Ring { return e.ring }
@@ -147,8 +156,20 @@ func (e *Engine) Query(q *xpath.Query, opts Opts) (*Result, error) {
 		}
 		points[i] = v
 	}
-	r := newRun(e, steps, points, opts)
+	// The engine is the trace origin for the query path: a sampled query
+	// gets a span whose ID every downstream leg (batched, retried,
+	// hedged, coalesced) carries on the wire.
+	ctx := context.Background()
+	var sp *obs.Span
+	if tr := obs.NewTrace(); tr.Sampled {
+		sp = obs.StartSpan("query", tr)
+		ctx = obs.WithSpan(ctx, sp)
+	}
+	r := newRun(ctx, e, steps, points, opts)
 	matches, unresolved, err := r.execute()
+	if sp != nil {
+		e.obsv.FinishSpan(sp)
+	}
 	if err != nil {
 		return nil, err
 	}

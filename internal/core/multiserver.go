@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -279,8 +280,15 @@ func (m *MultiServer) lagrange(xs []uint32) *fastfield.Lagrange {
 // single Montgomery pass; rings without the fast path fall back to
 // per-point shamir.InterpolateAt.
 func (m *MultiServer) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]NodeEval, error) {
+	return m.EvalNodesCtx(context.Background(), keys, points)
+}
+
+// EvalNodesCtx implements CtxEvaler: every member leg — including hedged
+// spares and failovers — runs under the caller's ctx, so all legs of a
+// sampled query carry the same trace ID to their daemons.
+func (m *MultiServer) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]NodeEval, error) {
 	per, xs, err := memberCall(m, func(mem MultiMember) ([]NodeEval, error) {
-		answers, err := mem.API.EvalNodes(keys, points)
+		answers, err := EvalNodesWithCtx(ctx, mem.API, keys, points)
 		if err != nil {
 			return nil, err
 		}

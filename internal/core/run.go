@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"sssearch/internal/drbg"
+	"sssearch/internal/obs"
 	"sssearch/internal/poly"
 	"sssearch/internal/polyenc"
 	"sssearch/internal/ring"
@@ -21,6 +24,9 @@ import (
 // evaluation wave splits into concurrent batches whose goroutines merge
 // answers into both maps.
 type run struct {
+	// ctx carries the query's observability context (trace span) into
+	// every server call; it is not used for cancellation.
+	ctx    context.Context
 	e      *Engine
 	steps  []xpath.Step
 	points []*big.Int // nil for wildcard steps
@@ -44,7 +50,7 @@ type sumKey struct {
 }
 
 // newRun assembles the per-query state, interning the point set.
-func newRun(e *Engine, steps []xpath.Step, points []*big.Int, opts Opts) *run {
+func newRun(ctx context.Context, e *Engine, steps []xpath.Step, points []*big.Int, opts Opts) *run {
 	idx := make(map[*big.Int]int, len(points))
 	for _, p := range points {
 		if p == nil {
@@ -55,6 +61,7 @@ func newRun(e *Engine, steps []xpath.Step, points []*big.Int, opts Opts) *run {
 		}
 	}
 	return &run{
+		ctx:        ctx,
 		e:          e,
 		steps:      steps,
 		points:     points,
@@ -266,13 +273,23 @@ func (r *run) evalKeys(keys []drbg.NodeKey, points []*big.Int) ([]sumState, erro
 // merge is locked, the big-integer combining runs outside the lock).
 // effIdx holds the interned index of each eff point.
 func (r *run) evalBatch(batch []drbg.NodeKey, eff []*big.Int, effIdx []int) error {
-	answers, err := r.e.api.EvalNodes(batch, eff)
+	answers, err := EvalNodesWithCtx(r.ctx, r.e.api, batch, eff)
 	if err != nil {
 		return err
 	}
 	if len(answers) != len(batch) {
 		return fmt.Errorf("core: server returned %d answers for %d keys", len(answers), len(batch))
 	}
+	// Everything below is the client's own share arithmetic: pad/share
+	// regeneration plus the modular sums combining client and server
+	// summands. Timed as one block per batch — per-node timing would cost
+	// more than the work it measures on cached paths.
+	arithStart := time.Now()
+	defer func() {
+		d := time.Since(arithStart)
+		r.e.obsv.Observe(obs.StageShareArith, d)
+		obs.SpanFrom(r.ctx).Add(obs.StageShareArith, d)
+	}()
 	// The evaluation modulus of each point is fixed for the whole batch;
 	// resolve it once instead of once per (node, point).
 	mods := make([]*big.Int, len(eff))

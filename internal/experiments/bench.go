@@ -12,6 +12,7 @@ import (
 	"sssearch/internal/drbg"
 	"sssearch/internal/mapping"
 	"sssearch/internal/metrics"
+	"sssearch/internal/obs"
 	"sssearch/internal/polyenc"
 	"sssearch/internal/ring"
 	"sssearch/internal/server"
@@ -30,11 +31,12 @@ type BenchTarget struct {
 	// Fn runs one iteration of the measured operation. Setup cost is paid
 	// before BenchTargets returns, not inside Fn.
 	Fn func() error
-	// P99Ns, when non-nil, reports a tail-latency figure the target
-	// accumulated across its Fn runs (ns). Mean ns/op hides exactly what
-	// the overload targets exist to show, so targets whose story is the
-	// latency distribution export the tail explicitly.
-	P99Ns func() float64
+	// Dist, when non-nil, snapshots the latency distribution the target
+	// accumulated across its Fn runs (a mergeable log-bucketed histogram).
+	// Mean ns/op hides exactly what the overload targets exist to show,
+	// so targets whose story is the latency distribution export the whole
+	// shape — sss-bench derives p50/p95/p99 from it for the JSON report.
+	Dist func() obs.HistSnapshot
 	// Metrics, when non-nil, reports named counter snapshots taken after
 	// the target's runs — evidence of what machinery the measurement
 	// actually exercised (sheds, retries, breaker trips), written by
@@ -50,6 +52,11 @@ type BenchTarget struct {
 //   - lookupFp1000Hit: a //t3 lookup over a 1000-node random tree in
 //     F_257 with a seed-only client — the protocol's end-to-end hot path,
 //     mirroring BenchmarkLookupFp1000Hit.
+//   - traceOverhead: the same lookup with every request sampled for
+//     end-to-end tracing (span allocation, stage attribution, slow-log
+//     insertion) — the cost of observability at its most aggressive
+//     setting, read against lookupFp1000Hit, whose runs pay only the
+//     per-request "sampling off?" atomic load.
 //   - outsourceFp: the write-path mirror of lookupFp1000Hit — the full
 //     encode→split outsourcing pipeline (packed parallel fast path, as
 //     sssearch.Outsource runs it) over the same 1000-node F_257 document,
@@ -86,10 +93,11 @@ type BenchTarget struct {
 //   - overloadShed / overloadUnbounded: the admission-control story — a
 //     fixed-capacity daemon offered 4× its service rate through a
 //     retrying session, with the admission cap matched to the backend
-//     capacity versus wide open. Both report p99 over served requests
-//     (the p99_ns field of the JSON report): bounded under shedding,
-//     growing with the backlog under open admission, with every served
-//     answer checked byte-identical to the reference either way.
+//     capacity versus wide open. Both export the latency distribution
+//     over served requests (the p50_ns/p95_ns/p99_ns fields of the JSON
+//     report): bounded under shedding, growing with the backlog under
+//     open admission, with every served answer checked byte-identical to
+//     the reference either way.
 func BenchTargets() ([]BenchTarget, error) {
 	var targets []BenchTarget
 	for _, id := range []string{"fig5", "fig6"} {
@@ -117,6 +125,17 @@ func BenchTargets() ([]BenchTarget, error) {
 	targets = append(targets, BenchTarget{
 		Name: "lookupFp1000Hit",
 		Fn: func() error {
+			_, err := p.engine.Lookup("t3", core.Opts{Verify: core.VerifyResolve})
+			return err
+		},
+	})
+
+	targets = append(targets, BenchTarget{
+		Name: "traceOverhead",
+		Fn: func() error {
+			prev := obs.SampleEvery()
+			obs.SetSampleEvery(1)
+			defer obs.SetSampleEvery(prev)
 			_, err := p.engine.Lookup("t3", core.Opts{Verify: core.VerifyResolve})
 			return err
 		},
@@ -201,7 +220,7 @@ func BenchTargets() ([]BenchTarget, error) {
 	targets = append(targets, BenchTarget{
 		Name:    "overloadShed",
 		Fn:      shed.Run,
-		P99Ns:   shed.P99Ns,
+		Dist:    shed.Dist,
 		Metrics: shed.Metrics,
 	})
 	unbounded, err := NewOverloadWorkload(false)
@@ -211,7 +230,7 @@ func BenchTargets() ([]BenchTarget, error) {
 	targets = append(targets, BenchTarget{
 		Name:    "overloadUnbounded",
 		Fn:      unbounded.Run,
-		P99Ns:   unbounded.P99Ns,
+		Dist:    unbounded.Dist,
 		Metrics: unbounded.Metrics,
 	})
 	return targets, nil

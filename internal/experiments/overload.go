@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math/big"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
@@ -15,6 +14,7 @@ import (
 	"sssearch/internal/drbg"
 	"sssearch/internal/mapping"
 	"sssearch/internal/metrics"
+	"sssearch/internal/obs"
 	"sssearch/internal/polyenc"
 	"sssearch/internal/resilience"
 	"sssearch/internal/ring"
@@ -92,8 +92,11 @@ type OverloadWorkload struct {
 	points   []*big.Int
 	want     []core.NodeEval
 
+	// hist accumulates every served request's latency (lock-free); mu
+	// guards only the outcome tallies.
+	hist obs.Histogram
+
 	mu       sync.Mutex
-	lats     []time.Duration
 	served   int
 	rejected int
 }
@@ -247,9 +250,9 @@ func (w *OverloadWorkload) Run() error {
 						errs <- fmt.Errorf("wrong answer under overload: %w", err)
 						return
 					}
+					w.hist.Observe(lat)
 					w.mu.Lock()
 					w.served++
-					w.lats = append(w.lats, lat)
 					w.mu.Unlock()
 				}()
 				time.Sleep(overloadService)
@@ -270,19 +273,12 @@ func (w *OverloadWorkload) Run() error {
 	return nil
 }
 
+// Dist snapshots the latency distribution over every request served
+// across all Runs so far.
+func (w *OverloadWorkload) Dist() obs.HistSnapshot { return w.hist.Snapshot() }
+
 // P99Ns reports the 99th-percentile latency over every request served
 // across all Runs so far, in nanoseconds.
 func (w *OverloadWorkload) P99Ns() float64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if len(w.lats) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), w.lats...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := (len(sorted)*99 + 99) / 100
-	if idx > len(sorted) {
-		idx = len(sorted)
-	}
-	return float64(sorted[idx-1])
+	return w.hist.Snapshot().Quantile(0.99)
 }

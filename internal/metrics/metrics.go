@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"reflect"
 	"sync/atomic"
 )
 
@@ -292,11 +293,27 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	}
 }
 
+// Add returns the field-wise sum s + o, for merging snapshots taken
+// from distinct Counters (e.g. a daemon's and its coalescer's) into one
+// reporting surface. Implemented reflectively so a counter added to the
+// struct is summed without a code change here.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	out := s
+	ov := reflect.ValueOf(o)
+	rv := reflect.ValueOf(&out).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		f.SetInt(f.Int() + ov.Field(i).Int())
+	}
+	return out
+}
+
 // String renders a compact one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d coalBatch=%d coalReq=%d coalDedup=%d sharedHit=%d sharedMiss=%d sharedFlight=%d shareEvalHit=%d shareEvalMiss=%d retries=%d hedged=%d hedgeWon=%d redials=%d ejected=%d drained=%d shed=%d deadlineSkip=%d breakerTrip=%d storeSwap=%d slowCut=%d",
+	return fmt.Sprintf("evals=%d values=%d polys=%d polyB=%d rounds=%d visited=%d pruned=%d recovered=%d failures=%d sent=%d recvd=%d msgsSent=%d msgsRcvd=%d cacheHit=%d cacheMiss=%d padHit=%d padMiss=%d coalBatch=%d coalReq=%d coalDedup=%d sharedHit=%d sharedMiss=%d sharedFlight=%d shareEvalHit=%d shareEvalMiss=%d retries=%d hedged=%d hedgeWon=%d redials=%d ejected=%d drained=%d shed=%d deadlineSkip=%d breakerTrip=%d storeSwap=%d slowCut=%d",
 		s.NodesEvaluated, s.ValuesMoved, s.PolysFetched, s.PolyBytesMoved,
 		s.Rounds, s.NodesVisited, s.NodesPruned, s.TagsRecovered, s.VerifyFailures,
+		s.BytesSent, s.BytesReceived, s.MessagesSent, s.MessagesRcvd,
 		s.EvalCacheHits, s.EvalCacheMiss, s.PadCacheHits, s.PadCacheMiss,
 		s.CoalescedBatches, s.CoalescedRequests, s.CoalesceDedupHits,
 		s.SharedPadHits, s.SharedPadMiss, s.SharedPadSingleflight,

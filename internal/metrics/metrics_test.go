@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -81,6 +83,47 @@ func TestStringFormat(t *testing.T) {
 	out := c.Snapshot().String()
 	if !strings.Contains(out, "rounds=1") {
 		t.Errorf("String() = %q", out)
+	}
+}
+
+// TestStringComplete reflects over Snapshot and gives every field a
+// distinct value, then requires each value to appear in String() — so a
+// future counter that is added to the struct but forgotten in the format
+// string fails this test instead of silently vanishing from logs.
+func TestStringComplete(t *testing.T) {
+	var s Snapshot
+	rv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetInt(int64(1000003 + i))
+	}
+	out := s.String()
+	for i := 0; i < rv.NumField(); i++ {
+		want := fmt.Sprintf("=%d", 1000003+i)
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing field %s (looked for %q): %s",
+				rv.Type().Field(i).Name, want, out)
+		}
+	}
+}
+
+// TestSnapshotAdd checks the reflective merge sums every field.
+func TestSnapshotAdd(t *testing.T) {
+	var a, b Snapshot
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetInt(int64(i + 1))
+		bv.Field(i).SetInt(int64(10 * (i + 1)))
+	}
+	sum := a.Add(b)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < sv.NumField(); i++ {
+		if got, want := sv.Field(i).Int(), int64(11*(i+1)); got != want {
+			t.Errorf("Add field %s = %d, want %d", sv.Type().Field(i).Name, got, want)
+		}
+	}
+	if a.Add(Snapshot{}) != a {
+		t.Errorf("Add zero changed the snapshot")
 	}
 }
 

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log-bucketed latency histogram: bucket i
+// counts observations in [2^(i-1), 2^i) nanoseconds (bucket 0 counts
+// exact zeros), so 64 fixed buckets cover every possible duration with
+// sub-bucket linear interpolation giving quantiles accurate to within a
+// power of two — plenty for latency work, where distributions span
+// decades. Observe is a handful of atomic adds with no allocation, so
+// the unsampled hot path can afford one per stage. The zero value is
+// ready to use; safe for concurrent use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	max     atomic.Uint64 // largest single observation, ns
+	buckets [64]atomic.Uint64
+}
+
+// bucketOf maps an observation to its bucket index: bits.Len64 is the
+// position of the highest set bit, so ns in [2^(i-1), 2^i) lands in
+// bucket i and zero lands in bucket 0.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns)
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+// Observe records one latency. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.ObserveNs(ns)
+}
+
+// ObserveNs records one latency in nanoseconds.
+func (h *Histogram) ObserveNs(ns uint64) {
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketOf(ns)].Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot captures a consistent-enough copy of the histogram: each
+// field is loaded atomically, so under concurrent writers the totals may
+// straddle an in-flight observation by one — irrelevant for reporting,
+// and Merge over snapshots stays exactly associative.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Observes; intended for test and fixture setup.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistSnapshot is an immutable copy of a Histogram. Snapshots from
+// different histograms (or different shards of one logical metric) merge
+// by field-wise addition, which is commutative and associative, so
+// per-shard and per-tenant histograms aggregate without coordination.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64 // nanoseconds
+	Max     uint64 // nanoseconds
+	Buckets [64]uint64
+}
+
+// Merge returns the field-wise combination s + o (max of maxes).
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the average observation in nanoseconds (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) in nanoseconds,
+// linearly interpolated inside the containing bucket and clamped to the
+// exact observed maximum (so Quantile(1) == Max). Returns 0 when the
+// histogram is empty.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation in sorted
+	// order; ceil so Quantile(0.99) of 100 observations is the 99th.
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) || rank == 0 {
+		rank++
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		frac := float64(rank-cum) / float64(c)
+		v := float64(lo) + frac*float64(hi-lo)
+		if v > float64(s.Max) {
+			v = float64(s.Max)
+		}
+		return v
+	}
+	return float64(s.Max)
+}
+
+// bucketBounds returns the [lo, hi) nanosecond range of bucket i.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 1
+	}
+	lo = uint64(1) << (i - 1)
+	if i == 63 {
+		return lo, 1 << 63 // clamp; nothing observes beyond ~292 years
+	}
+	return lo, uint64(1) << i
+}

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sssearch/internal/metrics"
+)
+
+// TestHistogramConcurrent hammers one histogram from 16 goroutines and
+// checks count/sum conservation: every observation must land exactly
+// once in the totals and exactly once in some bucket.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 5000
+	)
+	var h Histogram
+	sums := make([]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			var local uint64
+			for i := 0; i < perG; i++ {
+				ns := uint64(rng.Int63n(1 << uint(rng.Intn(40))))
+				local += ns
+				h.ObserveNs(ns)
+			}
+			sums[g] = local
+		}(g)
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	if want := uint64(goroutines * perG); s.Count != want {
+		t.Fatalf("count = %d, want %d", s.Count, want)
+	}
+	var wantSum uint64
+	for _, v := range sums {
+		wantSum += v
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	var inBuckets uint64
+	for _, c := range s.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket total = %d, want %d", inBuckets, s.Count)
+	}
+	if s.Max == 0 || float64(s.Max) < s.Quantile(0.99) {
+		t.Fatalf("max %d inconsistent with p99 %g", s.Max, s.Quantile(0.99))
+	}
+}
+
+// TestSnapshotMergeAssociative checks (a+b)+c == a+(b+c) field-wise.
+func TestSnapshotMergeAssociative(t *testing.T) {
+	mk := func(seed int64, n int) HistSnapshot {
+		var h Histogram
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			h.ObserveNs(uint64(rng.Int63n(1 << 30)))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(1, 100), mk(2, 2000), mk(3, 50)
+	l := a.Merge(b).Merge(c)
+	r := a.Merge(b.Merge(c))
+	if l != r {
+		t.Fatalf("merge not associative:\n%+v\n%+v", l, r)
+	}
+	if l.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count = %d", l.Count)
+	}
+	if l.Sum != a.Sum+b.Sum+c.Sum {
+		t.Fatalf("merged sum = %d", l.Sum)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty p50 = %g", got)
+	}
+	// 1000 observations spread 1ms..1s; quantiles must be monotone,
+	// within log-bucket error (2x) of the true value, and p100 == max.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Max != uint64(time.Second) {
+		t.Fatalf("max = %d", s.Max)
+	}
+	if got := s.Quantile(1); got != float64(s.Max) {
+		t.Fatalf("p100 = %g, want %d", got, s.Max)
+	}
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: p%g=%g < %g", q*100, v, prev)
+		}
+		prev = v
+		truth := q * 1000 * float64(time.Millisecond)
+		if v < truth/2 || v > truth*2 {
+			t.Fatalf("p%g = %g, truth %g: outside 2x log-bucket error", q*100, v, truth)
+		}
+	}
+}
+
+func TestSlowLogBounded(t *testing.T) {
+	var l SlowLog
+	l.SetCap(4)
+	for i := 1; i <= 100; i++ {
+		l.Record(SlowEntry{TraceID: uint64(i), Total: time.Duration(i)})
+	}
+	got := l.Entries()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := time.Duration(100 - i); e.Total != want {
+			t.Fatalf("entry %d total = %v, want %v", i, e.Total, want)
+		}
+	}
+	// A fast entry must not evict a retained slow one.
+	l.Record(SlowEntry{Total: 1})
+	if got := l.Entries(); got[len(got)-1].Total != 97 {
+		t.Fatalf("fast entry displaced a slow one: %+v", got)
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("reset left %d entries", l.Len())
+	}
+}
+
+func TestSamplingAndSpans(t *testing.T) {
+	defer SetSampleEvery(0)
+
+	SetSampleEvery(0)
+	if tr := NewTrace(); tr.Sampled || tr.ID != 0 {
+		t.Fatalf("sampling off produced %+v", tr)
+	}
+
+	SetSampleEvery(1)
+	tr := NewTrace()
+	if !tr.Sampled || tr.ID == 0 {
+		t.Fatalf("sampling on produced %+v", tr)
+	}
+	if tr2 := NewTrace(); tr2.ID == tr.ID {
+		t.Fatalf("trace IDs collided")
+	}
+
+	SetSampleEvery(3)
+	sampled := 0
+	for i := 0; i < 300; i++ {
+		if NewTrace().Sampled {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("1-in-3 sampling picked %d of 300", sampled)
+	}
+
+	// Span lifecycle through a context, finishing into an observer.
+	var o Observer
+	sp := StartSpan("test", tr)
+	ctx := WithSpan(context.Background(), sp)
+	if SpanFrom(ctx) != sp {
+		t.Fatalf("SpanFrom lost the span")
+	}
+	if SpanFrom(context.Background()) != nil {
+		t.Fatalf("SpanFrom invented a span")
+	}
+	sp.Add(StageWire, 5*time.Millisecond)
+	sp.Add(StageWire, 3*time.Millisecond)
+	sp.Add(StageStoreEval, time.Millisecond)
+	total := o.FinishSpan(sp)
+	if total <= 0 {
+		t.Fatalf("total = %v", total)
+	}
+	entries := o.Slow.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("slow log has %d entries", len(entries))
+	}
+	e := entries[0]
+	if e.TraceID != tr.ID || e.Op != "test" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Stages[StageWire] != 8*time.Millisecond || e.Stages[StageStoreEval] != time.Millisecond {
+		t.Fatalf("stage breakdown = %v", e.Stages)
+	}
+
+	// Unsampled spans must not reach the slow log.
+	o.Slow.Reset()
+	o.FinishSpan(StartSpan("quiet", Trace{}))
+	if o.Slow.Len() != 0 {
+		t.Fatalf("unsampled span recorded")
+	}
+
+	// Nil receivers are inert.
+	var nilO *Observer
+	nilO.Observe(StageWire, time.Second)
+	nilO.FinishSpan(sp)
+	var nilSp *Span
+	nilSp.Add(StageWire, time.Second)
+}
+
+func TestDebugHandler(t *testing.T) {
+	var o Observer
+	o.Observe(StageWire, 2*time.Millisecond)
+	o.Observe(StageStoreEval, time.Millisecond)
+	o.Slow.Record(SlowEntry{TraceID: 42, Op: "eval", Total: 3 * time.Millisecond,
+		Stages: func() (st [NumStages]time.Duration) { st[StageWire] = 2 * time.Millisecond; return }()})
+
+	var c metrics.Counters
+	c.AddNodesEvaluated(7)
+	healthy := true
+	h := DebugHandler(DebugOptions{
+		Counters: c.Snapshot,
+		Observer: &o,
+		Healthy: func() error {
+			if !healthy {
+				return fmt.Errorf("draining")
+			}
+			return nil
+		},
+		Vars: func() map[string]any { return map[string]any{"store_epoch": 3} },
+	})
+
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics code = %d", code)
+	}
+	if !strings.Contains(body, "sss_nodes_evaluated 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	// Every counter field must be present.
+	for _, name := range CounterNames() {
+		if !strings.Contains(body, "sss_"+name+" ") {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+	if !strings.Contains(body, `sss_stage_latency_seconds_count{stage="wire"} 1`) {
+		t.Fatalf("/metrics missing stage histogram:\n%s", body)
+	}
+
+	code, body = get("/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, body = get("/healthz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+
+	code, body = get("/varz")
+	if code != 200 {
+		t.Fatalf("/varz code = %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/varz not JSON: %v\n%s", err, body)
+	}
+	if doc["store_epoch"] != float64(3) {
+		t.Fatalf("/varz missing extra var: %v", doc)
+	}
+	slow, ok := doc["slow_queries"].([]any)
+	if !ok || len(slow) != 1 {
+		t.Fatalf("/varz slow_queries = %v", doc["slow_queries"])
+	}
+	if counters, ok := doc["counters"].(map[string]any); !ok || counters["nodes_evaluated"] != float64(7) {
+		t.Fatalf("/varz counters = %v", doc["counters"])
+	}
+
+	if code, _ = get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof code = %d", code)
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"BytesSent":      "bytes_sent",
+		"EvalLRUHits":    "eval_lru_hits",
+		"NodesEvaluated": "nodes_evaluated",
+		"MessagesRcvd":   "messages_rcvd",
+		"RPCErrors":      "rpc_errors",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import "log/slog"
+
+// slogSpans adapts a *slog.Logger to SpanLogger.
+type slogSpans struct{ l *slog.Logger }
+
+// SlogSpans returns a SpanLogger that emits one structured slog record
+// per finished sampled span: trace ID, op, total and the nonzero stage
+// durations as attributes.
+func SlogSpans(l *slog.Logger) SpanLogger {
+	if l == nil {
+		l = slog.Default()
+	}
+	return slogSpans{l}
+}
+
+func (s slogSpans) SpanEvent(e SlowEntry) {
+	attrs := make([]any, 0, 6+2*NumStages)
+	attrs = append(attrs,
+		"trace_id", e.TraceID,
+		"op", e.Op,
+		"total", e.Total,
+	)
+	for i, d := range e.Stages {
+		if d > 0 {
+			attrs = append(attrs, "stage_"+Stage(i).String(), d)
+		}
+	}
+	s.l.Info("span", attrs...)
+}

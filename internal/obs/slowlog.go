@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultSlowLogSize is the entry cap of a SlowLog whose SetCap was
+// never called.
+const DefaultSlowLogSize = 64
+
+// SlowEntry is one finished sampled request in the slow-query log: what
+// it was, how long it took end to end, and where the time went.
+type SlowEntry struct {
+	TraceID uint64
+	Op      string
+	Start   time.Time
+	Total   time.Duration
+	// Stages holds the per-stage breakdown, indexed by Stage.
+	Stages [NumStages]time.Duration
+}
+
+// StageMap returns the nonzero stage durations keyed by stage label,
+// the shape /varz serializes.
+func (e SlowEntry) StageMap() map[string]time.Duration {
+	m := make(map[string]time.Duration, NumStages)
+	for i, d := range e.Stages {
+		if d > 0 {
+			m[Stage(i).String()] = d
+		}
+	}
+	return m
+}
+
+// SlowLog is a bounded top-N-by-duration log of sampled requests: it
+// keeps the cap slowest entries seen since the last Reset, evicting the
+// fastest when full (a min-heap on Total). The zero value is ready to
+// use with DefaultSlowLogSize. Safe for concurrent use; Record is a
+// short critical section on the sampled path only, so it never touches
+// the unsampled hot path.
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []SlowEntry // min-heap on Total
+}
+
+// SetCap sets the maximum number of retained entries (minimum 1),
+// dropping the fastest surplus entries if shrinking.
+func (l *SlowLog) SetCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cap = n
+	for len(l.entries) > n {
+		l.popMin()
+	}
+}
+
+// Record offers an entry to the log; it is kept if the log has room or
+// the entry outlasts the current fastest retained one.
+func (l *SlowLog) Record(e SlowEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	capN := l.cap
+	if capN == 0 {
+		capN = DefaultSlowLogSize
+	}
+	if len(l.entries) >= capN {
+		if e.Total <= l.entries[0].Total {
+			return
+		}
+		l.popMin()
+	}
+	l.entries = append(l.entries, e)
+	// sift up
+	i := len(l.entries) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if l.entries[p].Total <= l.entries[i].Total {
+			break
+		}
+		l.entries[p], l.entries[i] = l.entries[i], l.entries[p]
+		i = p
+	}
+}
+
+// popMin removes the heap root (fastest entry). Caller holds mu.
+func (l *SlowLog) popMin() {
+	n := len(l.entries) - 1
+	l.entries[0] = l.entries[n]
+	l.entries = l.entries[:n]
+	// sift down
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && l.entries[c+1].Total < l.entries[c].Total {
+			c++
+		}
+		if l.entries[i].Total <= l.entries[c].Total {
+			break
+		}
+		l.entries[i], l.entries[c] = l.entries[c], l.entries[i]
+		i = c
+	}
+}
+
+// Entries returns the retained entries, slowest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	out := make([]SlowEntry, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// Len returns the number of retained entries.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Reset drops all entries.
+func (l *SlowLog) Reset() {
+	l.mu.Lock()
+	l.entries = nil
+	l.mu.Unlock()
+}

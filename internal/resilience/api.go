@@ -20,8 +20,15 @@ type API struct {
 
 // EvalNodes implements core.ServerAPI.
 func (a *API) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
-	return Do(context.Background(), a.Policy, func(ctx context.Context) ([]core.NodeEval, error) {
-		return a.Inner.EvalNodes(keys, points)
+	return a.EvalNodesCtx(context.Background(), keys, points)
+}
+
+// EvalNodesCtx implements core.CtxEvaler: the caller's ctx bounds the
+// whole retry loop and flows into every attempt, so each retried leg of
+// a sampled query carries the query's trace ID.
+func (a *API) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	return Do(ctx, a.Policy, func(ctx context.Context) ([]core.NodeEval, error) {
+		return core.EvalNodesWithCtx(ctx, a.Inner, keys, points)
 	})
 }
 
@@ -41,3 +48,4 @@ func (a *API) Prune(keys []drbg.NodeKey) error {
 }
 
 var _ core.ServerAPI = (*API)(nil)
+var _ core.CtxEvaler = (*API)(nil)

@@ -15,6 +15,7 @@ import (
 
 	"sssearch/internal/core"
 	"sssearch/internal/metrics"
+	"sssearch/internal/obs"
 	"sssearch/internal/ring"
 	"sssearch/internal/wire"
 )
@@ -84,6 +85,12 @@ type Daemon struct {
 	// connection's write queue before the peer is disconnected as a slow
 	// consumer. Zero means DefaultWriteStall. Set before Serve.
 	WriteStall time.Duration
+
+	// Obs receives the daemon-side stage latencies (admission wait,
+	// dispatch, store eval, writer-queue residency) and the server spans
+	// of sampled requests. Nil means the process-wide obs.Default(). Set
+	// before Serve.
+	Obs *obs.Observer
 
 	// IdleTimeout, when positive, bounds how long a connection may sit
 	// between frames: each blocking read arms a deadline, and a
@@ -158,6 +165,33 @@ func (d *Daemon) Counters() *metrics.Counters { return d.counters }
 
 // Store returns the currently served store.
 func (d *Daemon) Store() Store { return d.store.Load().store }
+
+// Observer returns the observer recording this daemon's stage latencies
+// and slow queries (the Obs field, or the process default).
+func (d *Daemon) Observer() *obs.Observer {
+	if d.Obs != nil {
+		return d.Obs
+	}
+	return obs.Default()
+}
+
+// Draining reports whether the daemon is winding down (Shutdown has
+// begun). The debug /healthz endpoint keys readiness off this.
+func (d *Daemon) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Inflight returns the number of requests currently holding a global
+// admission slot. Zero when MaxInflight is unset (admission unbounded —
+// nothing is counted).
+func (d *Daemon) Inflight() int {
+	if admit := d.admitCh(); admit != nil {
+		return len(admit)
+	}
+	return 0
+}
 
 // StoreEpoch returns the swap epoch of the currently served store: 0 for
 // the store the daemon was built with, incremented by every SwapStore.
@@ -445,10 +479,13 @@ func (d *Daemon) serveStrict(conn *daemonConn) error {
 		}
 		// v1 sessions cannot express a shed, so under a global bound they
 		// queue for a slot instead (lockstep: at most one slot per conn).
+		arrival := time.Now()
 		if admit := d.admitCh(); admit != nil {
 			admit <- struct{}{}
 		}
-		typ, payload, err := d.dispatch(f.Type, f.Payload, time.Now(), wire.Version)
+		admitWait := time.Since(arrival)
+		d.Observer().Observe(obs.StageAdmitWait, admitWait)
+		typ, payload, sp, err := d.dispatch(f.Type, f.Payload, arrival, wire.Version, admitWait, 0)
 		if admit := d.admitCh(); admit != nil {
 			<-admit
 		}
@@ -458,6 +495,7 @@ func (d *Daemon) serveStrict(conn *daemonConn) error {
 		}
 		_, werr := wire.WriteFrame(conn, wire.Frame{Type: typ, Payload: payload})
 		wire.PutBuf(payload)
+		d.Observer().FinishSpan(sp)
 		if werr != nil {
 			return werr
 		}
@@ -468,6 +506,16 @@ func (d *Daemon) serveStrict(conn *daemonConn) error {
 // draining responses and the bounded write queue stayed full past the
 // stall bound.
 var errSlowConsumer = errors.New("server: slow consumer: write queue stalled")
+
+// respFrame is one queued response plus its observability context: when it
+// entered the write queue (zero for control frames, which are not a
+// request's response) and the server span to finish once the response is
+// on the socket.
+type respFrame struct {
+	frame wire.FramedFrame
+	enq   time.Time
+	span  *obs.Span
+}
 
 // servePipelined is the v2/v3 request loop: decoded requests fan out to a
 // bounded worker pool (the per-connection accept queue); completed
@@ -482,13 +530,14 @@ func (d *Daemon) servePipelined(conn *daemonConn, version uint32) error {
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
+	obsv := d.Observer()
 	var (
 		handlers sync.WaitGroup
 		sem      = make(chan struct{}, workers)
 
 		// The bounded response queue: a slow consumer fills it and then
 		// trips the enqueue stall instead of growing an unbounded buffer.
-		queue      = make(chan wire.FramedFrame, 2*workers)
+		queue      = make(chan respFrame, 2*workers)
 		writerDone = make(chan struct{})
 
 		errOnce sync.Once
@@ -499,20 +548,27 @@ func (d *Daemon) servePipelined(conn *daemonConn, version uint32) error {
 	}
 	// The writer goroutine is the only socket writer. After a write error
 	// it keeps consuming the queue (recycling buffers, never blocking the
-	// handlers) until the serve loop closes it.
+	// handlers) until the serve loop closes it. It is also where a
+	// request's server span ends: response written to the socket.
 	go func() {
 		defer close(writerDone)
-		for f := range queue {
-			_, werr := wire.WriteFramed(conn, f)
-			wire.PutBuf(f.Payload)
+		for r := range queue {
+			_, werr := wire.WriteFramed(conn, r.frame)
+			wire.PutBuf(r.frame.Payload)
+			if !r.enq.IsZero() {
+				res := time.Since(r.enq)
+				obsv.Observe(obs.StageWriterQueue, res)
+				r.span.Add(obs.StageWriterQueue, res)
+			}
+			obsv.FinishSpan(r.span)
 			if werr != nil {
 				// A failed (possibly partial) write leaves the stream
 				// unframeable — tear the connection down rather than
 				// appending frames the client can no longer parse.
 				fail(werr)
 				conn.Close()
-				for f := range queue {
-					wire.PutBuf(f.Payload)
+				for r := range queue {
+					wire.PutBuf(r.frame.Payload)
 				}
 				return
 			}
@@ -529,13 +585,13 @@ func (d *Daemon) servePipelined(conn *daemonConn, version uint32) error {
 	// enqueue hands one response to the writer, bounded by the stall
 	// timeout: a peer that will not drain its socket gets disconnected,
 	// not an unbounded (or permanently parked) buffer.
-	enqueue := func(f wire.FramedFrame) {
+	enqueue := func(r respFrame) {
 		stall := time.NewTimer(d.writeStall())
 		defer stall.Stop()
 		select {
-		case queue <- f:
+		case queue <- r:
 		case <-stall.C:
-			wire.PutBuf(f.Payload)
+			wire.PutBuf(r.frame.Payload)
 			d.counters.AddSlowConsumerCut(1)
 			d.logf("disconnecting slow consumer (write queue stalled %v)", d.writeStall())
 			fail(errSlowConsumer)
@@ -557,7 +613,7 @@ func (d *Daemon) servePipelined(conn *daemonConn, version uint32) error {
 			}
 			handlers.Wait()
 			return d.drainConn(conn, func() error {
-				enqueue(wire.FramedFrame{Type: wire.MsgBye})
+				enqueue(respFrame{frame: wire.FramedFrame{Type: wire.MsgBye}})
 				finish()
 				return connErr
 			})
@@ -569,7 +625,7 @@ func (d *Daemon) servePipelined(conn *daemonConn, version uint32) error {
 			if errors.Is(err, errDraining) {
 				handlers.Wait()
 				return d.drainConn(conn, func() error {
-					enqueue(wire.FramedFrame{Type: wire.MsgBye})
+					enqueue(respFrame{frame: wire.FramedFrame{Type: wire.MsgBye}})
 					finish()
 					return connErr
 				})
@@ -592,18 +648,28 @@ func (d *Daemon) servePipelined(conn *daemonConn, version uint32) error {
 		go func(f wire.AnyFrame) {
 			defer handlers.Done()
 			defer func() { <-sem }()
-			typ, payload := d.handleAdmitted(f, admit, version, arrival)
-			enqueue(wire.FramedFrame{Type: typ, ReqID: f.ReqID, Payload: payload})
+			typ, payload, sp := d.handleAdmitted(f, admit, version, arrival)
+			enqueue(respFrame{
+				frame: wire.FramedFrame{Type: typ, ReqID: f.ReqID, Payload: payload},
+				enq:   time.Now(),
+				span:  sp,
+			})
 		}(f)
 	}
 }
 
 // handleAdmitted runs one pipelined request through admission control and
 // dispatch, returning the response frame type and payload (on a pooled
-// buffer). The global admission slot, when bounded, is held across store
-// dispatch only — never across the response enqueue/write, so a slow
+// buffer) plus the request's server span (nil unless the request carried a
+// sampled trace). The global admission slot, when bounded, is held across
+// store dispatch only — never across the response enqueue/write, so a slow
 // consumer cannot pin daemon-wide capacity.
-func (d *Daemon) handleAdmitted(f wire.AnyFrame, admit chan struct{}, version uint32, arrival time.Time) (wire.MsgType, []byte) {
+func (d *Daemon) handleAdmitted(f wire.AnyFrame, admit chan struct{}, version uint32, arrival time.Time) (wire.MsgType, []byte, *obs.Span) {
+	// Time spent between frame read and handler start: the wait for a
+	// per-connection worker slot.
+	dispatchWait := time.Since(arrival)
+	d.Observer().Observe(obs.StageDispatch, dispatchWait)
+	var admitWait time.Duration
 	if admit != nil {
 		if version >= wire.Version3 {
 			select {
@@ -619,15 +685,18 @@ func (d *Daemon) handleAdmitted(f wire.AnyFrame, admit chan struct{}, version ui
 					Message:          "overloaded: shed by admission control",
 					Code:             wire.CodeOverloaded,
 					RetryAfterMillis: uint64(d.retryAfterHint() / time.Millisecond),
-				})
+				}), nil
 			}
 		} else {
 			// v2 sessions cannot express a shed: queue for a slot.
+			admitStart := time.Now()
 			admit <- struct{}{}
+			admitWait = time.Since(admitStart)
 		}
 		defer func() { <-admit }()
 	}
-	typ, payload, err := d.dispatch(f.Type, f.Payload, arrival, version)
+	d.Observer().Observe(obs.StageAdmitWait, admitWait)
+	typ, payload, sp, err := d.dispatch(f.Type, f.Payload, arrival, version, admitWait, dispatchWait)
 	wire.PutBuf(f.Payload) // request fully decoded by dispatch
 	if err != nil {
 		// Malformed request: framing is length-prefixed so the
@@ -636,7 +705,7 @@ func (d *Daemon) handleAdmitted(f wire.AnyFrame, admit chan struct{}, version ui
 		typ = wire.MsgError
 		payload = wire.AppendError(wire.GetBuf(), wire.ErrorMsg{ID: f.ReqID, Message: err.Error()})
 	}
-	return typ, payload
+	return typ, payload, sp
 }
 
 // drainConn finishes one connection's graceful drain: send the GOAWAY
@@ -663,10 +732,36 @@ func (d *Daemon) drainConn(conn *daemonConn, sendBye func() error) error {
 // budget has already elapsed by dispatch time is skipped (the client has
 // stopped waiting) and answered with CodeDeadlineExpired instead of
 // burning worker time on an answer nobody will read.
-func (d *Daemon) dispatch(typ wire.MsgType, payload []byte, arrival time.Time, version uint32) (wire.MsgType, []byte, error) {
+//
+// A request carrying a sampled trace gets a server span rooted at arrival,
+// credited with the pre-measured admission and dispatch waits, and — for
+// Eval — propagated into the store via context so a coalescing or sharded
+// store attributes its stages to the same trace. The span is returned for
+// the caller (ultimately the response writer) to finish once the response
+// is on the socket.
+func (d *Daemon) dispatch(typ wire.MsgType, payload []byte, arrival time.Time, version uint32, admitWait, dispatchWait time.Duration) (wire.MsgType, []byte, *obs.Span, error) {
 	store := d.Store()
-	fail := func(id uint64, err error) (wire.MsgType, []byte, error) {
-		return wire.MsgError, wire.AppendError(wire.GetBuf(), wire.ErrorMsg{ID: id, Message: err.Error()}), nil
+	obsv := d.Observer()
+	var sp *obs.Span
+	startSpan := func(op string, traceID uint64, sampled bool) {
+		if !sampled {
+			// The request arrived untraced (an unsampled or pre-v3
+			// client). The daemon is its own trace origin then: under
+			// obs.SetSampleEvery (sss-server -trace-sample) it samples
+			// arriving requests itself, so the server-side slow log
+			// fills without requiring instrumented clients.
+			tr := obs.NewTrace()
+			if !tr.Sampled {
+				return
+			}
+			traceID = tr.ID
+		}
+		sp = obs.StartSpanAt(op, obs.Trace{ID: traceID, Sampled: true}, arrival)
+		sp.Add(obs.StageAdmitWait, admitWait)
+		sp.Add(obs.StageDispatch, dispatchWait)
+	}
+	fail := func(id uint64, err error) (wire.MsgType, []byte, *obs.Span, error) {
+		return wire.MsgError, wire.AppendError(wire.GetBuf(), wire.ErrorMsg{ID: id, Message: err.Error()}), sp, nil
 	}
 	expired := func(id, timeoutMillis uint64) (wire.MsgType, []byte, bool) {
 		if version < wire.Version3 || timeoutMillis == 0 ||
@@ -680,50 +775,67 @@ func (d *Daemon) dispatch(typ wire.MsgType, payload []byte, arrival time.Time, v
 			Code:    wire.CodeDeadlineExpired,
 		}), true
 	}
+	// observeEval times the store call as the store-eval stage: always into
+	// the histogram, and into the span when the request is sampled.
+	observeEval := func(start time.Time) {
+		d := time.Since(start)
+		obsv.Observe(obs.StageStoreEval, d)
+		sp.Add(obs.StageStoreEval, d)
+	}
 	switch typ {
 	case wire.MsgEval:
 		req, err := wire.DecodeEvalReq(payload)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
+		startSpan("eval", req.TraceID, req.TraceSampled)
 		if t, p, skip := expired(req.ID, req.TimeoutMillis); skip {
-			return t, p, nil
+			return t, p, sp, nil
 		}
-		answers, err := store.EvalNodes(req.Keys, req.Points)
+		evalStart := time.Now()
+		answers, err := core.EvalNodesWithCtx(obs.WithSpan(context.Background(), sp), store, req.Keys, req.Points)
+		observeEval(evalStart)
 		if err != nil {
 			return fail(req.ID, err)
 		}
-		return wire.MsgEvalResp, wire.AppendEvalResp(wire.GetBuf(), wire.EvalResp{ID: req.ID, Answers: answers}), nil
+		return wire.MsgEvalResp, wire.AppendEvalResp(wire.GetBuf(), wire.EvalResp{ID: req.ID, Answers: answers}), sp, nil
 	case wire.MsgFetch:
 		req, err := wire.DecodeFetchReq(payload)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
+		startSpan("fetch", req.TraceID, req.TraceSampled)
 		if t, p, skip := expired(req.ID, req.TimeoutMillis); skip {
-			return t, p, nil
+			return t, p, sp, nil
 		}
+		fetchStart := time.Now()
 		answers, err := store.FetchPolys(req.Keys)
+		observeEval(fetchStart)
 		if err != nil {
 			return fail(req.ID, err)
 		}
 		out, err := wire.AppendFetchResp(wire.GetBuf(), wire.FetchResp{ID: req.ID, Answers: answers})
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, sp, err
 		}
-		return wire.MsgFetchResp, out, nil
+		return wire.MsgFetchResp, out, sp, nil
 	case wire.MsgPrune:
 		req, err := wire.DecodePruneReq(payload)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
+		startSpan("prune", req.TraceID, req.TraceSampled)
 		if t, p, skip := expired(req.ID, req.TimeoutMillis); skip {
-			return t, p, nil
+			return t, p, sp, nil
 		}
-		if err := store.Prune(req.Keys); err != nil {
+		pruneStart := time.Now()
+		err = store.Prune(req.Keys)
+		observeEval(pruneStart)
+		if err != nil {
 			return fail(req.ID, err)
 		}
-		return wire.MsgAck, wire.AppendAck(wire.GetBuf(), req.ID), nil
+		return wire.MsgAck, wire.AppendAck(wire.GetBuf(), req.ID), sp, nil
 	default:
-		return 0, nil, fmt.Errorf("server: unexpected frame %s", typ)
+		return 0, nil, nil, fmt.Errorf("server: unexpected frame %s", typ)
 	}
 }

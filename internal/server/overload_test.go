@@ -390,7 +390,7 @@ func TestDispatchDeadlineSkip(t *testing.T) {
 	payload := wire.EncodeEvalReq(wire.EvalReq{ID: 7, Keys: keys[:1], Points: points, TimeoutMillis: 10})
 
 	// Budget elapsed on a v3 session: skip, typed error, counter, no store call.
-	typ, resp, err := d.dispatch(wire.MsgEval, payload, time.Now().Add(-50*time.Millisecond), wire.Version3)
+	typ, resp, _, err := d.dispatch(wire.MsgEval, payload, time.Now().Add(-50*time.Millisecond), wire.Version3, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,12 +412,12 @@ func TestDispatchDeadlineSkip(t *testing.T) {
 	}
 
 	// Live budget: dispatches normally.
-	typ, _, err = d.dispatch(wire.MsgEval, payload, time.Now(), wire.Version3)
+	typ, _, _, err = d.dispatch(wire.MsgEval, payload, time.Now(), wire.Version3, 0, 0)
 	if err != nil || typ != wire.MsgEvalResp {
 		t.Fatalf("live dispatch = %v, %v; want an EvalResp", typ, err)
 	}
 	// Pre-v3 session: the budget field is ignored even when elapsed.
-	typ, _, err = d.dispatch(wire.MsgEval, payload, time.Now().Add(-50*time.Millisecond), wire.Version2)
+	typ, _, _, err = d.dispatch(wire.MsgEval, payload, time.Now().Add(-50*time.Millisecond), wire.Version2, 0, 0)
 	if err != nil || typ != wire.MsgEvalResp {
 		t.Fatalf("v2 dispatch = %v, %v; want an EvalResp (no deadline semantics)", typ, err)
 	}

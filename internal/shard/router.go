@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -223,9 +224,16 @@ func scatter[T any](r *Router, keys []drbg.NodeKey, call func(shard int, sub []d
 // per session (conformance-pinned composition).
 // shards, gather the evaluations in request order.
 func (r *Router) EvalNodes(keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
+	return r.EvalNodesCtx(context.Background(), keys, points)
+}
+
+// EvalNodesCtx implements core.CtxEvaler: every shard sub-batch —
+// including replica failovers — runs under the caller's ctx, so all
+// legs of a sampled query share its trace ID.
+func (r *Router) EvalNodesCtx(ctx context.Context, keys []drbg.NodeKey, points []*big.Int) ([]core.NodeEval, error) {
 	return scatter(r, keys, func(s int, sub []drbg.NodeKey) ([]core.NodeEval, error) {
 		return groupCall(r, s, func(api core.ServerAPI) ([]core.NodeEval, error) {
-			return api.EvalNodes(sub, points)
+			return core.EvalNodesWithCtx(ctx, api, sub, points)
 		})
 	})
 }

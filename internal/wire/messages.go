@@ -65,28 +65,59 @@ func DecodeHelloAck(data []byte) (HelloAck, error) {
 	return HelloAck{Version: uint32(v), Params: params}, nil
 }
 
-// decodeTimeout parses the optional trailing deadline budget of a v3
-// request payload. An empty rest is the v2 encoding (no deadline); a
-// non-empty rest must be exactly the varint budget in milliseconds.
-func decodeTimeout(rest []byte, what string) (uint64, error) {
+// decodeTail parses the optional trailing varints of a v3 request
+// payload. Three encodings, distinguished purely by remaining length:
+// empty rest is the v2 form (no deadline, no trace); exactly one varint
+// is the deadline budget alone (the PR 8 v3 form); three varints are
+// deadline + trace ID + trace flags (bit 0 = sampled). Anything else is
+// malformed.
+func decodeTail(rest []byte, what string) (millis, traceID uint64, sampled bool, err error) {
 	if len(rest) == 0 {
-		return 0, nil
+		return 0, 0, false, nil
 	}
-	t, k := binary.Uvarint(rest)
+	bad := func() (uint64, uint64, bool, error) {
+		return 0, 0, false, errors.New("wire: trailing bytes in " + what)
+	}
+	millis, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return bad()
+	}
+	rest = rest[k:]
+	if len(rest) == 0 {
+		return millis, 0, false, nil
+	}
+	traceID, k = binary.Uvarint(rest)
+	if k <= 0 {
+		return bad()
+	}
+	rest = rest[k:]
+	flags, k := binary.Uvarint(rest)
 	if k <= 0 || k != len(rest) {
-		return 0, errors.New("wire: trailing bytes in " + what)
+		return bad()
 	}
-	return t, nil
+	return millis, traceID, flags&1 != 0, nil
 }
 
-// appendTimeout appends the optional deadline budget: zero (no deadline)
-// keeps the v2 encoding byte-identical, so extended requests only ever
-// reach peers that negotiated version 3.
-func appendTimeout(dst []byte, millis uint64) []byte {
-	if millis == 0 {
-		return dst
+// appendTail appends the optional deadline budget and trace context.
+// With no trace, a zero budget keeps the v2 encoding byte-identical and
+// a nonzero one appends the single PR 8 varint. With a trace, the budget
+// varint is always written — even when zero — so the decoder can tell
+// the forms apart by length; extended requests only ever reach peers
+// that negotiated version 3.
+func appendTail(dst []byte, millis, traceID uint64, sampled bool) []byte {
+	if traceID == 0 && !sampled {
+		if millis == 0 {
+			return dst
+		}
+		return binary.AppendUvarint(dst, millis)
 	}
-	return binary.AppendUvarint(dst, millis)
+	dst = binary.AppendUvarint(dst, millis)
+	dst = binary.AppendUvarint(dst, traceID)
+	var flags uint64
+	if sampled {
+		flags = 1
+	}
+	return binary.AppendUvarint(dst, flags)
 }
 
 // EvalReq asks for evaluations of keys at points.
@@ -101,6 +132,15 @@ type EvalReq struct {
 	// nobody will read. A relative budget rather than an absolute
 	// timestamp, so peers need no clock agreement.
 	TimeoutMillis uint64
+
+	// TraceID and TraceSampled carry the sampled trace context of the
+	// logical query this request belongs to (protocol v3; zero = not
+	// traced). Hedged, retried and coalesced legs of one query share a
+	// trace ID, so a daemon's slow-query log correlates with the
+	// client's. Only sampled requests carry the extension, keeping
+	// unsampled frames byte-identical to PR 8 v3.
+	TraceID      uint64
+	TraceSampled bool
 }
 
 // EncodeEvalReq marshals an EvalReq payload.
@@ -112,7 +152,7 @@ func AppendEvalReq(dst []byte, r EvalReq) []byte {
 	dst = binary.AppendUvarint(dst, r.ID)
 	dst = AppendKeys(dst, r.Keys)
 	dst = AppendBigs(dst, r.Points)
-	return appendTimeout(dst, r.TimeoutMillis)
+	return appendTail(dst, r.TimeoutMillis, r.TraceID, r.TraceSampled)
 }
 
 // DecodeEvalReq unmarshals an EvalReq payload.
@@ -129,11 +169,12 @@ func DecodeEvalReq(data []byte) (EvalReq, error) {
 	if err != nil {
 		return EvalReq{}, err
 	}
-	timeout, err := decodeTimeout(rest, "eval request")
+	timeout, traceID, sampled, err := decodeTail(rest, "eval request")
 	if err != nil {
 		return EvalReq{}, err
 	}
-	return EvalReq{ID: id, Keys: keys, Points: points, TimeoutMillis: timeout}, nil
+	return EvalReq{ID: id, Keys: keys, Points: points, TimeoutMillis: timeout,
+		TraceID: traceID, TraceSampled: sampled}, nil
 }
 
 // EvalResp carries the answers to an EvalReq.
@@ -203,6 +244,11 @@ type FetchReq struct {
 	// TimeoutMillis is the remaining deadline budget (protocol v3;
 	// 0 = no deadline). See EvalReq.TimeoutMillis.
 	TimeoutMillis uint64
+
+	// TraceID and TraceSampled carry the sampled trace context
+	// (protocol v3; zero = not traced). See EvalReq.TraceID.
+	TraceID      uint64
+	TraceSampled bool
 }
 
 // EncodeFetchReq marshals a FetchReq payload.
@@ -212,7 +258,7 @@ func EncodeFetchReq(r FetchReq) []byte { return AppendFetchReq(nil, r) }
 func AppendFetchReq(dst []byte, r FetchReq) []byte {
 	dst = binary.AppendUvarint(dst, r.ID)
 	dst = AppendKeys(dst, r.Keys)
-	return appendTimeout(dst, r.TimeoutMillis)
+	return appendTail(dst, r.TimeoutMillis, r.TraceID, r.TraceSampled)
 }
 
 // DecodeFetchReq unmarshals a FetchReq payload.
@@ -225,11 +271,12 @@ func DecodeFetchReq(data []byte) (FetchReq, error) {
 	if err != nil {
 		return FetchReq{}, err
 	}
-	timeout, err := decodeTimeout(rest, "fetch request")
+	timeout, traceID, sampled, err := decodeTail(rest, "fetch request")
 	if err != nil {
 		return FetchReq{}, err
 	}
-	return FetchReq{ID: id, Keys: keys, TimeoutMillis: timeout}, nil
+	return FetchReq{ID: id, Keys: keys, TimeoutMillis: timeout,
+		TraceID: traceID, TraceSampled: sampled}, nil
 }
 
 // FetchResp carries the answers to a FetchReq.
@@ -303,6 +350,11 @@ type PruneReq struct {
 	// TimeoutMillis is the remaining deadline budget (protocol v3;
 	// 0 = no deadline). See EvalReq.TimeoutMillis.
 	TimeoutMillis uint64
+
+	// TraceID and TraceSampled carry the sampled trace context
+	// (protocol v3; zero = not traced). See EvalReq.TraceID.
+	TraceID      uint64
+	TraceSampled bool
 }
 
 // EncodePruneReq marshals a PruneReq payload.
@@ -312,7 +364,7 @@ func EncodePruneReq(r PruneReq) []byte { return AppendPruneReq(nil, r) }
 func AppendPruneReq(dst []byte, r PruneReq) []byte {
 	dst = binary.AppendUvarint(dst, r.ID)
 	dst = AppendKeys(dst, r.Keys)
-	return appendTimeout(dst, r.TimeoutMillis)
+	return appendTail(dst, r.TimeoutMillis, r.TraceID, r.TraceSampled)
 }
 
 // DecodePruneReq unmarshals a PruneReq payload.
@@ -325,11 +377,12 @@ func DecodePruneReq(data []byte) (PruneReq, error) {
 	if err != nil {
 		return PruneReq{}, err
 	}
-	timeout, err := decodeTimeout(rest, "prune request")
+	timeout, traceID, sampled, err := decodeTail(rest, "prune request")
 	if err != nil {
 		return PruneReq{}, err
 	}
-	return PruneReq{ID: id, Keys: keys, TimeoutMillis: timeout}, nil
+	return PruneReq{ID: id, Keys: keys, TimeoutMillis: timeout,
+		TraceID: traceID, TraceSampled: sampled}, nil
 }
 
 // EncodeAck marshals an Ack payload.

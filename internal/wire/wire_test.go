@@ -294,6 +294,54 @@ func TestV3RequestDeadlines(t *testing.T) {
 	}
 }
 
+func TestV3RequestTrace(t *testing.T) {
+	// A traced request round-trips trace ID + sampled flag on all three
+	// request types, including a zero deadline budget alongside a trace.
+	req := EvalReq{
+		ID:           7,
+		Keys:         []drbg.NodeKey{{1}},
+		Points:       []*big.Int{big.NewInt(3)},
+		TraceID:      0xdeadbeefcafef00d,
+		TraceSampled: true,
+	}
+	dec, err := DecodeEvalReq(EncodeEvalReq(req))
+	if err != nil || dec.TraceID != req.TraceID || !dec.TraceSampled || dec.TimeoutMillis != 0 {
+		t.Fatalf("eval trace round trip: %+v %v", dec, err)
+	}
+	// Trace + deadline together.
+	req.TimeoutMillis = 1500
+	dec, err = DecodeEvalReq(EncodeEvalReq(req))
+	if err != nil || dec.TraceID != req.TraceID || !dec.TraceSampled || dec.TimeoutMillis != 1500 {
+		t.Fatalf("eval trace+deadline round trip: %+v %v", dec, err)
+	}
+	// An untraced request encodes byte-identically to the PR 8 form: the
+	// trace extension is a pure suffix, and with no deadline either, to
+	// the v2 form — so traceless frames are safe for v2 peers.
+	traceless := req
+	traceless.TraceID, traceless.TraceSampled = 0, false
+	if !bytes.HasPrefix(EncodeEvalReq(req), EncodeEvalReq(traceless)) {
+		t.Fatal("trace extension is not a pure suffix")
+	}
+	v2 := traceless
+	v2.TimeoutMillis = 0
+	if !bytes.HasPrefix(EncodeEvalReq(traceless), EncodeEvalReq(v2)) {
+		t.Fatal("traceless v3 encoding is not a pure extension of v2")
+	}
+
+	f, err := DecodeFetchReq(EncodeFetchReq(FetchReq{ID: 8, Keys: []drbg.NodeKey{{2}}, TraceID: 42, TraceSampled: true}))
+	if err != nil || f.TraceID != 42 || !f.TraceSampled {
+		t.Fatalf("fetch trace round trip: %+v %v", f, err)
+	}
+	p, err := DecodePruneReq(EncodePruneReq(PruneReq{ID: 9, Keys: []drbg.NodeKey{{3}}, TimeoutMillis: 10, TraceID: 43, TraceSampled: true}))
+	if err != nil || p.TraceID != 43 || !p.TraceSampled || p.TimeoutMillis != 10 {
+		t.Fatalf("prune trace round trip: %+v %v", p, err)
+	}
+	// Garbage after the trace flags varint is still rejected.
+	if _, err := DecodeEvalReq(append(EncodeEvalReq(req), 0x01)); err == nil {
+		t.Error("trailing bytes after trace accepted")
+	}
+}
+
 func TestTypedErrorCodec(t *testing.T) {
 	// v3 extended encoding round-trips code + retry-after.
 	shed := ErrorMsg{ID: 11, Message: "shed", Code: CodeOverloaded, RetryAfterMillis: 5}

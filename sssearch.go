@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/big"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"sssearch/internal/drbg"
 	"sssearch/internal/mapping"
 	"sssearch/internal/metrics"
+	"sssearch/internal/obs"
 	"sssearch/internal/poly"
 	"sssearch/internal/polyenc"
 	"sssearch/internal/ring"
@@ -340,6 +342,48 @@ func (d *Daemon) SwapStore(s *ServerStore) (uint64, error) {
 // StoreEpoch returns the daemon's store-swap epoch: 0 until the first
 // SwapStore, incremented by each successful swap.
 func (d *Daemon) StoreEpoch() uint64 { return d.d.StoreEpoch() }
+
+// DebugHandler returns the daemon's live ops surface, ready to mount on an
+// operator-only HTTP listener (cmd/sss-server's -debug-addr does exactly
+// that):
+//
+//   - /metrics — Prometheus text format: every protocol counter plus the
+//     per-stage latency histograms (p50/p95/p99, sum, count, max).
+//   - /healthz — 200 while serving, 503 once a graceful Shutdown begins,
+//     so load balancers stop routing to a draining daemon.
+//   - /varz — a JSON snapshot: counters, stage latencies, the slow-query
+//     log of sampled traces, store epoch and inflight admission slots.
+//   - /debug/pprof/... — the standard Go profiling endpoints.
+//
+// The counters merge the daemon's own tallies with the coalescer's (when
+// coalescing is enabled, the coalescer in front of the store keeps its
+// own counter set).
+func (d *Daemon) DebugHandler() http.Handler {
+	return obs.DebugHandler(obs.DebugOptions{
+		Counters: func() metrics.Snapshot {
+			snap := d.d.Counters().Snapshot()
+			if co, ok := d.d.Store().(*coalesce.Server); ok {
+				snap = snap.Add(co.Counters().Snapshot())
+			}
+			return snap
+		},
+		Observer: d.d.Observer(),
+		Healthy: func() error {
+			if d.d.Draining() {
+				return errors.New("draining")
+			}
+			return nil
+		},
+		Vars: func() map[string]any {
+			return map[string]any{
+				"store_epoch":  d.d.StoreEpoch(),
+				"inflight":     d.d.Inflight(),
+				"max_inflight": d.opts.MaxInflight,
+				"sharded":      d.sharded,
+			}
+		},
+	})
+}
 
 // Close stops the daemon and waits for in-flight connections.
 func (d *Daemon) Close() error { return d.d.Close() }
