@@ -521,6 +521,85 @@ func BenchmarkShardOutsource4(b *testing.B) {
 // BenchmarkShardExperiment smoke-runs the `shard` experiment table.
 func BenchmarkShardExperiment(b *testing.B) { runExperiment(b, "shard", true) }
 
+// --- capacity-scale benchmarks -----------------------------------------------
+
+// BenchmarkOutsourceFp100k is the capacity-scale write path — the full
+// packed parallel outsourcing pipeline over a 100k-node F_257 document —
+// the sss-bench `outsourceFp100k` target. Seconds per iteration; CI runs
+// it at -benchtime 1x.
+func BenchmarkOutsourceFp100k(b *testing.B) {
+	doc := experiments.OutsourceFpScaleDoc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.OutsourceFpScaleOnce(doc, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOutsourceFp100kSchoolbook is the big.Int reference pipeline
+// (schoolbook products + sequential split) over the same document — the
+// opt-in `outsourceFp100kSchoolbook` baseline (sss-bench -baselines).
+// Minutes per iteration: run it deliberately, with -benchtime 1x.
+func BenchmarkOutsourceFp100kSchoolbook(b *testing.B) {
+	doc := experiments.OutsourceFpScaleDoc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.OutsourceFpScaleOnce(doc, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardOutsource100k is the sharded capacity-scale write path
+// (100k-node encode → split → partition into 4 shard trees) — the
+// sss-bench `shardOutsource100k` target.
+func BenchmarkShardOutsource100k(b *testing.B) {
+	doc := experiments.OutsourceFpScaleDoc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.ShardOutsourceOnce(doc, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiSplit300 is 3-of-4 Shamir share-tree generation over a
+// 300-node document on the packed vectorized parallel walk — the
+// sss-bench `multiSplit` target.
+func BenchmarkMultiSplit300(b *testing.B) {
+	w, err := experiments.NewMultiSplitWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiSplit300Sequential is the retained sequential big.Int
+// reference walk — the `multiSplitSequential` ablation.
+func BenchmarkMultiSplit300Sequential(b *testing.B) {
+	w, err := experiments.NewMultiSplitWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.RunSequential(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCoalesceQuery16 is the sss-bench `coalesceQuery` target: one
 // iteration runs 16 concurrent seed-only sessions, all chasing the same
 // rotating hot key, through ONE coalescing store with a cross-session

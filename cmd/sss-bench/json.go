@@ -51,8 +51,8 @@ type benchResult struct {
 // it also writes the counter snapshots exported by instrumented targets
 // (keyed target name → counter-set name → snapshot) — the evidence that
 // the run exercised the machinery it claims to measure.
-func runJSONBench(path, metricsPath string) error {
-	targets, err := experiments.BenchTargets()
+func runJSONBench(path, metricsPath string, baselines bool) error {
+	targets, err := experiments.BenchTargetsWithOpts(experiments.BenchOpts{SchoolbookBaseline: baselines})
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 //	sss-bench -list
 //	sss-bench -json out.json  # time the tracked hot paths, write JSON
 //	sss-bench -json out.json -metrics metrics.json  # + counter evidence
+//	sss-bench -json out.json -baselines  # + heavy reference baselines
 //
 // -cpuprofile and -memprofile wrap any of the above in pprof collection,
 // so perf work can attach evidence without a bespoke harness:
@@ -33,6 +34,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "time the tracked hot-path benchmarks and write a machine-readable result file")
 	metricsPath := flag.String("metrics", "", "with -json: also write the counter snapshots of instrumented targets (shed/retry/breaker evidence) to this file")
+	baselines := flag.Bool("baselines", false, "with -json: include the heavy reference-pipeline baselines (outsourceFp100kSchoolbook — minutes per pass) so speedup claims are measured in the same run")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -46,7 +48,7 @@ func main() {
 			log.Fatalf("sss-bench: cpuprofile: %v", err)
 		}
 	}
-	err := run(*exp, *quick, *list, *jsonPath, *metricsPath)
+	err := run(*exp, *quick, *list, *jsonPath, *metricsPath, *baselines)
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -60,9 +62,9 @@ func main() {
 	}
 }
 
-func run(exp string, quick, list bool, jsonPath, metricsPath string) error {
+func run(exp string, quick, list bool, jsonPath, metricsPath string, baselines bool) error {
 	if jsonPath != "" {
-		return runJSONBench(jsonPath, metricsPath)
+		return runJSONBench(jsonPath, metricsPath, baselines)
 	}
 	if list {
 		for _, e := range experiments.All() {

@@ -228,10 +228,56 @@
 // ablation keeps the old path measurable).
 //
 // Intentionally still on big.Int: the Z[x]/(r(x)) ring end to end
-// (unbounded coefficients), F_p moduli over 62 bits, and
-// sharing.MultiSplit's Shamir share generation (its rng is a shared
-// stream, so a deterministic parallel walk would need a per-node
-// construction — an open item).
+// (unbounded coefficients) and F_p moduli over 62 bits.
+//
+// # Encode engine
+//
+// Packed products on fast F_p rings route through a number-theoretic
+// transform (internal/fastfield.NTT): the quotient F_p[x]/(x^{p-1}-1) is
+// cyclic convolution of length n = p-1, and F_p^* is cyclic of exactly
+// that order, so the field always contains a primitive n-th root of
+// unity and the length-n DFT diagonalizes the ring product in-field.
+// Per ring the transform state is built lazily on the first
+// transform-sized product and cached for the ring's lifetime — 8n bytes
+// of twiddle table plus pooled scratch, immutable after construction and
+// shared read-only across goroutines. Routing rules:
+//
+//   - When n factors into primes ≤ 61, the mixed-radix Cooley-Tukey
+//     transform runs directly over F_p.
+//   - When n has a larger prime factor, the engine computes the exact
+//     integer convolution through power-of-two NTTs over one or two
+//     63-bit auxiliary primes with a CRT lift — still O(n log n), at a
+//     higher constant (it engages at a correspondingly higher size bar).
+//   - Short products stay schoolbook: a product routes to the transform
+//     only when its schoolbook cost (la·lb coefficient pairs) exceeds
+//     the measured transform cost, ≈ 5·n·log2(n) pair-equivalents
+//     (calibrated by BenchmarkNTT256Mul vs BenchmarkSchoolbook256Mul).
+//     Multi-factor products (ring.MulPackedProd — the shape the
+//     bottom-up tree encode emits at every interior node) amortize
+//     further: each factor is transformed once, multiplied pointwise
+//     into one accumulator, and a single inverse transform recovers the
+//     coefficients.
+//
+// ring.SetNTT(false) forces every product back to schoolbook (the
+// ablation), and SetFast(false) still drops to the big.Int reference;
+// differential and fuzz tests pin all three against each other on both
+// smooth (F_257) and fallback (F_227, F_1283) rings, across the cutover
+// seam.
+//
+// sharing.MultiSplit's k-of-n Shamir share generation runs on the same
+// packed engine and the same bounded worker pool as Split: one 32-byte
+// mask seed is drawn from the caller's rng up front, every node's mask
+// coefficients then derive from that node's own path-keyed DRBG stream,
+// and the n share polynomials are built in one vectorized pass per node
+// (precomputed evaluation-point powers via ScalarMulAddVec). The
+// determinism contract matches Split's: MultiSplitWithOpts is
+// byte-identical at every Parallelism setting to MultiSplitSequential,
+// the retained big.Int reference walk.
+//
+// BENCH_10.json records the capacity-scale effect (100k-node F_257
+// outsourcing ~192 s on the big.Int reference pipeline vs ~3.5 s on the
+// fast path, measured in one run via sss-bench -baselines; 3-of-4
+// MultiSplit over 300 nodes ~392 ms → ~30 ms).
 //
 // BENCH_3.json records the pipeline effect (1000-node F_257 outsourcing
 // ~150 ms → ~30 ms on the 1-vCPU reference host, with the parallel walk

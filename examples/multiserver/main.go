@@ -74,7 +74,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			v, err := fp.Eval(sn.Poly, point)
+			v, err := fp.Eval(sn.Polynomial(), point)
 			if err != nil {
 				log.Fatal(err)
 			}

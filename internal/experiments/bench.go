@@ -74,6 +74,20 @@ type BenchTarget struct {
 //   - shardOutsource: the sharded write path — encode → split →
 //     partition into 4 shard trees over the same document, mirroring
 //     BenchmarkShardOutsource4.
+//   - outsourceFp100k / shardOutsource100k: the capacity-scale write
+//     path — the same pipelines over a 100k-node document (the ROADMAP
+//     "outsourcing a 100k-node document becomes routine" target),
+//     mirroring BenchmarkOutsourceFp100k and BenchmarkShardOutsource100k.
+//     With BenchOpts.SchoolbookBaseline the set also includes
+//     outsourceFp100kSchoolbook, the big.Int reference pipeline over the
+//     same document (schoolbook polynomial products + sequential big.Int
+//     split) — minutes per pass at this scale, so it is opt-in
+//     (sss-bench -baselines): the BENCH_N.json recordings carry it so
+//     the capacity-scale speedup is measured in the same run.
+//   - multiSplit / multiSplitSequential: k-of-n share-tree generation —
+//     a 3-of-4 MultiSplit over a 300-node document on the packed
+//     vectorized parallel walk versus the retained sequential big.Int
+//     reference, mirroring BenchmarkMultiSplit300*.
 //   - coalesceQuery: the cross-session hot path — 16 concurrent
 //     seed-only sessions all running the //t3 lookup against ONE
 //     coalescing store with a shared client pad cache, so concurrent
@@ -99,6 +113,22 @@ type BenchTarget struct {
 //     open admission, with every served answer checked byte-identical to
 //     the reference either way.
 func BenchTargets() ([]BenchTarget, error) {
+	return BenchTargetsWithOpts(BenchOpts{})
+}
+
+// BenchOpts selects optional members of the tracked measurement set.
+type BenchOpts struct {
+	// SchoolbookBaseline includes the big.Int reference pipeline over the
+	// capacity-scale document (outsourceFp100kSchoolbook). One pass runs
+	// minutes, so it is opt-in: per-PR BENCH_N.json recordings set it
+	// (the speedup claim needs baseline and fast path in one run), the
+	// routine CI trajectory run does not.
+	SchoolbookBaseline bool
+}
+
+// BenchTargetsWithOpts is BenchTargets with the optional members
+// selected explicitly.
+func BenchTargetsWithOpts(o BenchOpts) ([]BenchTarget, error) {
 	var targets []BenchTarget
 	for _, id := range []string{"fig5", "fig6"} {
 		e, ok := ByID(id)
@@ -167,6 +197,35 @@ func BenchTargets() ([]BenchTarget, error) {
 	targets = append(targets, BenchTarget{
 		Name: "shardOutsource",
 		Fn:   func() error { return ShardOutsourceOnce(doc, 4) },
+	})
+
+	scaleDoc := OutsourceFpScaleDoc()
+	targets = append(targets, BenchTarget{
+		Name: "outsourceFp100k",
+		Fn:   func() error { return OutsourceFpScaleOnce(scaleDoc, false) },
+	})
+	if o.SchoolbookBaseline {
+		targets = append(targets, BenchTarget{
+			Name: "outsourceFp100kSchoolbook",
+			Fn:   func() error { return OutsourceFpScaleOnce(scaleDoc, true) },
+		})
+	}
+	targets = append(targets, BenchTarget{
+		Name: "shardOutsource100k",
+		Fn:   func() error { return ShardOutsourceOnce(scaleDoc, 4) },
+	})
+
+	msw, err := NewMultiSplitWorkload()
+	if err != nil {
+		return nil, err
+	}
+	targets = append(targets, BenchTarget{
+		Name: "multiSplit",
+		Fn:   msw.Run,
+	})
+	targets = append(targets, BenchTarget{
+		Name: "multiSplitSequential",
+		Fn:   msw.RunSequential,
 	})
 
 	coalQ, err := NewCoalesceQueryWorkload(16, QueryShared)
@@ -269,6 +328,92 @@ func OutsourceFpOnce(doc *xmltree.Node, sequential bool) error {
 		return err
 	}
 	_, err = sharing.Split(enc, seed)
+	return err
+}
+
+// OutsourceFpScaleDoc builds the capacity-scale write-path corpus: a
+// 100k-node F_257 document, two orders of magnitude over OutsourceFpDoc.
+// At this size most interior products saturate the ring's degree bound,
+// so the encode exercises the transform engine rather than the short
+// schoolbook path. Also driven by BenchmarkOutsourceFp100k* and
+// BenchmarkShardOutsource100k.
+func OutsourceFpScaleDoc() *xmltree.Node {
+	return workload.RandomTree(workload.TreeConfig{Nodes: 100000, MaxFanout: 4, Vocab: 40, Seed: 99})
+}
+
+// OutsourceFpScaleOnce runs one full outsourcing pass over the
+// capacity-scale document. schoolbook false is the production fast path
+// exactly as sssearch.Outsource runs it (packed parallel encode through
+// the NTT engine, packed parallel split); schoolbook true is the big.Int
+// reference pipeline end to end — SetFast(false) encode (schoolbook
+// polynomial products on math/big) plus SplitSequential — the baseline
+// the capacity-scale speedup is measured against. The reference pass
+// runs minutes at this scale, which is the point: the fast path turns
+// the same workload into seconds.
+func OutsourceFpScaleOnce(doc *xmltree.Node, schoolbook bool) error {
+	fp := ring.MustFp(257)
+	m, err := mapping.New(fp.MaxTag(), []byte("bench-outsource-fp-100k"))
+	if err != nil {
+		return err
+	}
+	seed := drbg.Seed(sha256.Sum256([]byte("bench-outsource-fp-100k")))
+	if schoolbook {
+		fp.SetFast(false)
+		enc, err := polyenc.Encode(fp, doc, m)
+		if err != nil {
+			return err
+		}
+		_, err = sharing.SplitSequential(enc, seed)
+		return err
+	}
+	enc, err := polyenc.EncodeWithOpts(fp, doc, m, polyenc.Opts{PackedOnly: true})
+	if err != nil {
+		return err
+	}
+	_, err = sharing.Split(enc, seed)
+	return err
+}
+
+// MultiSplitWorkload is the k-of-n write-path fixture behind the
+// multiSplit / multiSplitSequential bench targets and
+// BenchmarkMultiSplit300*: 3-of-4 Shamir share-tree generation over a
+// 300-node F_257 document. The parallel target runs the packed
+// vectorized walk, the sequential one the retained big.Int reference —
+// together they are the before/after pair for the MultiSplit port.
+type MultiSplitWorkload struct {
+	enc  *polyenc.Tree
+	seed drbg.Seed
+}
+
+// NewMultiSplitWorkload encodes the fixture document once; Run and
+// RunSequential share it (MultiSplit does not mutate the encode tree).
+func NewMultiSplitWorkload() (*MultiSplitWorkload, error) {
+	fp := ring.MustFp(257)
+	doc := workload.RandomTree(workload.TreeConfig{Nodes: 300, MaxFanout: 4, Vocab: 12, Seed: 77})
+	m, err := mapping.New(fp.MaxTag(), []byte("bench-multi-split"))
+	if err != nil {
+		return nil, err
+	}
+	enc, err := polyenc.Encode(fp, doc, m)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiSplitWorkload{
+		enc:  enc,
+		seed: drbg.Seed(sha256.Sum256([]byte("bench-multi-split"))),
+	}, nil
+}
+
+// Run generates one 3-of-4 share set on the parallel packed walk.
+func (w *MultiSplitWorkload) Run() error {
+	_, err := sharing.MultiSplit(w.enc, w.seed, 3, 4, crand.Reader)
+	return err
+}
+
+// RunSequential generates the same share set on the sequential big.Int
+// reference walk.
+func (w *MultiSplitWorkload) RunSequential() error {
+	_, err := sharing.MultiSplitSequential(w.enc, w.seed, 3, 4, crand.Reader)
 	return err
 }
 

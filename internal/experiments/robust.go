@@ -332,7 +332,7 @@ func multiServerRun(w io.Writer, n int) error {
 					failure = err
 					return false
 				}
-				v, err := fp.Eval(sn.Poly, a)
+				v, err := fp.Eval(sn.Polynomial(), a)
 				if err != nil {
 					failure = err
 					return false

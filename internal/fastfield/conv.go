@@ -1,0 +1,169 @@
+package fastfield
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// This file is the convolution fallback behind the NTT-backed multiply for
+// rings whose length n = p-1 has a prime factor above MaxRadix. The
+// classical escape hatches for such lengths are Bluestein's chirp
+// transform and Rader's prime-length reduction — but both bottom out in a
+// convolution of a length F_p has no root of unity for (every root order
+// in F_p divides p-1), so the inner convolution must leave F_p either way.
+// Given that, the chirp is pure overhead: we instead compute the plain
+// integer linear convolution of the two canonical coefficient vectors in
+// power-of-two NTTs over auxiliary word-sized primes, CRT-combine when one
+// prime cannot hold the coefficient bound, and fold the result mod
+// (x^n - 1, p). The arithmetic is exact at every step, so the output is
+// bit-identical to the schoolbook product.
+//
+// The auxiliary primes are the two largest 62-bit primes ≡ 1 (mod 2^24):
+// their 2-adicity covers every transform size the ring cap admits
+// (n ≤ 2^22 ⇒ conv length < 2^23), and 124 bits of CRT headroom cover the
+// worst coefficient bound min(la,lb)·(p-1)^2 < 2^66 with room to spare.
+// One prime suffices — and the second transform is skipped — whenever
+// min(la,lb)·(p-1)^2 < q1, which holds for every modulus below ~2^20.
+
+// auxPrimes are the CRT moduli: the largest primes q < 2^62 with
+// 2^24 | q-1 (q1 = 274877906938·2^24 + 1, q2 = 274877906937·2^24 + 1 —
+// verified prime, with the 2-adicity checked, in TestAuxPrimes).
+var auxPrimes = [2]uint64{4611686018326724609, 4611686018309947393}
+
+// auxEngine lazily carries one auxiliary prime's field plus its power-of-
+// two transforms, keyed by size. Transforms are built once per size and
+// shared read-only.
+type auxEngine struct {
+	once sync.Once
+	f    *Field
+	ntts sync.Map // int -> *NTT
+}
+
+var auxEngines [2]auxEngine
+
+// auxField returns the i-th auxiliary prime's field.
+func auxField(i int) *Field {
+	e := &auxEngines[i]
+	e.once.Do(func() {
+		f, err := New(auxPrimes[i])
+		if err != nil {
+			panic(fmt.Sprintf("fastfield: bad auxiliary prime %d: %v", auxPrimes[i], err))
+		}
+		e.f = f
+	})
+	return e.f
+}
+
+// aux returns the i-th auxiliary engine's transform of length m (a power
+// of two ≤ 2^25).
+func aux(i, m int) *NTT {
+	e := &auxEngines[i]
+	if t, ok := e.ntts.Load(m); ok {
+		return t.(*NTT)
+	}
+	t, err := NewNTT(auxField(i), m)
+	if err != nil {
+		panic(fmt.Sprintf("fastfield: auxiliary NTT size %d: %v", m, err))
+	}
+	actual, _ := e.ntts.LoadOrStore(m, t)
+	return actual.(*NTT)
+}
+
+// CyclicConv multiplies in F_p[x]/(x^n - 1) for lengths n the mixed-radix
+// NTT rejects (ErrNotSmooth). Stateless beyond its parameters; safe for
+// concurrent use.
+type CyclicConv struct {
+	f *Field
+	n int
+	// pm1sq = (p-1)^2, the per-term bound of the integer convolution.
+	pm1sq uint64
+	// q2InvM is q1^{-1} mod q2 in q2's Montgomery form, for the CRT lift.
+	q2InvM uint64
+}
+
+// NewCyclicConv builds the fallback multiplier for cyclic length n over f.
+// The modulus must stay below 2^31 so the per-term coefficient bound
+// (p-1)^2 fits a word — every constructible FpCyclotomic (p ≤ 2^22) does.
+func NewCyclicConv(f *Field, n int) *CyclicConv {
+	if f.p >= 1<<31 {
+		panic(fmt.Sprintf("fastfield: CyclicConv modulus %d too wide", f.p))
+	}
+	f2 := auxField(1)
+	q1InQ2 := f2.Reduce(auxPrimes[0])
+	inv, ok := f2.Inv(q1InQ2)
+	if !ok {
+		panic("fastfield: auxiliary primes not coprime")
+	}
+	return &CyclicConv{
+		f:      f,
+		n:      n,
+		pm1sq:  (f.p - 1) * (f.p - 1),
+		q2InvM: f2.MForm(inv),
+	}
+}
+
+// N returns the cyclic length.
+func (c *CyclicConv) N() int { return c.n }
+
+// MulCyclicInto writes the length-n cyclic product of a and b (each of
+// length ≤ n, canonical mod p) into dst (length n).
+func (c *CyclicConv) MulCyclicInto(dst, a, b []uint64) {
+	if len(dst) != c.n {
+		panic("fastfield: MulCyclicInto dst length mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return
+	}
+	convLen := la + lb - 1
+	m := 1
+	for m < convLen {
+		m <<= 1
+	}
+	// Does one auxiliary prime hold the exact coefficients? Bound:
+	// min(la,lb) terms of at most (p-1)^2 each.
+	minLen := la
+	if lb < la {
+		minLen = lb
+	}
+	hi, lo := bits.Mul64(uint64(minLen), c.pm1sq)
+	onePrime := hi == 0 && lo < auxPrimes[0]
+
+	t1 := aux(0, m)
+	r1 := t1.getBuf()
+	defer t1.putBuf(r1)
+	// Canonical residues mod p are already canonical mod the (much larger)
+	// auxiliary primes, so the vectors lift verbatim.
+	t1.MulCyclicInto(*r1, a, b)
+
+	f := c.f
+	if onePrime {
+		for k := 0; k < convLen; k++ {
+			i := k % c.n
+			dst[i] = f.Add(dst[i], f.Reduce((*r1)[k]))
+		}
+		return
+	}
+	t2 := aux(1, m)
+	r2 := t2.getBuf()
+	defer t2.putBuf(r2)
+	t2.MulCyclicInto(*r2, a, b)
+	f2 := t2.f
+	for k := 0; k < convLen; k++ {
+		// CRT lift: c = v1 + q1·t with t = (v2 - v1)·q1^{-1} mod q2; c is
+		// the exact integer coefficient, < q1·q2 < 2^124.
+		v1 := (*r1)[k]
+		t := f2.MRed(f2.Sub((*r2)[k], f2.Reduce(v1)), c.q2InvM)
+		chi, clo := bits.Mul64(auxPrimes[0], t)
+		clo, carry := bits.Add64(clo, v1, 0)
+		chi += carry
+		// Reduce the 128-bit value mod p: 2^64 ≡ f.one (mod p).
+		v := f.Add(f.Mul(f.Reduce(chi), f.one), f.Reduce(clo))
+		i := k % c.n
+		dst[i] = f.Add(dst[i], v)
+	}
+}

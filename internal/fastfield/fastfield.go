@@ -255,6 +255,18 @@ func (f *Field) MFormVec(dst, src []uint64) {
 	}
 }
 
+// ScalarMulAddVec accumulates dst[i] += src[i]·c for a scalar c given in
+// Montgomery form (see MForm) — the axpy step of vectorized Shamir share
+// generation. dst and src must have equal length; dst may alias src.
+func (f *Field) ScalarMulAddVec(dst, src []uint64, cM uint64) {
+	if len(dst) != len(src) {
+		panic("fastfield: ScalarMulAddVec length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = f.Add(dst[i], f.MRed(v, cM))
+	}
+}
+
 // Eval evaluates the packed polynomial coeffs (ascending degree,
 // canonical coefficients) at the canonical point x by Horner's rule.
 func (f *Field) Eval(coeffs []uint64, x uint64) uint64 {

@@ -1,0 +1,329 @@
+package fastfield
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file implements the number-theoretic transform behind the packed
+// polynomial multiply of ring.FpCyclotomic. The quotient F_p[x]/(x^{p-1}-1)
+// is cyclic convolution of length n = p-1, and F_p^* is cyclic of exactly
+// that order, so F_p always contains a primitive n-th root of unity ω (any
+// generator of F_p^*): the length-n DFT over F_p itself diagonalizes the
+// ring product. When n factors into small primes the transform runs as a
+// mixed-radix Cooley-Tukey decimation in O(n log n) Montgomery operations;
+// when n has a large prime factor the convolution fallback in conv.go takes
+// over (see there). Schoolbook multiplication remains the right choice for
+// short products — the cutover lives in ring.MulPacked, not here.
+//
+// Twiddle layout: one table tab[j] = ω^j (Montgomery form, j < n) serves
+// both directions — the inverse transform indexes it at n-j. Tables are
+// built once in NewNTT, immutable afterwards, and shared read-only across
+// any number of concurrent transforms; scratch vectors come from an
+// internal pool so steady-state multiplies do not allocate.
+
+// MaxRadix is the largest prime factor of the transform length the
+// mixed-radix path accepts. Lengths with a larger factor return
+// ErrNotSmooth from NewNTT (callers fall back to the convolution engine).
+// 61 keeps the generic-radix butterfly's gather buffer on the stack.
+const MaxRadix = 61
+
+// ErrNotSmooth reports a transform length whose largest prime factor
+// exceeds MaxRadix.
+var ErrNotSmooth = errors.New("fastfield: transform length not smooth enough for the mixed-radix NTT")
+
+// NTT is a cached number-theoretic transform of fixed length n over F_p.
+// Immutable after NewNTT; safe for concurrent use.
+type NTT struct {
+	f *Field
+	n int
+	// tab[j] = ω^j in Montgomery form for a fixed primitive n-th root of
+	// unity ω. The inverse transform reads ω^{-j} as tab[(n-j) mod n].
+	tab []uint64
+	// plan is the prime factorization of n in ascending order; the
+	// recursion peels radices front to back.
+	plan []int
+	// nInvM is n^{-1} mod p in Montgomery form — the inverse-transform
+	// scaling factor.
+	nInvM uint64
+	// bufs pools length-n scratch vectors for transforms and products.
+	bufs sync.Pool
+}
+
+// factorSmooth returns the ascending prime factorization of n, or
+// ErrNotSmooth when a prime factor exceeds MaxRadix.
+func factorSmooth(n int) ([]int, error) {
+	var plan []int
+	m := n
+	for f := 2; f <= MaxRadix && f*f <= m; f++ {
+		for m%f == 0 {
+			plan = append(plan, f)
+			m /= f
+		}
+	}
+	if m > 1 {
+		if m > MaxRadix {
+			return nil, fmt.Errorf("%w: %d has prime factor %d", ErrNotSmooth, n, m)
+		}
+		plan = append(plan, m)
+	}
+	return plan, nil
+}
+
+// rootOfUnity finds an element of exact multiplicative order n in F_p,
+// given the prime factors of n. Requires n | p-1 (F_p^* is cyclic, so such
+// elements exist exactly then).
+func rootOfUnity(f *Field, n int, factors []int) (uint64, error) {
+	if n < 1 || (f.p-1)%uint64(n) != 0 {
+		return 0, fmt.Errorf("fastfield: no order-%d root of unity mod %d", n, f.p)
+	}
+	if n == 1 {
+		return 1, nil
+	}
+	exp := (f.p - 1) / uint64(n)
+	// Distinct prime factors of n, for the exact-order check.
+	var distinct []int
+	for i, q := range factors {
+		if i == 0 || q != factors[i-1] {
+			distinct = append(distinct, q)
+		}
+	}
+search:
+	for a := uint64(2); a < f.p; a++ {
+		w := f.Exp(a, exp)
+		if w == 0 || w == 1 {
+			continue
+		}
+		// ord(w) divides n; it equals n iff w^{n/q} != 1 for every prime
+		// q | n.
+		for _, q := range distinct {
+			if f.Exp(w, uint64(n/q)) == 1 {
+				continue search
+			}
+		}
+		return w, nil
+	}
+	return 0, fmt.Errorf("fastfield: no order-%d root of unity mod %d found", n, f.p)
+}
+
+// NewNTT builds the transform tables for length n over f. It returns
+// ErrNotSmooth when n has a prime factor above MaxRadix — the caller then
+// falls back to NewCyclicConv. Table memory is 8n bytes plus pooled
+// scratch; build cost is O(n) Montgomery multiplies plus the root search.
+func NewNTT(f *Field, n int) (*NTT, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fastfield: invalid NTT length %d", n)
+	}
+	plan, err := factorSmooth(n)
+	if err != nil {
+		return nil, err
+	}
+	w, err := rootOfUnity(f, n, plan)
+	if err != nil {
+		return nil, err
+	}
+	tab := make([]uint64, n)
+	tab[0] = f.one // Montgomery form of ω^0 = 1
+	wM := f.MForm(w)
+	for j := 1; j < n; j++ {
+		tab[j] = f.MRed(tab[j-1], wM)
+	}
+	nInv, ok := f.Inv(f.Reduce(uint64(n)))
+	if !ok {
+		// n = p-1 (or a divisor) is never ≡ 0 mod p.
+		return nil, fmt.Errorf("fastfield: transform length %d not invertible mod %d", n, f.p)
+	}
+	t := &NTT{f: f, n: n, tab: tab, plan: plan, nInvM: f.MForm(nInv)}
+	t.bufs.New = func() any { v := make([]uint64, n); return &v }
+	return t, nil
+}
+
+// N returns the transform length.
+func (t *NTT) N() int { return t.n }
+
+// Cost estimates the Montgomery-multiply count of one transform — the
+// quantity ring.MulPacked weighs against the schoolbook product when
+// picking a path.
+func (t *NTT) Cost() int {
+	c := 0
+	for _, r := range t.plan {
+		c += t.n * r
+	}
+	return c
+}
+
+func (t *NTT) getBuf() *[]uint64 { return t.bufs.Get().(*[]uint64) }
+func (t *NTT) putBuf(b *[]uint64) {
+	t.bufs.Put(b)
+}
+
+// Transform computes the length-n DFT (inverse=false) or unscaled inverse
+// DFT (inverse=true) of src into dst. src is read with padding: entries
+// beyond len(src) count as zero. dst must have length n and must not alias
+// src. The inverse transform applies the 1/n scaling, so
+// Transform(inverse=true) ∘ Transform(inverse=false) is the identity.
+func (t *NTT) Transform(dst, src []uint64, inverse bool) {
+	if len(dst) != t.n {
+		panic("fastfield: Transform dst length mismatch")
+	}
+	if len(src) == t.n {
+		t.rec(src, 1, dst, t.n, 0, inverse)
+	} else {
+		pad := t.getBuf()
+		defer t.putBuf(pad)
+		n := copy(*pad, src)
+		for i := n; i < t.n; i++ {
+			(*pad)[i] = 0
+		}
+		t.rec(*pad, 1, dst, t.n, 0, inverse)
+	}
+	if inverse {
+		f := t.f
+		for i, v := range dst {
+			dst[i] = f.MRed(v, t.nInvM)
+		}
+	}
+}
+
+// rec is the recursive mixed-radix Cooley-Tukey step: it computes the
+// size-sz DFT of src[0], src[stride], src[2·stride], … into dst[0:sz],
+// peeling radix plan[pi]. All twiddle exponents are maintained
+// incrementally (add the step, conditionally subtract n) — the butterfly
+// loops carry no integer division.
+func (t *NTT) rec(src []uint64, stride int, dst []uint64, sz, pi int, inv bool) {
+	if sz == 1 {
+		dst[0] = src[0]
+		return
+	}
+	r := t.plan[pi]
+	m := sz / r
+	for j := 0; j < r; j++ {
+		t.rec(src[j*stride:], stride*r, dst[j*m:], m, pi+1, inv)
+	}
+	f := t.f
+	step := t.n / sz // global exponent scale: ω_sz = ω^step
+	if r == 2 {
+		// Radix-2 butterfly: ω_sz^{k0+m} = -ω_sz^{k0}. The exponent walks
+		// 0, step, 2·step, … < n/2, so no reduction is ever needed.
+		lo, hi := dst[:m], dst[m:sz]
+		e := 0
+		for k0 := 0; k0 < m; k0++ {
+			a := lo[k0]
+			bw := hi[k0]
+			if e != 0 {
+				bw = f.MRed(bw, t.tab[t.twIdx(e, inv)])
+			}
+			lo[k0] = f.Add(a, bw)
+			hi[k0] = f.Sub(a, bw)
+			e += step
+		}
+		return
+	}
+	var scratch [MaxRadix + 1]uint64
+	// ew[j] tracks (step·j·k0) mod n across the k0 loop; stepJ[j] is its
+	// per-iteration increment (step·j) mod n.
+	var ew, stepJ [MaxRadix]int
+	for j := 1; j < r; j++ {
+		stepJ[j] = stepJ[j-1] + step
+		if stepJ[j] >= t.n {
+			stepJ[j] -= t.n
+		}
+	}
+	rootR := t.n / r // ω_sz^{m} = ω^{n/r}
+	for k0 := 0; k0 < m; k0++ {
+		for j := 0; j < r; j++ {
+			x := dst[j*m+k0]
+			if e := ew[j]; e != 0 {
+				x = f.MRed(x, t.tab[t.twIdx(e, inv)])
+			}
+			scratch[j] = x
+		}
+		for k1 := 0; k1 < r; k1++ {
+			acc := scratch[0]
+			// idx tracks (j·k1) mod r incrementally (idx += k1 with a
+			// conditional subtract — k1 < r keeps it in range).
+			idx := 0
+			for j := 1; j < r; j++ {
+				idx += k1
+				if idx >= r {
+					idx -= r
+				}
+				x := scratch[j]
+				if idx != 0 {
+					x = f.MRed(x, t.tab[t.twIdx(rootR*idx, inv)])
+				}
+				acc = f.Add(acc, x)
+			}
+			dst[k1*m+k0] = acc
+		}
+		for j := 1; j < r; j++ {
+			ew[j] += stepJ[j]
+			if ew[j] >= t.n {
+				ew[j] -= t.n
+			}
+		}
+	}
+}
+
+// twIdx maps a reduced exponent e (0 < e < n) to the table index of ω^e
+// (forward) or ω^{-e} (inverse).
+func (t *NTT) twIdx(e int, inv bool) int {
+	if inv {
+		return t.n - e
+	}
+	return e
+}
+
+// MulCyclicInto writes the length-n cyclic convolution of a and b (each of
+// length ≤ n, canonical coefficients) into dst (length n): the product in
+// F_p[x]/(x^n - 1). Allocation-free in steady state (pooled scratch).
+func (t *NTT) MulCyclicInto(dst, a, b []uint64) {
+	if len(dst) != t.n {
+		panic("fastfield: MulCyclicInto dst length mismatch")
+	}
+	fa, fb := t.getBuf(), t.getBuf()
+	defer t.putBuf(fa)
+	defer t.putBuf(fb)
+	t.Transform(*fa, a, false)
+	t.Transform(*fb, b, false)
+	f := t.f
+	// Pointwise product in the evaluation domain: lift one side to
+	// Montgomery form so each product is two MReds.
+	va, vb := *fa, *fb
+	for i := range va {
+		va[i] = f.MRed(va[i], f.MRed(vb[i], f.r2))
+	}
+	t.Transform(dst, va, true)
+}
+
+// ProdCyclicInto writes the cyclic product of all factors into dst (length
+// n): each factor is transformed once, multiplied pointwise into one
+// accumulator, and a single inverse transform recovers the coefficients —
+// the shape the bottom-up tree encode wants, where an interior node
+// multiplies its tag factor against every child product.
+func (t *NTT) ProdCyclicInto(dst []uint64, factors ...[]uint64) {
+	if len(dst) != t.n {
+		panic("fastfield: ProdCyclicInto dst length mismatch")
+	}
+	if len(factors) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		dst[0] = 1
+		return
+	}
+	acc, fb := t.getBuf(), t.getBuf()
+	defer t.putBuf(acc)
+	defer t.putBuf(fb)
+	t.Transform(*acc, factors[0], false)
+	f := t.f
+	va, vb := *acc, *fb
+	for _, fac := range factors[1:] {
+		t.Transform(vb, fac, false)
+		for i := range va {
+			va[i] = f.MRed(va[i], f.MRed(vb[i], f.r2))
+		}
+	}
+	t.Transform(dst, va, true)
+}

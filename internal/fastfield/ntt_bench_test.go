@@ -1,0 +1,91 @@
+package fastfield
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The pair below calibrates the schoolbook→NTT cutover in
+// ring.nttCutoverCost: BenchmarkNTT256Mul is one full-width cyclic product
+// through the mixed-radix transform at the F_257 ring's native length,
+// BenchmarkSchoolbook256Mul the same product through the zero-skipping
+// double loop the ring's schoolbook path runs. Their ratio (transform cost
+// in schoolbook-pair equivalents) is what the cutover formula encodes —
+// re-measure here before touching the constant.
+
+func benchVecs(p uint64, n int) (a, b []uint64) {
+	rng := rand.New(rand.NewSource(int64(p)))
+	a = make([]uint64, n)
+	b = make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % p
+		b[i] = rng.Uint64() % p
+	}
+	return a, b
+}
+
+func BenchmarkNTT256Mul(b *testing.B) {
+	f, err := New(257)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := NewNTT(f, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	va, vb := benchVecs(257, 256)
+	dst := make([]uint64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.MulCyclicInto(dst, va, vb)
+	}
+}
+
+func BenchmarkSchoolbook256Mul(b *testing.B) {
+	f, err := New(257)
+	if err != nil {
+		b.Fatal(err)
+	}
+	va, vb := benchVecs(257, 256)
+	bm := make([]uint64, 256)
+	dst := make([]uint64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		for i := range dst {
+			dst[i] = 0
+		}
+		f.MFormVec(bm, vb)
+		for i, ai := range va {
+			if ai == 0 {
+				continue
+			}
+			for j, bj := range bm {
+				k := i + j
+				if k >= 256 {
+					k -= 256
+				}
+				dst[k] = f.Add(dst[k], f.MRed(ai, bj))
+			}
+		}
+	}
+}
+
+// BenchmarkConvFallback226Mul times the auxiliary-prime convolution engine
+// at the F_227 ring's length (226 = 2·113 is not MaxRadix-smooth) — the
+// path non-smooth rings pay instead of the in-field transform above.
+func BenchmarkConvFallback226Mul(b *testing.B) {
+	f, err := New(227)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCyclicConv(f, 226)
+	va, vb := benchVecs(227, 226)
+	dst := make([]uint64, 226)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MulCyclicInto(dst, va, vb)
+	}
+}

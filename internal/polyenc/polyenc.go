@@ -192,11 +192,16 @@ func (e *packedEncoder) walk(x *xmltree.Node, out *Node) {
 		})
 	}
 	wg.Wait()
-	prod := out.Children[0].Packed
-	for _, c := range out.Children[1:] {
-		prod = trimPacked(e.fp.MulPacked(prod, c.Packed))
+	// Multi-factor product: the tag factor and every child product go
+	// through MulPackedProd, which on the NTT path transforms each factor
+	// exactly once and runs a single inverse transform — instead of one
+	// full pairwise multiply per child.
+	factors := make([][]uint64, 0, len(out.Children)+1)
+	factors = append(factors, linear)
+	for _, c := range out.Children {
+		factors = append(factors, c.Packed)
 	}
-	out.Packed = trimPacked(e.fp.MulPacked(linear, prod))
+	out.Packed = trimPacked(e.fp.MulPackedProd(factors...))
 	if !e.packedOnly {
 		out.Poly = e.fp.Unpack(out.Packed)
 	}
@@ -382,15 +387,9 @@ func recoverTagPacked(r *ring.FpCyclotomic, f poly.Poly, children []poly.Poly) (
 func RecoverTagPacked(r *ring.FpCyclotomic, pf []uint64, children [][]uint64) (*big.Int, error) {
 	n := r.DegreeBound()
 	ff := r.Fast()
-	q := []uint64{1}
-	for _, pc := range children {
-		q = r.MulPacked(q, pc)
-	}
-	if len(q) < n {
-		grown := make([]uint64, n)
-		copy(grown, q)
-		q = grown
-	}
+	// One multi-factor product (single inverse transform on the NTT path);
+	// the empty-children case yields the ring's one. Always length n.
+	q := r.MulPackedProd(children...)
 	// d = q·x − f, with the multiply-by-x a cyclic shift (x·x^{n-1} ≡ 1).
 	d := make([]uint64, n)
 	for i := 0; i < n; i++ {

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"sssearch/internal/fastfield"
 	"sssearch/internal/field"
@@ -34,6 +37,41 @@ type FpCyclotomic struct {
 	// fast is the word-sized engine, nil when disabled (SetFast) or
 	// unsupported.
 	fast *fastfield.Field
+
+	// The NTT-backed encode engine. The quotient ring is cyclic
+	// convolution of length n, so long packed products run through a
+	// number-theoretic transform instead of the O(n²) schoolbook loop.
+	// The tables are built lazily on the first eligible product (nttOnce;
+	// immutable and shared read-only afterwards): ntt carries the
+	// mixed-radix transform when n is MaxRadix-smooth, conv the
+	// auxiliary-prime convolution fallback otherwise. Short products stay
+	// on the schoolbook path (nttCut); SetNTT(false) disables the engine
+	// for ablation benchmarks and differential tests.
+	nttOnce sync.Once
+	ntt     *fastfield.NTT
+	conv    *fastfield.CyclicConv
+	nttOff  atomic.Bool
+	// nttCut is the pairwise size cutover: a product with
+	// len(pa)·len(pb) below it runs schoolbook. ≈ the Montgomery-multiply
+	// cost of the three transforms of one NTT multiply.
+	nttCut int
+
+	// bmPool recycles the Montgomery-form operand scratch of the
+	// schoolbook loop (length-n vectors), so MulPackedInto is
+	// allocation-free.
+	bmPool sync.Pool
+}
+
+// nttCutoverCost estimates the cost of one NTT-backed multiply of cyclic
+// length n — three transforms plus the pointwise pass — in units of
+// schoolbook coefficient pairs, the break-even point against the
+// schoolbook loop's len(pa)·len(pb). The constant is measured, not
+// counted: one transform costs ≈ 1.8·n·log₂n pair-equivalents on the
+// mixed-radix kernel (BenchmarkNTT256Mul vs BenchmarkSchoolbook256Mul),
+// and rounding up to 5·n·log₂n for the full multiply errs toward the
+// schoolbook side, where a mispredicted boundary costs least.
+func nttCutoverCost(n int) int {
+	return 5 * n * bits.Len(uint(n))
 }
 
 // NewFpCyclotomic constructs F_p[x]/(x^{p-1}-1) for prime p >= 5.
@@ -52,6 +90,8 @@ func NewFpCyclotomic(p *big.Int) (*FpCyclotomic, error) {
 		return nil, errors.New("ring: p too large for the F_p[x]/(x^(p-1)-1) representation")
 	}
 	r := &FpCyclotomic{f: f, p: new(big.Int).Set(p), n: int(p.Int64() - 1), fast: f.Fast()}
+	r.nttCut = nttCutoverCost(r.n)
+	r.bmPool.New = func() any { v := make([]uint64, r.n); return &v }
 	return r, nil
 }
 
@@ -214,9 +254,10 @@ func (r *FpCyclotomic) Neg(a poly.Poly) poly.Poly {
 	return r.Reduce(a.Neg())
 }
 
-// Mul implements Ring. The fast path multiplies schoolbook-style directly
-// into the folded residue (out[(i+j) mod n]), one Montgomery product per
-// coefficient pair, with no intermediate big.Int allocation.
+// Mul implements Ring. The fast path multiplies in the packed
+// representation with no intermediate big.Int allocation — via the NTT
+// engine for long operands, directly into the folded residue
+// (out[(i+j) mod n]) schoolbook-style for short ones (see MulPacked).
 func (r *FpCyclotomic) Mul(a, b poly.Poly) poly.Poly {
 	pa, okA := r.packFold(a)
 	if okA {
@@ -235,11 +276,24 @@ func (r *FpCyclotomic) AddPacked(pa, pb []uint64) []uint64 {
 		pa, pb = pb, pa
 	}
 	out := make([]uint64, len(pa))
-	copy(out, pa)
-	for i, v := range pb {
-		out[i] = r.fast.Add(out[i], v)
-	}
+	r.AddPackedInto(out, pa, pb)
 	return out
+}
+
+// AddPackedInto writes pa + pb into dst, which must have the length of the
+// longer operand; dst may alias pa or pb. Only valid when the fast path is
+// on.
+func (r *FpCyclotomic) AddPackedInto(dst, pa, pb []uint64) {
+	if len(pb) > len(pa) {
+		pa, pb = pb, pa
+	}
+	if len(dst) != len(pa) {
+		panic("ring: AddPackedInto dst length mismatch")
+	}
+	copy(dst, pa)
+	for i, v := range pb {
+		dst[i] = r.fast.Add(dst[i], v)
+	}
 }
 
 // MulPacked multiplies two packed canonical vectors (each of length <= n,
@@ -247,9 +301,50 @@ func (r *FpCyclotomic) AddPacked(pa, pb []uint64) []uint64 {
 // packed product. Only valid when the fast path is on; packed-
 // representation callers (polyenc tag recovery) use it to stay off the
 // big.Int boundary entirely.
+//
+// Long products run through the NTT engine (O(n log n)); short ones —
+// where len(pa)·len(pb) is below the transform cost — keep the schoolbook
+// loop. Both paths produce bit-identical canonical output.
 func (r *FpCyclotomic) MulPacked(pa, pb []uint64) []uint64 {
 	out := make([]uint64, r.n)
-	bm := make([]uint64, len(pb))
+	r.MulPackedInto(out, pa, pb)
+	return out
+}
+
+// MulPackedInto is MulPacked with a caller-provided output vector (length
+// n, overwritten; must not alias pa or pb) — the hot encode and
+// tag-recovery loops use it with reused buffers so steady-state products
+// do not allocate.
+func (r *FpCyclotomic) MulPackedInto(dst, pa, pb []uint64) {
+	if len(dst) != r.n {
+		panic("ring: MulPackedInto dst length mismatch")
+	}
+	if ntt, conv := r.engine(len(pa), len(pb)); ntt != nil {
+		ntt.MulCyclicInto(dst, pa, pb)
+		return
+	} else if conv != nil {
+		conv.MulCyclicInto(dst, pa, pb)
+		return
+	}
+	r.mulSchoolbookInto(dst, pa, pb)
+}
+
+// MulPackedSchoolbook is the retained O(len(pa)·len(pb)) reference
+// multiply — the differential-test anchor the NTT path is pinned against,
+// and the path SetNTT(false) ablation benchmarks measure.
+func (r *FpCyclotomic) MulPackedSchoolbook(pa, pb []uint64) []uint64 {
+	out := make([]uint64, r.n)
+	r.mulSchoolbookInto(out, pa, pb)
+	return out
+}
+
+func (r *FpCyclotomic) mulSchoolbookInto(dst, pa, pb []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	bmp := r.bmPool.Get().(*[]uint64)
+	defer r.bmPool.Put(bmp)
+	bm := (*bmp)[:len(pb)]
 	r.fast.MFormVec(bm, pb)
 	for i, ai := range pa {
 		if ai == 0 {
@@ -260,10 +355,139 @@ func (r *FpCyclotomic) MulPacked(pa, pb []uint64) []uint64 {
 			if k >= r.n {
 				k -= r.n
 			}
-			out[k] = r.fast.Add(out[k], r.fast.MRed(ai, bj))
+			dst[k] = r.fast.Add(dst[k], r.fast.MRed(ai, bj))
+		}
+	}
+}
+
+// engine decides the multiply path for operand lengths la, lb and returns
+// the transform to use, building the per-ring tables on first eligible
+// use. Both returns are nil when the schoolbook loop is the right (or
+// only) choice: short products, SetNTT(false), or a disabled fast path.
+func (r *FpCyclotomic) engine(la, lb int) (*fastfield.NTT, *fastfield.CyclicConv) {
+	if r.nttOff.Load() || la == 0 || lb == 0 {
+		return nil, nil
+	}
+	work := la * lb
+	if work < r.nttCut {
+		return nil, nil
+	}
+	r.nttOnce.Do(func() {
+		ff := r.f.Fast()
+		if ff == nil {
+			return
+		}
+		ntt, err := fastfield.NewNTT(ff, r.n)
+		if err == nil {
+			r.ntt = ntt
+			return
+		}
+		if errors.Is(err, fastfield.ErrNotSmooth) {
+			r.conv = fastfield.NewCyclicConv(ff, r.n)
+		}
+	})
+	if r.ntt != nil {
+		return r.ntt, nil
+	}
+	if r.conv != nil {
+		// The fallback pays power-of-two transforms over 62-bit auxiliary
+		// primes (up to six, for the CRT) — worth it only well past the
+		// mixed-radix break-even.
+		m := 1
+		for m < la+lb-1 {
+			m <<= 1
+		}
+		if work < 10*m*bits.Len(uint(m)) {
+			return nil, nil
+		}
+		return nil, r.conv
+	}
+	return nil, nil
+}
+
+// SetNTT enables or disables the NTT-backed multiply, leaving the rest of
+// the word-sized fast path untouched. It exists for ablation benchmarks
+// (the capacity-scale outsourcing targets measure NTT vs schoolbook in
+// one run) and differential tests; production code leaves it on. Safe to
+// call concurrently with ring use — the toggle is a single atomic and
+// both paths compute identical results.
+func (r *FpCyclotomic) SetNTT(enabled bool) {
+	r.nttOff.Store(!enabled)
+}
+
+// MulPackedProd multiplies all factors (each a packed canonical vector of
+// length <= n) in one pass, returning a fresh length-n product. On the
+// NTT path every factor is transformed exactly once and a single inverse
+// transform recovers the product — the shape the bottom-up encode wants,
+// where an interior node multiplies its tag factor against every child
+// product. Falls back to left-to-right pairwise products when the
+// operands are too short for the transform to pay, or on fallback rings.
+// An empty factor list yields the ring's one.
+func (r *FpCyclotomic) MulPackedProd(factors ...[]uint64) []uint64 {
+	out := make([]uint64, r.n)
+	if len(factors) == 0 {
+		out[0] = 1
+		return out
+	}
+	if len(factors) == 1 {
+		copy(out, factors[0])
+		return out
+	}
+	// Estimate the schoolbook cost of the left-to-right product: prefix
+	// length grows by each factor's degree and caps at n.
+	prefix := len(factors[0])
+	cost := 0
+	for _, f := range factors[1:] {
+		cost += prefix * len(f)
+		if prefix += len(f) - 1; prefix > r.n {
+			prefix = r.n
+		}
+	}
+	// NTT product cost: one forward transform per factor plus one inverse
+	// — (k+1)/3 of a pairwise multiply's three transforms.
+	if !r.nttOff.Load() && cost >= (len(factors)+1)*r.nttCut/3 {
+		if ntt, _ := r.engine(r.n, r.n); ntt != nil {
+			ntt.ProdCyclicInto(out, factors...)
+			return out
+		}
+	}
+	// Pairwise loop with degree trimming, ping-ponging two buffers; each
+	// pairwise product still picks its own best path via MulPackedInto.
+	bufp := r.bmPool.Get().(*[]uint64)
+	defer r.bmPool.Put(bufp)
+	acc := factors[0]
+	scratch := out
+	spare := *bufp
+	for _, f := range factors[1:] {
+		r.MulPackedInto(scratch, acc, f)
+		acc = trimTrailingZeros(scratch)
+		scratch, spare = spare, scratch
+	}
+	if len(acc) == 0 {
+		// A zero factor annihilated the product; out may hold stale
+		// intermediate coefficients.
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	if &acc[0] != &out[0] {
+		n := copy(out, acc)
+		for i := n; i < len(out); i++ {
+			out[i] = 0
 		}
 	}
 	return out
+}
+
+// trimTrailingZeros drops trailing zero coefficients so intermediate
+// products carry their true degree into the next multiplication.
+func trimTrailingZeros(v []uint64) []uint64 {
+	n := len(v)
+	for n > 0 && v[n-1] == 0 {
+		n--
+	}
+	return v[:n]
 }
 
 // Zero implements Ring.

@@ -38,10 +38,11 @@ const ShareLabel = "sss/client-share/v2"
 
 // Node is one node of a share tree. Exactly one of Poly and Packed is
 // authoritative: trees built through the big.Int path (unmarshal,
-// Materialize, MultiSplit, hand-rolled fixtures) carry Poly; trees from
-// the packed split carry Packed and materialize Poly on demand through
-// Polynomial(). Readers that cannot know the tree's provenance must go
-// through Polynomial().
+// Materialize, the sequential reference walks, hand-rolled fixtures)
+// carry Poly; trees from the packed split and the packed MultiSplit
+// carry Packed and materialize Poly on demand through Polynomial().
+// Readers that cannot know the tree's provenance must go through
+// Polynomial().
 type Node struct {
 	// Poly is the big.Int boundary representation of the share
 	// polynomial; the zero value on packed trees (see Polynomial).
@@ -54,19 +55,29 @@ type Node struct {
 	// Polynomial; unmarshaled trees re-pack lazily. Shared read-only.
 	Packed   []uint64
 	Children []*Node
+	// boxed caches the Polynomial() materialization of Packed, so
+	// repeated polynomial fetches over a packed tree (FetchPolys batches,
+	// reconstruction) box each node once instead of per call. Benign
+	// last-writer-wins race: every racer stores an identical value.
+	boxed atomic.Pointer[poly.Poly]
 }
 
 // Polynomial returns the node's share polynomial in the big.Int boundary
 // representation, materializing it from the packed mirror when that is
-// the authoritative form. The materialization is stateless (safe under
-// concurrent readers, no caching): hot paths work on Packed and never
-// call this; cold paths (marshal, polynomial fetches, reconstruction)
-// pay one boxing pass per call.
+// the authoritative form. The first materialization is cached on the
+// node (nodes are immutable after the split), so hot paths keep working
+// on Packed while cold paths (marshal, polynomial fetches,
+// reconstruction) pay one boxing pass per node, not per call.
 func (n *Node) Polynomial() poly.Poly {
-	if n.Packed != nil {
-		return poly.NewUint64(n.Packed)
+	if n.Packed == nil {
+		return n.Poly
 	}
-	return n.Poly
+	if p := n.boxed.Load(); p != nil {
+		return *p
+	}
+	p := poly.NewUint64(n.Packed)
+	n.boxed.Store(&p)
+	return p
 }
 
 // Tree is a share tree: one polynomial per document node, mirroring the

@@ -287,7 +287,7 @@ func TestMultiSplitReconstruct(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				v, err := r.Eval(sn.Poly, a)
+				v, err := r.Eval(sn.Polynomial(), a)
 				if err != nil {
 					t.Fatal(err)
 				}
